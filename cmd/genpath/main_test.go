@@ -1,0 +1,57 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pathenum/internal/graph"
+)
+
+func TestRunDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ep.txt")
+	if err := run("ep", 0.05, "", 0, 0, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatalf("generated graph is empty: %v", g)
+	}
+}
+
+func TestRunFamilies(t *testing.T) {
+	for _, family := range []string{"er", "ba", "power", "layered", "grid"} {
+		out := filepath.Join(t.TempDir(), family+".txt")
+		if err := run("", 1, family, 20, 4, 3, 7, out); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		g, err := graph.LoadFile(out)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", family)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no output", func() error { return run("ep", 1, "", 0, 0, 0, 1, "") }},
+		{"no source", func() error { return run("", 1, "", 10, 4, 2, 1, filepath.Join(dir, "x.txt")) }},
+		{"bad dataset", func() error { return run("nope", 1, "", 0, 0, 0, 1, filepath.Join(dir, "x.txt")) }},
+		{"bad family", func() error { return run("", 1, "nope", 10, 4, 2, 1, filepath.Join(dir, "x.txt")) }},
+		{"unwritable", func() error { return run("ep", 0.05, "", 0, 0, 0, 1, "/nonexistent-dir/x.txt") }},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

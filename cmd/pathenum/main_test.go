@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	// Diamond with original ids 10,11,12,13.
+	content := "# test graph\n10 11\n10 12\n11 13\n12 13\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	path := writeGraph(t)
+	for _, method := range []string{"auto", "dfs", "join"} {
+		if err := run(path, 10, 13, 3, method, 0, 0, false, true); err != nil {
+			t.Fatalf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunWithPrintAndLimit(t *testing.T) {
+	path := writeGraph(t)
+	if err := run(path, 10, 13, 3, "auto", 1, time.Second, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeGraph(t)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"missing graph flag", func() error { return run("", 10, 13, 3, "auto", 0, 0, false, false) }},
+		{"missing endpoints", func() error { return run(path, -1, 13, 3, "auto", 0, 0, false, false) }},
+		{"unknown file", func() error { return run("/nonexistent", 10, 13, 3, "auto", 0, 0, false, false) }},
+		{"unknown source", func() error { return run(path, 999, 13, 3, "auto", 0, 0, false, false) }},
+		{"unknown target", func() error { return run(path, 10, 999, 3, "auto", 0, 0, false, false) }},
+		{"bad method", func() error { return run(path, 10, 13, 3, "bogus", 0, 0, false, false) }},
+		{"bad k", func() error { return run(path, 10, 13, 0, "auto", 0, 0, false, false) }},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pathenum"
+)
+
+// queryRequest is the JSON body of POST /query.
+type queryRequest struct {
+	S       int64  `json:"s"`
+	T       int64  `json:"t"`
+	K       int    `json:"k"`
+	Method  string `json:"method,omitempty"`  // auto | dfs | join
+	Limit   uint64 `json:"limit,omitempty"`   // cap on enumerated results
+	Paths   bool   `json:"paths,omitempty"`   // include path vertex lists
+	Timeout string `json:"timeout,omitempty"` // e.g. "500ms"
+}
+
+// queryResponse is the JSON reply.
+type queryResponse struct {
+	Count     uint64    `json:"count"`
+	Completed bool      `json:"completed"`
+	Plan      string    `json:"plan"`
+	Cut       int       `json:"cut,omitempty"`
+	Millis    float64   `json:"ms"`
+	Paths     [][]int64 `json:"paths,omitempty"`
+}
+
+// server wires the engine behind an HTTP API. All handlers are safe for
+// concurrent use: query state is per request.
+type server struct {
+	engine *pathenum.Engine
+	// orig maps dense ids back to the input file's ids (nil = identity).
+	orig    []int64
+	toDense map[int64]pathenum.VertexID
+	// maxPaths caps the number of materialized paths per response.
+	maxPaths uint64
+}
+
+func newServer(engine *pathenum.Engine, orig []int64) *server {
+	s := &server{engine: engine, orig: orig, maxPaths: 1000}
+	if orig != nil {
+		s.toDense = make(map[int64]pathenum.VertexID, len(orig))
+		for dense, raw := range orig {
+			s.toDense[raw] = pathenum.VertexID(dense)
+		}
+	}
+	return s
+}
+
+func (s *server) dense(raw int64) (pathenum.VertexID, bool) {
+	if s.toDense == nil {
+		n := int64(s.engine.Graph().NumVertices())
+		if raw < 0 || raw >= n {
+			return 0, false
+		}
+		return pathenum.VertexID(raw), true
+	}
+	v, ok := s.toDense[raw]
+	return v, ok
+}
+
+func (s *server) raw(dense pathenum.VertexID) int64 {
+	if s.orig == nil {
+		return int64(dense)
+	}
+	return s.orig[dense]
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.engine.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertices":  g.NumVertices(),
+		"edges":     g.NumEdges(),
+		"avgDegree": g.AvgDegree(),
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	src, ok := s.dense(req.S)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown source vertex %d", req.S)
+		return
+	}
+	dst, ok := s.dense(req.T)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown target vertex %d", req.T)
+		return
+	}
+	opts := pathenum.Options{Limit: req.Limit}
+	switch req.Method {
+	case "", "auto":
+		opts.Method = pathenum.Auto
+	case "dfs":
+		opts.Method = pathenum.DFS
+	case "join":
+		opts.Method = pathenum.Join
+	default:
+		httpError(w, http.StatusBadRequest, "unknown method %q", req.Method)
+		return
+	}
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad timeout: %v", err)
+			return
+		}
+		opts.Timeout = d
+	}
+
+	var paths [][]int64
+	if req.Paths {
+		cap := req.Limit
+		if cap == 0 || cap > s.maxPaths {
+			cap = s.maxPaths
+		}
+		opts.Emit = func(p []pathenum.VertexID) bool {
+			if uint64(len(paths)) < cap {
+				out := make([]int64, len(p))
+				for i, v := range p {
+					out[i] = s.raw(v)
+				}
+				paths = append(paths, out)
+			}
+			return true
+		}
+	}
+
+	start := time.Now()
+	res, err := runQuery(s.engine, pathenum.Query{S: src, T: dst, K: req.K}, opts)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "query failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Count:     res.Counters.Results,
+		Completed: res.Completed,
+		Plan:      res.Plan.Method.String(),
+		Cut:       res.Plan.Cut,
+		Millis:    float64(time.Since(start)) / float64(time.Millisecond),
+		Paths:     paths,
+	})
+}
+
+// runQuery merges per-request options with the engine defaults. The engine
+// API takes defaults at construction; per-request emit/limit/method come
+// from the request, so issue the query directly against the engine graph.
+func runQuery(e *pathenum.Engine, q pathenum.Query, opts pathenum.Options) (*pathenum.Result, error) {
+	return pathenum.Enumerate(e.Graph(), q, opts)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pathenum"
+)
+
+// testServer serves the diamond graph 0 -> {1,2} -> 3 plus 3 -> 0.
+func testServer(t *testing.T, orig []int64) *httptest.Server {
+	t.Helper()
+	g, err := pathenum.NewGraph(4, []pathenum.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2},
+		{From: 1, To: 3}, {From: 2, To: 3},
+		{From: 3, To: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(engine, orig).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, queryResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, qr
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["vertices"].(float64) != 4 || stats["edges"].(float64) != 5 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestQueryBasic(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, qr := postQuery(t, ts, `{"s":0,"t":3,"k":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if qr.Count != 2 || !qr.Completed {
+		t.Fatalf("response = %+v", qr)
+	}
+	if qr.Plan == "" || qr.Millis < 0 {
+		t.Fatalf("missing plan/timing: %+v", qr)
+	}
+}
+
+func TestQueryWithPaths(t *testing.T) {
+	ts := testServer(t, nil)
+	_, qr := postQuery(t, ts, `{"s":0,"t":3,"k":3,"paths":true}`)
+	if len(qr.Paths) != 2 {
+		t.Fatalf("paths = %v", qr.Paths)
+	}
+	for _, p := range qr.Paths {
+		if p[0] != 0 || p[len(p)-1] != 3 {
+			t.Fatalf("bad path %v", p)
+		}
+	}
+}
+
+func TestQueryMethods(t *testing.T) {
+	ts := testServer(t, nil)
+	for _, m := range []string{"auto", "dfs", "join"} {
+		_, qr := postQuery(t, ts, `{"s":0,"t":3,"k":3,"method":"`+m+`"}`)
+		if qr.Count != 2 {
+			t.Fatalf("method %s: count = %d", m, qr.Count)
+		}
+	}
+}
+
+func TestQueryLimit(t *testing.T) {
+	ts := testServer(t, nil)
+	_, qr := postQuery(t, ts, `{"s":0,"t":3,"k":3,"limit":1}`)
+	if qr.Count != 1 || qr.Completed {
+		t.Fatalf("limit response = %+v", qr)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t, nil)
+	cases := []string{
+		`not json`,
+		`{"s":0,"t":0,"k":3}`,              // s == t
+		`{"s":0,"t":3,"k":0}`,              // k < 1
+		`{"s":99,"t":3,"k":3}`,             // unknown vertex
+		`{"s":0,"t":3,"k":3,"method":"x"}`, // bad method
+		`{"s":0,"t":3,"k":3,"timeout":"zzz"}`,
+	}
+	for _, body := range cases {
+		resp, _ := postQuery(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueryRemappedIDs(t *testing.T) {
+	// Original ids 100,101,102,103 map to dense 0..3.
+	ts := testServer(t, []int64{100, 101, 102, 103})
+	resp, qr := postQuery(t, ts, `{"s":100,"t":103,"k":3,"paths":true}`)
+	if resp.StatusCode != http.StatusOK || qr.Count != 2 {
+		t.Fatalf("remapped query: status=%d %+v", resp.StatusCode, qr)
+	}
+	for _, p := range qr.Paths {
+		if p[0] != 100 || p[len(p)-1] != 103 {
+			t.Fatalf("paths must use original ids: %v", p)
+		}
+	}
+	// Dense ids are not valid raw ids here.
+	resp, _ = postQuery(t, ts, `{"s":0,"t":3,"k":3}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dense id should 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestQueryConcurrent(t *testing.T) {
+	ts := testServer(t, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/query", "application/json",
+				strings.NewReader(`{"s":0,"t":3,"k":3}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var qr queryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				errs <- err
+				return
+			}
+			if qr.Count != 2 {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /query must not succeed")
+	}
+}

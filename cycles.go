@@ -1,0 +1,43 @@
+package pathenum
+
+import "fmt"
+
+// CyclesThroughEdge enumerates the hop-constrained cycles that pass through
+// the directed edge (from, to): each result is a cycle of at most k edges
+// written as (to, ..., from, to)-style vertex list starting and ending at
+// `to`. Following the e-commerce fraud-detection pattern of §1, the cycles
+// triggered by a newly inserted edge e(v,v') are exactly the q(v', v, k-1)
+// paths closed by e, so this is implemented as one PathEnum query.
+//
+// The edge (from, to) must exist in g. Emitted slices are reused between
+// calls; copy to retain.
+func CyclesThroughEdge(g *Graph, from, to VertexID, k int, opts Options) (*Result, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("pathenum: cycle hop constraint %d must be >= 2", k)
+	}
+	if !g.HasEdge(from, to) {
+		return nil, fmt.Errorf("pathenum: edge (%d,%d) not in graph", from, to)
+	}
+	userEmit := opts.Emit
+	var cycle []VertexID
+	opts.Emit = nil
+	if userEmit != nil {
+		opts.Emit = func(p []VertexID) bool {
+			// p is a path to -> ... -> from; close it with the edge.
+			cycle = append(cycle[:0], p...)
+			cycle = append(cycle, to)
+			return userEmit(cycle)
+		}
+	}
+	q := Query{S: to, T: from, K: k - 1}
+	return Enumerate(g, q, opts)
+}
+
+// CountCyclesThroughEdge counts hop-constrained cycles through (from, to).
+func CountCyclesThroughEdge(g *Graph, from, to VertexID, k int) (uint64, error) {
+	res, err := CyclesThroughEdge(g, from, to, k, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Counters.Results, nil
+}

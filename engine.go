@@ -1,0 +1,105 @@
+package pathenum
+
+import (
+	"fmt"
+	"sync"
+
+	"pathenum/internal/core"
+	"pathenum/internal/landmark"
+)
+
+// DistanceOracle is the global offline index of §7.5: lower bounds on
+// directed distances that prune per-query index construction and answer
+// infeasible queries without any BFS. Build it once per (static) graph
+// with BuildOracle and pass it via Options.Oracle or EngineConfig.
+type DistanceOracle = core.DistanceOracle
+
+// BuildOracle constructs a landmark distance oracle over g with the given
+// number of landmarks (0 picks a default). Construction costs two full BFS
+// passes per landmark. The oracle is only valid for the exact graph it was
+// built on: rebuild after edge insertions.
+func BuildOracle(g *Graph, numLandmarks int) (DistanceOracle, error) {
+	return landmark.Build(g, numLandmarks)
+}
+
+// EngineConfig configures a concurrent query engine.
+type EngineConfig struct {
+	// Workers is the number of concurrent query executors (default 4).
+	Workers int
+	// Oracle optionally accelerates every query (see BuildOracle).
+	Oracle DistanceOracle
+	// Options are the per-query defaults (Method, Tau, Limit, Timeout).
+	Options Options
+}
+
+// Engine executes HcPE queries concurrently against one immutable graph.
+// PathEnum's state is per query (the index is built per query), so queries
+// parallelize without coordination — the online scenario of §1. Each worker
+// reuses a core.Session, so the O(|V|) per-query buffers are allocated once
+// per worker rather than once per query. The zero Engine is not usable;
+// create one with NewEngine.
+type Engine struct {
+	g        *Graph
+	cfg      EngineConfig
+	workers  int
+	sessions sync.Pool
+}
+
+// NewEngine creates an engine over g.
+func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pathenum: engine needs a graph")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	e := &Engine{g: g, cfg: cfg, workers: workers}
+	e.sessions.New = func() any { return core.NewSession(g, cfg.Oracle) }
+	return e, nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Execute runs one query with the engine defaults (synchronously).
+func (e *Engine) Execute(q Query) (*Result, error) {
+	sess := e.sessions.Get().(*core.Session)
+	defer e.sessions.Put(sess)
+	return sess.Run(q, e.cfg.Options)
+}
+
+// ExecuteAll runs the queries across the worker pool and returns results
+// in input order. The per-result error slot is set for invalid queries;
+// valid ones always produce a Result.
+func (e *Engine) ExecuteAll(queries []Query) ([]*Result, []error) {
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q Query) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Execute(q)
+		}(i, q)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// CountAll returns per-query path counts in input order; the first query
+// error aborts the batch.
+func (e *Engine) CountAll(queries []Query) ([]uint64, error) {
+	results, errs := e.ExecuteAll(queries)
+	counts := make([]uint64, len(queries))
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pathenum: query %d (%v): %w", i, queries[i], err)
+		}
+		counts[i] = results[i].Counters.Results
+	}
+	return counts, nil
+}

@@ -1,0 +1,146 @@
+package pathenum
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/gen"
+)
+
+func engineGraph() *Graph {
+	return gen.BarabasiAlbert(400, 5, 99)
+}
+
+func engineQueries(n int, seed int64, numVertices int) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	var qs []Query
+	for len(qs) < n {
+		s := VertexID(rng.Intn(numVertices))
+		t := VertexID(rng.Intn(numVertices))
+		if s == t {
+			continue
+		}
+		qs = append(qs, Query{S: s, T: t, K: 4})
+	}
+	return qs
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, EngineConfig{}); err == nil {
+		t.Fatal("nil graph: expected error")
+	}
+	g := engineGraph()
+	e, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Graph() != g {
+		t.Fatal("Graph accessor mismatch")
+	}
+}
+
+func TestEngineExecute(t *testing.T) {
+	g := engineGraph()
+	e, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := engineQueries(1, 5, g.NumVertices())[0]
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Count(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Results != want {
+		t.Fatalf("engine count %d, direct %d", res.Counters.Results, want)
+	}
+}
+
+// TestEngineMatchesSequential: concurrent execution returns exactly the
+// sequential answers in input order.
+func TestEngineMatchesSequential(t *testing.T) {
+	g := engineGraph()
+	queries := engineQueries(40, 17, g.NumVertices())
+	e, err := NewEngine(g, EngineConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := e.CountAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, err := Count(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[i] != want {
+			t.Fatalf("query %d (%v): engine %d, sequential %d", i, q, counts[i], want)
+		}
+	}
+}
+
+func TestEngineWithOracle(t *testing.T) {
+	g := engineGraph()
+	oracle, err := BuildOracle(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := engineQueries(20, 23, g.NumVertices())
+	plain, err := NewEngine(g, EngineConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewEngine(g, EngineConfig{Workers: 4, Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plain.CountAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fast.CountAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: plain %d, oracle %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineInvalidQuery(t *testing.T) {
+	g := engineGraph()
+	e, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{{S: 0, T: 1, K: 3}, {S: 2, T: 2, K: 3}}
+	results, errs := e.ExecuteAll(queries)
+	if errs[0] != nil || results[0] == nil {
+		t.Fatal("valid query must succeed")
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid query must carry an error")
+	}
+	if _, err := e.CountAll(queries); err == nil {
+		t.Fatal("CountAll must surface the error")
+	}
+}
+
+func TestEngineRace(t *testing.T) {
+	// Exercised under -race in CI-style runs: many workers, many queries.
+	g := engineGraph()
+	e, err := NewEngine(g, EngineConfig{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := engineQueries(100, 31, g.NumVertices())
+	if _, err := e.CountAll(queries); err != nil {
+		t.Fatal(err)
+	}
+}

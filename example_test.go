@@ -1,0 +1,111 @@
+package pathenum_test
+
+import (
+	"fmt"
+	"log"
+
+	"pathenum"
+)
+
+// The examples run on a small diamond graph: 0 -> {1,2} -> 3, plus 3 -> 0.
+func diamondGraph() *pathenum.Graph {
+	g, err := pathenum.NewGraph(4, []pathenum.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2},
+		{From: 1, To: 3}, {From: 2, To: 3},
+		{From: 3, To: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func ExampleEnumerate() {
+	g := diamondGraph()
+	res, err := pathenum.Enumerate(g, pathenum.Query{S: 0, T: 3, K: 3}, pathenum.Options{
+		Emit: func(p []pathenum.VertexID) bool {
+			fmt.Println(p)
+			return true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("count:", res.Counters.Results)
+	// Output:
+	// [0 1 3]
+	// [0 2 3]
+	// count: 2
+}
+
+func ExampleCount() {
+	g := diamondGraph()
+	n, err := pathenum.Count(g, pathenum.Query{S: 0, T: 3, K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output: 2
+}
+
+func ExamplePaths() {
+	g := diamondGraph()
+	paths, err := pathenum.Paths(g, pathenum.Query{S: 0, T: 3, K: 3}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	// Output:
+	// [0 1 3]
+	// [0 2 3]
+}
+
+func ExampleCyclesThroughEdge() {
+	g := diamondGraph()
+	n, err := pathenum.CountCyclesThroughEdge(g, 3, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cycles through 3->0:", n)
+	// Output: cycles through 3->0: 2
+}
+
+func ExampleEnumerateConstrained() {
+	g := diamondGraph()
+	// Only paths avoiding the edge (0,1).
+	res, err := pathenum.EnumerateConstrained(g,
+		pathenum.Query{S: 0, T: 3, K: 3},
+		pathenum.Constraints{
+			Predicate: func(u, v pathenum.VertexID) bool { return !(u == 0 && v == 1) },
+		},
+		pathenum.RunControl{Emit: func(p []pathenum.VertexID) bool {
+			fmt.Println(p)
+			return true
+		}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("count:", res.Counters.Results)
+	// Output:
+	// [0 2 3]
+	// count: 1
+}
+
+func ExampleEngine() {
+	g := diamondGraph()
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := engine.CountAll([]pathenum.Query{
+		{S: 0, T: 3, K: 3},
+		{S: 3, T: 1, K: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(counts)
+	// Output: [2 1]
+}

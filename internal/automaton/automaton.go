@@ -1,0 +1,150 @@
+// Package automaton provides the deterministic finite automaton used by the
+// label-sequence constraint extension of Appendix E (Algorithm 8): edge
+// labels are actions, and a result path is valid only if the label sequence
+// along it drives the automaton from its start state to an accepting state.
+package automaton
+
+import "fmt"
+
+// State identifies an automaton state.
+type State = int32
+
+// Label identifies an edge label (an "action").
+type Label = int32
+
+// Invalid marks a missing transition.
+const Invalid State = -1
+
+// DFA is a dense-transition deterministic finite automaton.
+type DFA struct {
+	numStates int
+	numLabels int
+	start     State
+	accepting []bool
+	trans     []State // trans[state*numLabels + label]
+}
+
+// New creates a DFA with the given state/label counts and start state.
+// All transitions start out Invalid and no state accepts.
+func New(numStates, numLabels int, start State) (*DFA, error) {
+	if numStates <= 0 || numLabels <= 0 {
+		return nil, fmt.Errorf("automaton: need positive state (%d) and label (%d) counts", numStates, numLabels)
+	}
+	if start < 0 || int(start) >= numStates {
+		return nil, fmt.Errorf("automaton: start state %d out of range", start)
+	}
+	trans := make([]State, numStates*numLabels)
+	for i := range trans {
+		trans[i] = Invalid
+	}
+	return &DFA{
+		numStates: numStates,
+		numLabels: numLabels,
+		start:     start,
+		accepting: make([]bool, numStates),
+		trans:     trans,
+	}, nil
+}
+
+// Start returns the start state.
+func (d *DFA) Start() State { return d.start }
+
+// NumStates returns the state count.
+func (d *DFA) NumStates() int { return d.numStates }
+
+// NumLabels returns the label-alphabet size.
+func (d *DFA) NumLabels() int { return d.numLabels }
+
+// SetAccepting marks state as accepting.
+func (d *DFA) SetAccepting(state State) error {
+	if state < 0 || int(state) >= d.numStates {
+		return fmt.Errorf("automaton: state %d out of range", state)
+	}
+	d.accepting[state] = true
+	return nil
+}
+
+// Accepting reports whether state accepts.
+func (d *DFA) Accepting(state State) bool {
+	return state >= 0 && int(state) < d.numStates && d.accepting[state]
+}
+
+// AddTransition installs trans[from, label] = to.
+func (d *DFA) AddTransition(from State, label Label, to State) error {
+	if from < 0 || int(from) >= d.numStates || to < 0 || int(to) >= d.numStates {
+		return fmt.Errorf("automaton: transition states (%d,%d) out of range", from, to)
+	}
+	if label < 0 || int(label) >= d.numLabels {
+		return fmt.Errorf("automaton: label %d out of range", label)
+	}
+	d.trans[int(from)*d.numLabels+int(label)] = to
+	return nil
+}
+
+// Step returns the successor of state under label, or Invalid when the
+// action is not allowed (the A[a][l(e)] lookup of Algorithm 8). O(1).
+func (d *DFA) Step(state State, label Label) State {
+	if state < 0 || int(state) >= d.numStates || label < 0 || int(label) >= d.numLabels {
+		return Invalid
+	}
+	return d.trans[int(state)*d.numLabels+int(label)]
+}
+
+// Accepts runs the automaton over a label sequence from the start state.
+func (d *DFA) Accepts(labels []Label) bool {
+	st := d.start
+	for _, l := range labels {
+		st = d.Step(st, l)
+		if st == Invalid {
+			return false
+		}
+	}
+	return d.Accepting(st)
+}
+
+// ExactSequence builds a DFA accepting exactly the given label sequence
+// (the "write -> mention" pattern of the knowledge-graph motivation).
+func ExactSequence(numLabels int, seq []Label) (*DFA, error) {
+	d, err := New(len(seq)+1, numLabels, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range seq {
+		if err := d.AddTransition(State(i), l, State(i+1)); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.SetAccepting(State(len(seq))); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// AtLeastCount builds a DFA over numLabels labels that accepts any sequence
+// containing at least m occurrences of the given label (the "at least two
+// high-risk countries" pattern of Appendix E). States count occurrences,
+// saturating at m.
+func AtLeastCount(numLabels int, label Label, m int) (*DFA, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("automaton: negative count %d", m)
+	}
+	d, err := New(m+1, numLabels, 0)
+	if err != nil {
+		return nil, err
+	}
+	for st := 0; st <= m; st++ {
+		for l := 0; l < numLabels; l++ {
+			next := st
+			if Label(l) == label && st < m {
+				next = st + 1
+			}
+			if err := d.AddTransition(State(st), Label(l), State(next)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.SetAccepting(State(m)); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

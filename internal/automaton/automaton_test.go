@@ -1,0 +1,137 @@
+package automaton
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2, 0); err == nil {
+		t.Error("zero states: expected error")
+	}
+	if _, err := New(2, 0, 0); err == nil {
+		t.Error("zero labels: expected error")
+	}
+	if _, err := New(2, 2, 5); err == nil {
+		t.Error("start out of range: expected error")
+	}
+	d, err := New(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Start() != 1 || d.NumStates() != 3 || d.NumLabels() != 2 {
+		t.Fatalf("accessors: %d %d %d", d.Start(), d.NumStates(), d.NumLabels())
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	d, err := New(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTransition(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Step(0, 1); got != 1 {
+		t.Fatalf("Step(0,1) = %d, want 1", got)
+	}
+	if got := d.Step(0, 0); got != Invalid {
+		t.Fatalf("Step(0,0) = %d, want Invalid", got)
+	}
+	if got := d.Step(5, 0); got != Invalid {
+		t.Fatalf("Step out of range = %d, want Invalid", got)
+	}
+	if err := d.AddTransition(0, 9, 1); err == nil {
+		t.Error("label out of range: expected error")
+	}
+	if err := d.AddTransition(9, 0, 1); err == nil {
+		t.Error("state out of range: expected error")
+	}
+	if err := d.SetAccepting(9); err == nil {
+		t.Error("SetAccepting out of range: expected error")
+	}
+}
+
+func TestAccepting(t *testing.T) {
+	d, err := New(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepting(0) {
+		t.Error("no state should accept initially")
+	}
+	if err := d.SetAccepting(1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepting(1) || d.Accepting(0) || d.Accepting(-1) || d.Accepting(9) {
+		t.Error("Accepting misbehaves")
+	}
+}
+
+func TestExactSequence(t *testing.T) {
+	d, err := ExactSequence(3, []Label{0, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		seq  []Label
+		want bool
+	}{
+		{[]Label{0, 2, 1}, true},
+		{[]Label{0, 2}, false},       // too short
+		{[]Label{0, 2, 1, 0}, false}, // too long (no transition)
+		{[]Label{1, 2, 1}, false},    // wrong first action
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := d.Accepts(c.seq); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestExactSequenceEmpty(t *testing.T) {
+	d, err := ExactSequence(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepts(nil) {
+		t.Error("empty sequence DFA must accept the empty path")
+	}
+	if d.Accepts([]Label{0}) {
+		t.Error("empty sequence DFA must reject non-empty sequences")
+	}
+}
+
+func TestAtLeastCount(t *testing.T) {
+	d, err := AtLeastCount(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		seq  []Label
+		want bool
+	}{
+		{[]Label{1, 1}, true},
+		{[]Label{1, 0, 2, 1}, true},
+		{[]Label{1, 1, 1}, true}, // saturates
+		{[]Label{1}, false},
+		{[]Label{0, 2, 0}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := d.Accepts(c.seq); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+	if _, err := AtLeastCount(2, 0, -1); err == nil {
+		t.Error("negative count: expected error")
+	}
+}
+
+func TestAtLeastZero(t *testing.T) {
+	d, err := AtLeastCount(2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepts(nil) || !d.Accepts([]Label{1, 1}) {
+		t.Error("AtLeastCount(0) must accept everything")
+	}
+}

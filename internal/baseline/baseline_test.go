@@ -1,0 +1,305 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/core"
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+// runner is the shared two-phase shape of every baseline.
+type runner interface {
+	Name() string
+	Prepare(g *graph.Graph, q core.Query) error
+	Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, error)
+}
+
+func allBaselines() []runner {
+	return []runner{&GenericDFS{}, &BCDFS{}, &BCJoin{}, &TDFS{}, &Yen{}}
+}
+
+func collect(t *testing.T, r runner, g *graph.Graph, q core.Query) [][]graph.VertexID {
+	t.Helper()
+	if err := r.Prepare(g, q); err != nil {
+		t.Fatalf("%s: Prepare: %v", r.Name(), err)
+	}
+	var out [][]graph.VertexID
+	done, err := r.Enumerate(core.RunControl{Emit: func(p []graph.VertexID) bool {
+		out = append(out, append([]graph.VertexID(nil), p...))
+		return true
+	}}, nil)
+	if err != nil {
+		t.Fatalf("%s: Enumerate: %v", r.Name(), err)
+	}
+	if !done {
+		t.Fatalf("%s: unexpected early stop", r.Name())
+	}
+	return out
+}
+
+// paperGraph mirrors the Figure 1a fixture used by the core tests.
+func paperGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	edges := []graph.Edge{
+		{From: 0, To: 2}, {From: 0, To: 3}, {From: 0, To: 5},
+		{From: 2, To: 3}, {From: 2, To: 8}, {From: 2, To: 1},
+		{From: 3, To: 4}, {From: 3, To: 5},
+		{From: 4, To: 2}, {From: 4, To: 1},
+		{From: 5, To: 6},
+		{From: 6, To: 7},
+		{From: 7, To: 4}, {From: 7, To: 1},
+		{From: 8, To: 2},
+		{From: 1, To: 9},
+	}
+	g, err := graph.NewGraph(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBaselinesPaperExample(t *testing.T) {
+	g := paperGraph(t)
+	q := core.Query{S: 0, T: 1, K: 4}
+	want := BrutePaths(g, q.S, q.T, q.K)
+	if len(want) != 5 {
+		t.Fatalf("oracle found %d paths, want 5", len(want))
+	}
+	for _, r := range allBaselines() {
+		got := collect(t, r, g, q)
+		if !SamePathSet(got, want) {
+			t.Errorf("%s: %d paths, oracle %d", r.Name(), len(got), len(want))
+		}
+	}
+}
+
+// TestBaselinesMatchBruteForce is the cross-algorithm correctness sweep:
+// every baseline enumerates exactly P(s,t,k,G) on randomized graphs.
+func TestBaselinesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(10)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 1 + rng.Intn(4)
+		q := core.Query{S: s, T: tt, K: k}
+		want := BrutePaths(g, s, tt, k)
+		for _, r := range allBaselines() {
+			got := collect(t, r, g, q)
+			if !SamePathSet(got, want) {
+				t.Fatalf("trial %d %s %v: %d paths, oracle %d",
+					trial, r.Name(), q, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestBaselinesAgreeWithCore: baselines and the index algorithms agree on
+// inputs too big for the brute-force oracle's comfort.
+func TestBaselinesAgreeWithCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	g := gen.BarabasiAlbert(120, 4, 11)
+	for trial := 0; trial < 10; trial++ {
+		s := graph.VertexID(rng.Intn(120))
+		tt := graph.VertexID(rng.Intn(120))
+		if s == tt {
+			continue
+		}
+		q := core.Query{S: s, T: tt, K: 4}
+		wantN, err := core.Count(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range allBaselines() {
+			if err := r.Prepare(g, q); err != nil {
+				t.Fatal(err)
+			}
+			var ctr core.Counters
+			if _, err := r.Enumerate(core.RunControl{}, &ctr); err != nil {
+				t.Fatal(err)
+			}
+			if ctr.Results != wantN {
+				t.Fatalf("trial %d %s: %d results, core %d", trial, r.Name(), ctr.Results, wantN)
+			}
+		}
+	}
+}
+
+func TestBaselinesValidation(t *testing.T) {
+	g := paperGraph(t)
+	bad := core.Query{S: 0, T: 0, K: 3}
+	for _, r := range allBaselines() {
+		if err := r.Prepare(g, bad); err == nil {
+			t.Errorf("%s: expected validation error for s==t", r.Name())
+		}
+	}
+}
+
+func TestBaselinesUnreachable(t *testing.T) {
+	g, err := graph.NewGraph(4, []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{S: 0, T: 3, K: 6}
+	for _, r := range allBaselines() {
+		got := collect(t, r, g, q)
+		if len(got) != 0 {
+			t.Errorf("%s: found %d paths across disconnected components", r.Name(), len(got))
+		}
+	}
+}
+
+func TestBaselinesLimit(t *testing.T) {
+	g := gen.Layered(4, 3) // 64 paths
+	q := core.Query{S: 0, T: 1, K: 4}
+	for _, r := range allBaselines() {
+		if err := r.Prepare(g, q); err != nil {
+			t.Fatal(err)
+		}
+		var ctr core.Counters
+		done, err := r.Enumerate(core.RunControl{Limit: 5}, &ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done || ctr.Results != 5 {
+			t.Errorf("%s: limit run done=%v results=%d", r.Name(), done, ctr.Results)
+		}
+	}
+}
+
+func TestBaselinesShouldStop(t *testing.T) {
+	// Wide enough that every algorithm crosses its periodic stop check
+	// (every 1024 expansions) long before finishing.
+	g := gen.Layered(16, 4) // 65536 paths
+	q := core.Query{S: 0, T: 1, K: 5}
+	for _, r := range allBaselines() {
+		if err := r.Prepare(g, q); err != nil {
+			t.Fatal(err)
+		}
+		var ctr core.Counters
+		done, err := r.Enumerate(core.RunControl{ShouldStop: func() bool { return true }}, &ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Errorf("%s: ShouldStop run must stop early", r.Name())
+		}
+		if ctr.Results >= 65536 {
+			t.Errorf("%s: stopped run still enumerated everything", r.Name())
+		}
+	}
+}
+
+// TestTDFSNoInvalidPartials: by construction every T-DFS branch leads to a
+// result.
+func TestTDFSNoInvalidPartials(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(10)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		q := core.Query{S: s, T: tt, K: 2 + rng.Intn(3)}
+		r := &TDFS{}
+		if err := r.Prepare(g, q); err != nil {
+			t.Fatal(err)
+		}
+		var ctr core.Counters
+		if _, err := r.Enumerate(core.RunControl{}, &ctr); err != nil {
+			t.Fatal(err)
+		}
+		if ctr.InvalidPartials != 0 {
+			t.Fatalf("trial %d: T-DFS generated %d invalid partials", trial, ctr.InvalidPartials)
+		}
+	}
+}
+
+// TestBCDFSPrunesAtLeastAsWellAsGeneric: barriers only remove work, never
+// results, and the barrier search should not expand more edges than the
+// static-bound search.
+func TestBCDFSEdgeAccessesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(12)
+		g := gen.ErdosRenyi(n, n*4, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		q := core.Query{S: s, T: tt, K: 2 + rng.Intn(4)}
+
+		gdfs, bc := &GenericDFS{}, &BCDFS{}
+		var gCtr, bCtr core.Counters
+		if err := gdfs.Prepare(g, q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gdfs.Enumerate(core.RunControl{}, &gCtr); err != nil {
+			t.Fatal(err)
+		}
+		if err := bc.Prepare(g, q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bc.Enumerate(core.RunControl{}, &bCtr); err != nil {
+			t.Fatal(err)
+		}
+		if bCtr.Results != gCtr.Results {
+			t.Fatalf("trial %d: BC-DFS %d results, generic %d", trial, bCtr.Results, gCtr.Results)
+		}
+		if bCtr.EdgesAccessed > gCtr.EdgesAccessed {
+			t.Fatalf("trial %d: BC-DFS accessed %d edges > generic %d",
+				trial, bCtr.EdgesAccessed, gCtr.EdgesAccessed)
+		}
+	}
+}
+
+// TestYenAscendingLength: Yen must emit paths in nondecreasing length.
+func TestYenAscendingLength(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 3, 5)
+	y := &Yen{}
+	q := core.Query{S: 0, T: 1, K: 5}
+	if err := y.Prepare(g, q); err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	if _, err := y.Enumerate(core.RunControl{Emit: func(p []graph.VertexID) bool {
+		if len(p)-1 < prev {
+			t.Fatalf("length decreased: %d after %d", len(p)-1, prev)
+		}
+		prev = len(p) - 1
+		return true
+	}}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteHelpers(t *testing.T) {
+	g := paperGraph(t)
+	paths := BrutePaths(g, 0, 1, 4)
+	walks := BruteWalks(g, 0, 1, 4)
+	if len(paths) != 5 || len(walks) != 6 {
+		t.Fatalf("paths=%d walks=%d, want 5 and 6", len(paths), len(walks))
+	}
+	if !SamePathSet(paths, paths) {
+		t.Fatal("SamePathSet must be reflexive")
+	}
+	if SamePathSet(paths, walks) {
+		t.Fatal("paths and walks must differ")
+	}
+	// CanonicalizePaths is idempotent and sorted.
+	c := CanonicalizePaths(append([][]graph.VertexID(nil), walks...))
+	for i := 1; i < len(c); i++ {
+		if lessPath(c[i], c[i-1]) {
+			t.Fatal("canonicalized paths not sorted")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// BCDFS reimplements the barrier-based polynomial-delay search of Peng et
+// al. (VLDB'19), the paper's strongest competitor (§2.2, Appendix D).
+//
+// Every vertex carries a barrier: the minimum remaining budget needed for
+// the search to possibly reach t from it given the vertices currently on
+// the stack. Barriers start at the static distance S(v,t|G). When the
+// subtree rooted at a partial result ending in v produces no result under
+// remaining budget b, the barrier of v is raised to b+1: re-entering v with
+// the same or less budget under the same stack prefix is pointless. Raises
+// are scoped to the stack frame that observed the failure — when that frame
+// pops, its raises are rolled back, because the failure was conditional on
+// the frame's vertex blocking part of the graph.
+type BCDFS struct {
+	g    *graph.Graph
+	q    core.Query
+	dist []int32
+	bar  []int32
+}
+
+// Name implements the harness naming convention.
+func (a *BCDFS) Name() string { return "BC-DFS" }
+
+// Prepare computes the static distances and resets all barriers.
+func (a *BCDFS) Prepare(g *graph.Graph, q core.Query) error {
+	if err := q.Validate(g); err != nil {
+		return err
+	}
+	a.g, a.q = g, q
+	n := g.NumVertices()
+	if a.dist == nil || len(a.dist) != n {
+		a.dist = make([]int32, n)
+		a.bar = make([]int32, n)
+	}
+	reverseBFS(g, q.T, q.K, a.dist)
+	for i, d := range a.dist {
+		if d < 0 {
+			a.bar[i] = int32(q.K) + 1 // unreachable: permanently blocked
+		} else {
+			a.bar[i] = d
+		}
+	}
+	return nil
+}
+
+// Enumerate runs the barrier search.
+func (a *BCDFS) Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, error) {
+	if ctr == nil {
+		ctr = &core.Counters{}
+	}
+	if a.dist[a.q.S] < 0 || int(a.dist[a.q.S]) > a.q.K {
+		return true, nil
+	}
+	s := &bcSearcher{
+		g:      a.g,
+		q:      a.q,
+		bar:    a.bar,
+		ctl:    ctl,
+		ctr:    ctr,
+		onPath: make([]bool, a.g.NumVertices()),
+		path:   make([]graph.VertexID, 0, a.q.K+1),
+	}
+	s.path = append(s.path, a.q.S)
+	s.onPath[a.q.S] = true
+	s.search(int32(a.q.K))
+	return !s.stopped, nil
+}
+
+type barRaise struct {
+	v   graph.VertexID
+	old int32
+}
+
+type bcSearcher struct {
+	g       *graph.Graph
+	q       core.Query
+	bar     []int32
+	ctl     core.RunControl
+	ctr     *core.Counters
+	onPath  []bool
+	path    []graph.VertexID
+	ticker  uint32
+	stopped bool
+}
+
+// search expands the last path vertex with remaining budget (edges left)
+// and returns the number of results found in the subtree.
+func (s *bcSearcher) search(budget int32) uint64 {
+	v := s.path[len(s.path)-1]
+	if v == s.q.T {
+		s.ctr.Results++
+		if s.ctl.Emit != nil && !s.ctl.Emit(s.path) {
+			s.stopped = true
+		}
+		if s.ctl.Limit > 0 && s.ctr.Results >= s.ctl.Limit {
+			s.stopped = true
+		}
+		return 1
+	}
+	s.ticker++
+	if s.ticker%1024 == 0 && s.ctl.ShouldStop != nil && s.ctl.ShouldStop() {
+		s.stopped = true
+		return 0
+	}
+	nbrs := s.g.OutNeighbors(v)
+	s.ctr.EdgesAccessed += uint64(len(nbrs))
+	var found uint64
+	var raises []barRaise // rolled back when this frame pops
+	for _, w := range nbrs {
+		if s.onPath[w] || s.bar[w] > budget-1 {
+			continue
+		}
+		s.path = append(s.path, w)
+		s.onPath[w] = true
+		sub := s.search(budget - 1)
+		s.onPath[w] = false
+		s.path = s.path[:len(s.path)-1]
+		if sub == 0 {
+			s.ctr.InvalidPartials++
+			if !s.stopped {
+				// The subtree of w failed with budget-1: raise the barrier.
+				// The raise is valid only while the current stack prefix
+				// (including v) survives, so record it for rollback.
+				if s.bar[w] < budget {
+					raises = append(raises, barRaise{v: w, old: s.bar[w]})
+					s.bar[w] = budget
+				}
+			}
+		}
+		found += sub
+		if s.stopped {
+			break
+		}
+	}
+	// Roll back barrier raises scoped to this frame.
+	for i := len(raises) - 1; i >= 0; i-- {
+		s.bar[raises[i].v] = raises[i].old
+	}
+	return found
+}

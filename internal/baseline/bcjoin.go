@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// BCJoin reimplements the join-oriented baseline of Peng et al. (Appendix
+// D): it splits every result at the fixed middle position mid = ceil(k/2),
+// materializes the simple half-paths on both sides with distance-pruned
+// searches on the raw graph, and hash-joins them on the middle vertex.
+// Results shorter than mid hops are emitted directly during the first
+// phase. Unlike IDX-JOIN there is no per-query index and no cost-based cut
+// selection — the split position is fixed.
+type BCJoin struct {
+	g     *graph.Graph
+	q     core.Query
+	distT []int32 // S(v,t|G)
+	distS []int32 // S(s,v|G)
+}
+
+// Name implements the harness naming convention.
+func (a *BCJoin) Name() string { return "BC-JOIN" }
+
+// Prepare computes the forward/backward distances used for pruning.
+func (a *BCJoin) Prepare(g *graph.Graph, q core.Query) error {
+	if err := q.Validate(g); err != nil {
+		return err
+	}
+	a.g, a.q = g, q
+	n := g.NumVertices()
+	if a.distT == nil || len(a.distT) != n {
+		a.distT = make([]int32, n)
+		a.distS = make([]int32, n)
+	}
+	reverseBFS(g, q.T, q.K, a.distT)
+	forwardBFS(g, q.S, q.K, a.distS)
+	return nil
+}
+
+// forwardBFS computes S(s,v|G) bounded at depth k.
+func forwardBFS(g *graph.Graph, s graph.VertexID, k int, dist []int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := make([]graph.VertexID, 0, 64)
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if int(d) >= k {
+			break
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+// Enumerate materializes both halves and joins them.
+func (a *BCJoin) Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, error) {
+	if ctr == nil {
+		ctr = &core.Counters{}
+	}
+	q, g, k := a.q, a.g, a.q.K
+	if a.distT[q.S] < 0 || int(a.distT[q.S]) > k {
+		return true, nil
+	}
+	mid := (k + 1) / 2
+
+	stop := func() bool { return ctl.ShouldStop != nil && ctl.ShouldStop() }
+	emit := func(p []graph.VertexID) bool {
+		ctr.Results++
+		if ctl.Emit != nil && !ctl.Emit(p) {
+			return false
+		}
+		return ctl.Limit == 0 || ctr.Results < ctl.Limit
+	}
+
+	// Phase 1: simple paths from s of length exactly mid (not through t),
+	// pruned by distT; paths reaching t in < mid hops are final results.
+	var left []graph.VertexID // flat tuples, stride mid+1
+	onPath := make([]bool, g.NumVertices())
+	path := make([]graph.VertexID, 0, k+1)
+	path = append(path, q.S)
+	onPath[q.S] = true
+	completed := true
+	var ticker uint32
+	var walkLeft func()
+	walkLeft = func() {
+		if !completed {
+			return
+		}
+		v := path[len(path)-1]
+		if v == q.T {
+			if !emit(path) {
+				completed = false
+			}
+			return
+		}
+		if len(path)-1 == mid {
+			left = append(left, path...)
+			return
+		}
+		ticker++
+		if ticker%1024 == 0 && stop() {
+			completed = false
+			return
+		}
+		nbrs := g.OutNeighbors(v)
+		ctr.EdgesAccessed += uint64(len(nbrs))
+		budget := int32(k - (len(path) - 1))
+		for _, w := range nbrs {
+			if onPath[w] || a.distT[w] < 0 || a.distT[w] > budget-1 {
+				continue
+			}
+			path = append(path, w)
+			onPath[w] = true
+			walkLeft()
+			onPath[w] = false
+			path = path[:len(path)-1]
+			if !completed {
+				return
+			}
+		}
+	}
+	walkLeft()
+	if !completed {
+		return false, nil
+	}
+
+	// Phase 2: for each distinct middle vertex, simple paths to t of
+	// length <= k-mid avoiding s.
+	type rng struct{ lo, hi int }
+	groups := make(map[graph.VertexID]rng)
+	var right []graph.VertexID // variable-length tuples: length prefix + body
+	lStride := mid + 1
+	for i := 0; i+lStride <= len(left); i += lStride {
+		v := left[i+mid]
+		if _, ok := groups[v]; ok {
+			continue
+		}
+		lo := len(right)
+		clear(onPath)
+		onPath[q.S] = true // interior vertices avoid s
+		path = path[:0]
+		path = append(path, v)
+		onPath[v] = true
+		var walkRight func()
+		walkRight = func() {
+			if !completed {
+				return
+			}
+			u := path[len(path)-1]
+			if u == q.T {
+				// Store as length-prefixed tuple.
+				right = append(right, graph.VertexID(len(path)))
+				right = append(right, path...)
+				return
+			}
+			if len(path)-1 == k-mid {
+				return
+			}
+			ticker++
+			if ticker%1024 == 0 && stop() {
+				completed = false
+				return
+			}
+			nbrs := g.OutNeighbors(u)
+			ctr.EdgesAccessed += uint64(len(nbrs))
+			budget := int32(k - mid - (len(path) - 1))
+			for _, w := range nbrs {
+				if onPath[w] || a.distT[w] < 0 || a.distT[w] > budget-1 {
+					continue
+				}
+				path = append(path, w)
+				onPath[w] = true
+				walkRight()
+				onPath[w] = false
+				path = path[:len(path)-1]
+				if !completed {
+					return
+				}
+			}
+		}
+		walkRight()
+		if !completed {
+			return false, nil
+		}
+		groups[v] = rng{lo: lo, hi: len(right)}
+	}
+
+	// Phase 3: join on the middle vertex with a disjointness check.
+	seen := make([]int32, g.NumVertices())
+	epoch := int32(0)
+	joined := make([]graph.VertexID, 0, k+1)
+	for i := 0; i+lStride <= len(left); i += lStride {
+		la := left[i : i+lStride]
+		grp := groups[la[mid]]
+		for j := grp.lo; j < grp.hi; {
+			n := int(right[j])
+			rb := right[j+1 : j+1+n]
+			j += 1 + n
+			epoch++
+			ok := true
+			for _, v := range la {
+				seen[v] = epoch
+			}
+			for _, v := range rb[1:] { // rb[0] == la[mid]
+				if seen[v] == epoch {
+					ok = false
+					break
+				}
+				seen[v] = epoch
+			}
+			if ok {
+				joined = joined[:0]
+				joined = append(joined, la...)
+				joined = append(joined, rb[1:]...)
+				if !emit(joined) {
+					return false, nil
+				}
+			}
+			if epoch%1024 == 0 && stop() {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,114 @@
+// Package baseline implements every comparison algorithm of the paper's
+// evaluation — BC-DFS and BC-JOIN (Peng et al., VLDB'19), the
+// polynomial-delay T-DFS (Rizzi et al.), the generic DFS framework
+// (Algorithm 1) and a Yen's-algorithm Top-K stand-in — plus brute-force
+// reference enumerators used as correctness oracles throughout the test
+// suite.
+package baseline
+
+import (
+	"sort"
+
+	"pathenum/internal/graph"
+)
+
+// BrutePaths enumerates P(s,t,k,G) — all simple paths from s to t with at
+// most k edges — by unpruned backtracking over the raw graph. Exponential;
+// use only as a test oracle on small graphs. Paths are returned as copies.
+func BrutePaths(g *graph.Graph, s, t graph.VertexID, k int) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	onPath := make([]bool, g.NumVertices())
+	path := make([]graph.VertexID, 0, k+1)
+	path = append(path, s)
+	onPath[s] = true
+	var rec func()
+	rec = func() {
+		v := path[len(path)-1]
+		if v == t {
+			out = append(out, append([]graph.VertexID(nil), path...))
+			return
+		}
+		if len(path)-1 == k {
+			return
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if onPath[w] {
+				continue
+			}
+			path = append(path, w)
+			onPath[w] = true
+			rec()
+			onPath[w] = false
+			path = path[:len(path)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// BruteWalks enumerates W(s,t,k,G) — all walks from s to t of length at
+// most k whose interior vertices avoid s and t (Definition 2.1). Used to
+// validate the join model (Theorem 3.1) and the full-fledged estimator,
+// whose counts are exactly |W|.
+func BruteWalks(g *graph.Graph, s, t graph.VertexID, k int) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	walk := make([]graph.VertexID, 0, k+1)
+	walk = append(walk, s)
+	var rec func()
+	rec = func() {
+		v := walk[len(walk)-1]
+		if v == t {
+			out = append(out, append([]graph.VertexID(nil), walk...))
+			return
+		}
+		if len(walk)-1 == k {
+			return
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if w == s { // interior vertices exclude s (Definition 2.1)
+				continue
+			}
+			walk = append(walk, w)
+			rec()
+			walk = walk[:len(walk)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// CanonicalizePaths sorts a path set lexicographically so two enumerations
+// can be compared irrespective of emission order.
+func CanonicalizePaths(paths [][]graph.VertexID) [][]graph.VertexID {
+	sort.Slice(paths, func(i, j int) bool { return lessPath(paths[i], paths[j]) })
+	return paths
+}
+
+func lessPath(a, b []graph.VertexID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// SamePathSet reports whether two path sets are equal up to ordering.
+func SamePathSet(a, b [][]graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a = CanonicalizePaths(append([][]graph.VertexID(nil), a...))
+	b = CanonicalizePaths(append([][]graph.VertexID(nil), b...))
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// reverseBFS computes S(v,t|G) for every vertex by BFS along in-edges,
+// bounded at depth k. Unreached vertices get -1.
+func reverseBFS(g *graph.Graph, t graph.VertexID, k int, dist []int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[t] = 0
+	queue := make([]graph.VertexID, 0, 64)
+	queue = append(queue, t)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if int(d) >= k {
+			break
+		}
+		for _, w := range g.InNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+// GenericDFS is the generic depth-first framework of Algorithm 1: a single
+// reverse BFS initializes the static lower bounds B(v) = S(v,t|G), and the
+// backtracking search extends a partial result M by v' whenever v' is not
+// on M and L(M) + 1 + B(v') <= k. Unlike the index algorithms it scans the
+// full neighbor list of every expanded vertex.
+type GenericDFS struct {
+	g    *graph.Graph
+	q    core.Query
+	dist []int32
+}
+
+// Name implements the harness naming convention.
+func (a *GenericDFS) Name() string { return "DFS-BASE" }
+
+// Prepare runs the per-query preprocessing (the reverse BFS).
+func (a *GenericDFS) Prepare(g *graph.Graph, q core.Query) error {
+	if err := q.Validate(g); err != nil {
+		return err
+	}
+	a.g, a.q = g, q
+	if a.dist == nil || len(a.dist) != g.NumVertices() {
+		a.dist = make([]int32, g.NumVertices())
+	}
+	reverseBFS(g, q.T, q.K, a.dist)
+	return nil
+}
+
+// Enumerate runs the backtracking search. It returns true when the search
+// completed without hitting a stop condition.
+func (a *GenericDFS) Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, error) {
+	if ctr == nil {
+		ctr = &core.Counters{}
+	}
+	if a.dist[a.q.S] < 0 || int(a.dist[a.q.S]) > a.q.K {
+		return true, nil
+	}
+	s := &genericSearcher{
+		g:      a.g,
+		q:      a.q,
+		dist:   a.dist,
+		ctl:    ctl,
+		ctr:    ctr,
+		onPath: make([]bool, a.g.NumVertices()),
+		path:   make([]graph.VertexID, 0, a.q.K+1),
+	}
+	s.path = append(s.path, a.q.S)
+	s.onPath[a.q.S] = true
+	s.search()
+	return !s.stopped, nil
+}
+
+type genericSearcher struct {
+	g       *graph.Graph
+	q       core.Query
+	dist    []int32
+	ctl     core.RunControl
+	ctr     *core.Counters
+	onPath  []bool
+	path    []graph.VertexID
+	ticker  uint32
+	stopped bool
+}
+
+func (s *genericSearcher) search() uint64 {
+	v := s.path[len(s.path)-1]
+	if v == s.q.T {
+		s.ctr.Results++
+		if s.ctl.Emit != nil && !s.ctl.Emit(s.path) {
+			s.stopped = true
+		}
+		if s.ctl.Limit > 0 && s.ctr.Results >= s.ctl.Limit {
+			s.stopped = true
+		}
+		return 1
+	}
+	s.ticker++
+	if s.ticker%1024 == 0 && s.ctl.ShouldStop != nil && s.ctl.ShouldStop() {
+		s.stopped = true
+		return 0
+	}
+	nbrs := s.g.OutNeighbors(v)
+	s.ctr.EdgesAccessed += uint64(len(nbrs))
+	budget := int32(s.q.K - (len(s.path) - 1))
+	var found uint64
+	for _, w := range nbrs {
+		if s.onPath[w] || s.dist[w] < 0 || s.dist[w] > budget-1 {
+			continue
+		}
+		s.path = append(s.path, w)
+		s.onPath[w] = true
+		sub := s.search()
+		s.onPath[w] = false
+		s.path = s.path[:len(s.path)-1]
+		if sub == 0 {
+			s.ctr.InvalidPartials++
+		}
+		found += sub
+		if s.stopped {
+			break
+		}
+	}
+	return found
+}

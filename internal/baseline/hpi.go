@@ -1,0 +1,369 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// HPI reimplements the hot-point index approach of Qiu et al. (VLDB'18),
+// which §2.2 discusses as the indexing alternative to PathEnum: an OFFLINE
+// index stores, for every ordered pair of high-degree ("hot") vertices, all
+// simple paths between them whose interior vertices are all cold. A query
+// then stitches three kinds of segments — s to its first hot vertex, hot to
+// hot from the index, and last hot vertex to t — because every simple path
+// decomposes uniquely at its hot vertices.
+//
+// The paper's criticism reproduces directly: the number of cold-interior
+// paths between hot pairs grows exponentially with the hop budget, so Build
+// enforces a storage cap and reports when the index blows up. Unlike
+// PathEnum's per-query index, this one serves all queries with K <= KMax
+// but must be rebuilt when the graph changes.
+type HPI struct {
+	g        *graph.Graph
+	kmax     int
+	hot      []bool
+	hotList  []graph.VertexID
+	segments map[[2]graph.VertexID][][]graph.VertexID
+	stored   int64
+
+	q core.Query
+}
+
+// HPIConfig bounds the offline index.
+type HPIConfig struct {
+	// KMax is the largest supported hop constraint (segment length cap).
+	KMax int
+	// HotCount is the number of highest-degree vertices treated as hot.
+	HotCount int
+	// MaxStoredPaths caps the total indexed segments (0 = 1e6). Build
+	// fails beyond it, reproducing the paper's memory-blowup criticism.
+	MaxStoredPaths int64
+}
+
+// ErrHPIIndexTooLarge reports that the hot-pair path count exceeded the cap.
+var ErrHPIIndexTooLarge = fmt.Errorf("baseline: HPI index exceeds the storage cap")
+
+// NewHPI builds the offline hot-point index.
+func NewHPI(g *graph.Graph, cfg HPIConfig) (*HPI, error) {
+	if cfg.KMax < 1 {
+		return nil, fmt.Errorf("baseline: HPI KMax %d must be >= 1", cfg.KMax)
+	}
+	if cfg.HotCount < 0 {
+		return nil, fmt.Errorf("baseline: negative HotCount")
+	}
+	if cfg.MaxStoredPaths <= 0 {
+		cfg.MaxStoredPaths = 1e6
+	}
+	h := &HPI{
+		g:        g,
+		kmax:     cfg.KMax,
+		hot:      make([]bool, g.NumVertices()),
+		segments: map[[2]graph.VertexID][][]graph.VertexID{},
+	}
+	// Hot = top HotCount vertices by total degree (ties by id).
+	type dv struct {
+		d int
+		v graph.VertexID
+	}
+	all := make([]dv, g.NumVertices())
+	for v := range all {
+		all[v] = dv{d: g.Degree(graph.VertexID(v)), v: graph.VertexID(v)}
+	}
+	for i := 0; i < cfg.HotCount && i < len(all); i++ {
+		// Selection without full sort: simple partial selection is fine at
+		// baseline scale.
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d > all[best].d || (all[j].d == all[best].d && all[j].v < all[best].v) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+		h.hot[all[i].v] = true
+		h.hotList = append(h.hotList, all[i].v)
+	}
+
+	// Enumerate cold-interior segments from every hot vertex.
+	path := make([]graph.VertexID, 0, cfg.KMax+1)
+	onPath := make([]bool, g.NumVertices())
+	var dfs func(u graph.VertexID) error
+	var root graph.VertexID
+	dfs = func(u graph.VertexID) error {
+		for _, w := range g.OutNeighbors(u) {
+			if onPath[w] {
+				continue
+			}
+			if h.hot[w] {
+				if w != root {
+					key := [2]graph.VertexID{root, w}
+					seg := append(append([]graph.VertexID(nil), path...), w)
+					h.segments[key] = append(h.segments[key], seg)
+					h.stored++
+					if h.stored > cfg.MaxStoredPaths {
+						return ErrHPIIndexTooLarge
+					}
+				}
+				continue
+			}
+			if len(path)-1 == cfg.KMax-1 {
+				continue // cold extension would exceed the segment budget
+			}
+			path = append(path, w)
+			onPath[w] = true
+			err := dfs(w)
+			onPath[w] = false
+			path = path[:len(path)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, u := range h.hotList {
+		root = u
+		path = append(path[:0], u)
+		onPath[u] = true
+		err := dfs(u)
+		onPath[u] = false
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Name implements the harness naming convention.
+func (h *HPI) Name() string { return "HPI" }
+
+// StoredSegments returns the number of indexed hot-pair paths.
+func (h *HPI) StoredSegments() int64 { return h.stored }
+
+// MemoryBytes estimates the index size, the metric behind the paper's
+// "large amount of memory" remark.
+func (h *HPI) MemoryBytes() int64 {
+	var b int64
+	for _, segs := range h.segments {
+		for _, s := range segs {
+			b += int64(len(s)) * 4
+		}
+	}
+	return b
+}
+
+// Prepare validates the query against the offline index.
+func (h *HPI) Prepare(g *graph.Graph, q core.Query) error {
+	if err := q.Validate(g); err != nil {
+		return err
+	}
+	if g != h.g {
+		return fmt.Errorf("baseline: HPI was built for a different graph")
+	}
+	if q.K > h.kmax {
+		return fmt.Errorf("baseline: query k=%d exceeds HPI KMax=%d", q.K, h.kmax)
+	}
+	h.q = q
+	return nil
+}
+
+// Enumerate assembles paths from index segments plus query-time cold
+// segments around s and t.
+func (h *HPI) Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, error) {
+	if ctr == nil {
+		ctr = &core.Counters{}
+	}
+	a := &hpiAssembler{
+		h:      h,
+		ctl:    ctl,
+		ctr:    ctr,
+		onPath: make([]bool, h.g.NumVertices()),
+		path:   make([]graph.VertexID, 0, h.q.K+1),
+	}
+	a.run()
+	return !a.stopped, nil
+}
+
+type hpiAssembler struct {
+	h       *HPI
+	ctl     core.RunControl
+	ctr     *core.Counters
+	onPath  []bool
+	path    []graph.VertexID
+	ticker  uint32
+	stopped bool
+}
+
+func (a *hpiAssembler) emit() {
+	a.ctr.Results++
+	if a.ctl.Emit != nil && !a.ctl.Emit(a.path) {
+		a.stopped = true
+	}
+	if a.ctl.Limit > 0 && a.ctr.Results >= a.ctl.Limit {
+		a.stopped = true
+	}
+}
+
+func (a *hpiAssembler) tick() bool {
+	a.ticker++
+	if a.ticker%1024 == 0 && a.ctl.ShouldStop != nil && a.ctl.ShouldStop() {
+		a.stopped = true
+	}
+	return a.stopped
+}
+
+func (a *hpiAssembler) run() {
+	h, q := a.h, a.h.q
+	a.path = append(a.path, q.S)
+	a.onPath[q.S] = true
+	if h.hot[q.S] {
+		a.assemble(q.S)
+	} else {
+		a.startSegment(q.S)
+	}
+	a.onPath[q.S] = false
+}
+
+// startSegment extends over cold vertices from s until a hot vertex or t.
+func (a *hpiAssembler) startSegment(v graph.VertexID) {
+	h, q := a.h, a.h.q
+	if a.tick() {
+		return
+	}
+	nbrs := h.g.OutNeighbors(v)
+	a.ctr.EdgesAccessed += uint64(len(nbrs))
+	for _, w := range nbrs {
+		if a.onPath[w] {
+			continue
+		}
+		if w == q.T {
+			if len(a.path)-1 >= q.K {
+				continue // no budget for the closing edge
+			}
+			a.path = append(a.path, w)
+			a.emit()
+			a.path = a.path[:len(a.path)-1]
+			if a.stopped {
+				return
+			}
+			continue
+		}
+		if len(a.path)-1 >= q.K-1 && !h.hot[w] {
+			continue // a cold extension beyond w cannot reach t in budget
+		}
+		if len(a.path)-1 >= q.K {
+			continue
+		}
+		a.path = append(a.path, w)
+		a.onPath[w] = true
+		if h.hot[w] {
+			a.assemble(w)
+		} else {
+			a.startSegment(w)
+		}
+		a.onPath[w] = false
+		a.path = a.path[:len(a.path)-1]
+		if a.stopped {
+			return
+		}
+	}
+}
+
+// assemble continues from a hot vertex: finish with a cold segment to t,
+// or append an indexed hot-pair segment.
+func (a *hpiAssembler) assemble(u graph.VertexID) {
+	h, q := a.h, a.h.q
+	if u == q.T {
+		a.emit()
+		return
+	}
+	if a.tick() {
+		return
+	}
+	// (a) cold segment u -> t from the live graph — but only when t is
+	// cold: a cold-interior path between two hot vertices is already an
+	// indexed segment, and walking it here would double-count.
+	if !h.hot[q.T] {
+		a.endSegment(u)
+		if a.stopped {
+			return
+		}
+	}
+	// (b) indexed segments u -> v for every hot v.
+	budget := q.K - (len(a.path) - 1)
+	for _, v := range h.hotList {
+		segs := h.segments[[2]graph.VertexID{u, v}]
+		for _, seg := range segs {
+			segLen := len(seg) - 1
+			if segLen > budget {
+				continue
+			}
+			// Disjointness: interior and endpoint unused; interior must
+			// also avoid s and t (the offline index cannot know them).
+			ok := true
+			for _, x := range seg[1:] {
+				if a.onPath[x] || (x != seg[len(seg)-1] && (x == q.S || x == q.T)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mark := len(a.path)
+			for _, x := range seg[1:] {
+				a.path = append(a.path, x)
+				a.onPath[x] = true
+			}
+			a.assemble(v)
+			for _, x := range seg[1:] {
+				a.onPath[x] = false
+			}
+			a.path = a.path[:mark]
+			if a.stopped {
+				return
+			}
+		}
+	}
+}
+
+// endSegment extends over cold vertices from hot vertex u toward t.
+func (a *hpiAssembler) endSegment(v graph.VertexID) {
+	h, q := a.h, a.h.q
+	if a.tick() {
+		return
+	}
+	nbrs := h.g.OutNeighbors(v)
+	a.ctr.EdgesAccessed += uint64(len(nbrs))
+	for _, w := range nbrs {
+		if a.onPath[w] {
+			continue
+		}
+		if w == q.T {
+			if len(a.path)-1 >= q.K {
+				continue // no budget for the closing edge
+			}
+			a.path = append(a.path, w)
+			a.emit()
+			a.path = a.path[:len(a.path)-1]
+			if a.stopped {
+				return
+			}
+			continue
+		}
+		if h.hot[w] {
+			continue // hot interiors belong to indexed segments
+		}
+		if len(a.path)-1 >= q.K-1 {
+			continue
+		}
+		a.path = append(a.path, w)
+		a.onPath[w] = true
+		a.endSegment(w)
+		a.onPath[w] = false
+		a.path = a.path[:len(a.path)-1]
+		if a.stopped {
+			return
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/core"
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+func hpiCollect(t *testing.T, h *HPI, g *graph.Graph, q core.Query) [][]graph.VertexID {
+	t.Helper()
+	if err := h.Prepare(g, q); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	var out [][]graph.VertexID
+	done, err := h.Enumerate(core.RunControl{Emit: func(p []graph.VertexID) bool {
+		out = append(out, append([]graph.VertexID(nil), p...))
+		return true
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("unexpected early stop")
+	}
+	return out
+}
+
+// TestHPIMatchesBruteForce sweeps hot-set sizes from zero (pure query-time
+// DFS) to the whole vertex set (pure index assembly): every configuration
+// must enumerate exactly P(s,t,k,G).
+func TestHPIMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(9)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		kmax := 2 + rng.Intn(3)
+		for _, hotCount := range []int{0, 1, n / 2, n} {
+			h, err := NewHPI(g, HPIConfig{KMax: kmax, HotCount: hotCount})
+			if err != nil {
+				t.Fatalf("trial %d hot=%d: %v", trial, hotCount, err)
+			}
+			for probe := 0; probe < 4; probe++ {
+				s := graph.VertexID(rng.Intn(n))
+				tt := graph.VertexID(rng.Intn(n))
+				if s == tt {
+					continue
+				}
+				k := 1 + rng.Intn(kmax)
+				q := core.Query{S: s, T: tt, K: k}
+				got := hpiCollect(t, h, g, q)
+				want := BrutePaths(g, s, tt, k)
+				if !SamePathSet(got, want) {
+					t.Fatalf("trial %d hot=%d %v: HPI %d paths, oracle %d",
+						trial, hotCount, q, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestHPIHotEndpoints pins the corner cases: s hot, t hot, both hot.
+func TestHPIHotEndpoints(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 4, 41)
+	h, err := NewHPI(g, HPIConfig{KMax: 4, HotCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotList := h.hotList
+	if len(hotList) < 2 {
+		t.Fatal("need at least two hot vertices")
+	}
+	cold := graph.VertexID(-1)
+	for v := graph.VertexID(0); v < 60; v++ {
+		if !h.hot[v] {
+			cold = v
+			break
+		}
+	}
+	cases := []core.Query{
+		{S: hotList[0], T: hotList[1], K: 4}, // hot -> hot
+		{S: hotList[0], T: cold, K: 4},       // hot -> cold
+		{S: cold, T: hotList[0], K: 4},       // cold -> hot
+	}
+	for _, q := range cases {
+		got := hpiCollect(t, h, g, q)
+		want := BrutePaths(g, q.S, q.T, q.K)
+		if !SamePathSet(got, want) {
+			t.Fatalf("%v: HPI %d paths, oracle %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestHPIValidation(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := NewHPI(g, HPIConfig{KMax: 0, HotCount: 2}); err == nil {
+		t.Error("KMax 0: expected error")
+	}
+	if _, err := NewHPI(g, HPIConfig{KMax: 3, HotCount: -1}); err == nil {
+		t.Error("negative HotCount: expected error")
+	}
+	h, err := NewHPI(g, HPIConfig{KMax: 3, HotCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Prepare(g, core.Query{S: 0, T: 0, K: 2}); err == nil {
+		t.Error("s == t: expected error")
+	}
+	if err := h.Prepare(g, core.Query{S: 0, T: 1, K: 9}); err == nil {
+		t.Error("k > KMax: expected error")
+	}
+	other := gen.Cycle(7)
+	if err := h.Prepare(other, core.Query{S: 0, T: 1, K: 2}); err == nil {
+		t.Error("different graph: expected error")
+	}
+}
+
+// TestHPIIndexBlowup: a dense graph with a tiny cap must fail with the
+// dedicated error — the paper's memory criticism made executable.
+func TestHPIIndexBlowup(t *testing.T) {
+	g := gen.Complete(12)
+	_, err := NewHPI(g, HPIConfig{KMax: 6, HotCount: 4, MaxStoredPaths: 10})
+	if !errors.Is(err, ErrHPIIndexTooLarge) {
+		t.Fatalf("err = %v, want ErrHPIIndexTooLarge", err)
+	}
+}
+
+// TestHPIIndexGrowsWithK quantifies the exponential growth of the offline
+// index with the hop budget.
+func TestHPIIndexGrowsWithK(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 5, 13)
+	var prev int64 = -1
+	for _, kmax := range []int{2, 3, 4} {
+		h, err := NewHPI(g, HPIConfig{KMax: kmax, HotCount: 20, MaxStoredPaths: 1 << 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.StoredSegments() < prev {
+			t.Fatalf("KMax=%d: stored %d < previous %d", kmax, h.StoredSegments(), prev)
+		}
+		prev = h.StoredSegments()
+		if h.MemoryBytes() <= 0 {
+			t.Fatal("MemoryBytes must be positive")
+		}
+	}
+}
+
+func TestHPILimitAndStop(t *testing.T) {
+	g := gen.Layered(6, 3) // 216 paths
+	h, err := NewHPI(g, HPIConfig{KMax: 4, HotCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{S: 0, T: 1, K: 4}
+	if err := h.Prepare(g, q); err != nil {
+		t.Fatal(err)
+	}
+	var ctr core.Counters
+	done, err := h.Enumerate(core.RunControl{Limit: 9}, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done || ctr.Results != 9 {
+		t.Fatalf("limit run: done=%v results=%d", done, ctr.Results)
+	}
+}

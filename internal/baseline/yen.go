@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"container/heap"
+	"encoding/binary"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// Yen adapts Top-K shortest path enumeration (Yen's algorithm on the
+// unweighted graph) to HcPE, the strategy §2.3 describes for the KRE/KPJ
+// family: enumerate loopless paths in ascending length order and terminate
+// once the next shortest path exceeds k. Correct but wasteful — the length
+// ordering is unnecessary for HcPE and every spur recomputation costs a
+// BFS.
+type Yen struct {
+	g *graph.Graph
+	q core.Query
+}
+
+// Name implements the harness naming convention.
+func (a *Yen) Name() string { return "TOP-K" }
+
+// Prepare validates the query.
+func (a *Yen) Prepare(g *graph.Graph, q core.Query) error {
+	if err := q.Validate(g); err != nil {
+		return err
+	}
+	a.g, a.q = g, q
+	return nil
+}
+
+type yenItem struct {
+	length int
+	key    string
+	path   []graph.VertexID
+}
+
+type yenHeap []yenItem
+
+func (h yenHeap) Len() int { return len(h) }
+func (h yenHeap) Less(i, j int) bool {
+	if h[i].length != h[j].length {
+		return h[i].length < h[j].length
+	}
+	return h[i].key < h[j].key
+}
+func (h yenHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *yenHeap) Push(x interface{}) { *h = append(*h, x.(yenItem)) }
+func (h *yenHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func pathKey(p []graph.VertexID) string {
+	buf := make([]byte, 4*len(p))
+	for i, v := range p {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+// Enumerate runs Yen's algorithm until the next shortest loopless path
+// exceeds k edges.
+func (a *Yen) Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, error) {
+	if ctr == nil {
+		ctr = &core.Counters{}
+	}
+	g, q := a.g, a.q
+	n := g.NumVertices()
+	blockedNode := make([]bool, n)
+	type edge struct{ from, to graph.VertexID }
+	blockedEdge := make(map[edge]bool)
+
+	// shortest returns a BFS shortest path from src to q.T respecting the
+	// current blocks, or nil.
+	parent := make([]int32, n)
+	shortest := func(src graph.VertexID) []graph.VertexID {
+		for i := range parent {
+			parent[i] = -2 // unvisited
+		}
+		parent[src] = -1
+		queue := []graph.VertexID{src}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			if v == q.T {
+				var rev []graph.VertexID
+				for u := v; ; u = graph.VertexID(parent[u]) {
+					rev = append(rev, u)
+					if parent[u] == -1 {
+						break
+					}
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			for _, w := range g.OutNeighbors(v) {
+				ctr.EdgesAccessed++
+				if parent[w] != -2 || blockedNode[w] || blockedEdge[edge{v, w}] {
+					continue
+				}
+				parent[w] = int32(v)
+				queue = append(queue, w)
+			}
+		}
+		return nil
+	}
+
+	first := shortest(q.S)
+	if first == nil || len(first)-1 > q.K {
+		return true, nil
+	}
+
+	emit := func(p []graph.VertexID) bool {
+		ctr.Results++
+		if ctl.Emit != nil && !ctl.Emit(p) {
+			return false
+		}
+		return ctl.Limit == 0 || ctr.Results < ctl.Limit
+	}
+
+	var accepted [][]graph.VertexID
+	seen := map[string]bool{pathKey(first): true}
+	cands := &yenHeap{}
+	current := first
+	for {
+		if len(current)-1 > q.K {
+			return true, nil
+		}
+		if !emit(current) {
+			return false, nil
+		}
+		accepted = append(accepted, current)
+		if ctl.ShouldStop != nil && ctl.ShouldStop() {
+			return false, nil
+		}
+
+		// Generate spur candidates from the just-accepted path.
+		for j := 0; j < len(current)-1; j++ {
+			spur := current[j]
+			root := current[:j+1]
+			// Block edges used by accepted paths sharing this root.
+			var blocked []edge
+			for _, p := range accepted {
+				if len(p) > j+1 && samePrefix(p, root) {
+					e := edge{p[j], p[j+1]}
+					if !blockedEdge[e] {
+						blockedEdge[e] = true
+						blocked = append(blocked, e)
+					}
+				}
+			}
+			// Block root vertices except the spur node.
+			for _, v := range root[:j] {
+				blockedNode[v] = true
+			}
+			sp := shortest(spur)
+			if sp != nil {
+				total := make([]graph.VertexID, 0, len(root)+len(sp)-1)
+				total = append(total, root...)
+				total = append(total, sp[1:]...)
+				if len(total)-1 <= q.K {
+					key := pathKey(total)
+					if !seen[key] {
+						seen[key] = true
+						heap.Push(cands, yenItem{length: len(total) - 1, key: key, path: total})
+					}
+				}
+			}
+			for _, v := range root[:j] {
+				blockedNode[v] = false
+			}
+			for _, e := range blocked {
+				delete(blockedEdge, e)
+			}
+		}
+		if cands.Len() == 0 {
+			return true, nil
+		}
+		current = heap.Pop(cands).(yenItem).path
+	}
+}
+
+func samePrefix(p, root []graph.VertexID) bool {
+	for i, v := range root {
+		if p[i] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,426 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"pathenum/internal/graph"
+	"pathenum/internal/workload"
+)
+
+// Table3Result reproduces Table 3: overall comparison of the five
+// algorithms across datasets (query time, throughput, response time).
+type Table3Result struct {
+	Datasets []string
+	Algos    []string
+	// Per dataset, per algorithm aggregates.
+	Agg map[string]map[string]Aggregate
+}
+
+// Table3 runs the overall comparison. Datasets defaults to every registry
+// graph except the scalability graph tm (matching the paper's table).
+func Table3(cfg Config) (*Table3Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"up", "db", "gg", "st", "tw", "bk", "tr", "ep", "uk", "wt", "sl", "lj", "da", "ye"}
+	}
+	res := &Table3Result{Agg: map[string]map[string]Aggregate{}}
+	for _, a := range AllAlgos() {
+		res.Algos = append(res.Algos, a.Name())
+	}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := sampleQueries(g, cfg)
+		if err != nil {
+			continue // dataset yields no in-range queries at this scale
+		}
+		res.Datasets = append(res.Datasets, name)
+		res.Agg[name] = map[string]Aggregate{}
+		for _, algo := range AllAlgos() {
+			records, err := RunQuerySet(algo, g, queries, cfg.runConfig(cfg.K))
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%s: %w", name, algo.Name(), err)
+			}
+			res.Agg[name][algo.Name()] = Summarize(records)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the result like the paper's Table 3 (the star marks
+// >20% timeouts).
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: overall comparison (mean per-query metrics)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tmetric")
+	for _, a := range r.Algos {
+		fmt.Fprintf(w, "\t%s", a)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, "%s\tquery time (ms)", d)
+		for _, a := range r.Algos {
+			agg := r.Agg[d][a]
+			star := ""
+			if agg.TimeoutFraction > 0.2 {
+				star = "*"
+			}
+			fmt.Fprintf(w, "\t%.3g%s", agg.MeanQueryTimeMs, star)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%s\tthroughput (res/s)", d)
+		for _, a := range r.Algos {
+			fmt.Fprintf(w, "\t%.3g", r.Agg[d][a].Throughput)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%s\tresponse time (ms)", d)
+		for _, a := range r.Algos {
+			fmt.Fprintf(w, "\t%.3g", r.Agg[d][a].MeanResponseMs)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table4Result reproduces Table 4: the query-time distribution with k
+// varied — fraction of fast queries (completed within half the limit, the
+// "<60s" analog) and timed-out queries (">120s" analog).
+type Table4Result struct {
+	Datasets []string
+	KRange   []int
+	// Fast[dataset][algo][k] and Timeout[dataset][algo][k].
+	Fast    map[string]map[string]map[int]float64
+	Timeout map[string]map[string]map[int]float64
+}
+
+// Table4 runs the distribution study on the paper's two representative
+// datasets (ep: heavy, gg: light) for BC-DFS and IDX-DFS.
+func Table4(cfg Config) (*Table4Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Table4Result{
+		Datasets: datasets,
+		KRange:   cfg.KRange,
+		Fast:     map[string]map[string]map[int]float64{},
+		Timeout:  map[string]map[string]map[int]float64{},
+	}
+	algos := func() []Algo { return []Algo{Baselines()[0], &IDXDFS{}} }
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := sampleQueries(g, cfg)
+		if err != nil {
+			continue
+		}
+		res.Fast[name] = map[string]map[int]float64{}
+		res.Timeout[name] = map[string]map[int]float64{}
+		for _, algo := range algos() {
+			res.Fast[name][algo.Name()] = map[int]float64{}
+			res.Timeout[name][algo.Name()] = map[int]float64{}
+			for _, k := range cfg.KRange {
+				records, err := RunQuerySet(algo, g, queries, cfg.runConfig(k))
+				if err != nil {
+					return nil, err
+				}
+				fast, timeout := 0, 0
+				for _, rec := range records {
+					if rec.TimedOut {
+						timeout++
+					} else if rec.TotalTime() <= cfg.TimeLimit/2 {
+						fast++
+					}
+				}
+				n := float64(len(records))
+				res.Fast[name][algo.Name()][k] = float64(fast) / n
+				res.Timeout[name][algo.Name()][k] = float64(timeout) / n
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Table 4.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: query time distribution (fast = < limit/2, timeout = hit limit)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\talgo\tk\tfast\ttimeout\n")
+	for _, d := range r.Datasets {
+		for algo := range r.Fast[d] {
+			for _, k := range r.KRange {
+				fmt.Fprintf(w, "%s\t%s\t%d\t%.3f\t%.3f\n",
+					d, algo, k, r.Fast[d][algo][k], r.Timeout[d][algo][k])
+			}
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table5Result reproduces Table 5: throughput and response time for short
+// (completed) versus long (timed-out) queries on the heavy dataset at the
+// largest k.
+type Table5Result struct {
+	Dataset string
+	K       int
+	// Per algorithm, the short/long splits.
+	ShortThroughput map[string]float64
+	LongThroughput  map[string]float64
+	ShortResponse   map[string]float64
+	LongResponse    map[string]float64
+	ShortCount      map[string]int
+	LongCount       map[string]int
+}
+
+// Table5 runs the outlier-query study (BC-DFS vs IDX-DFS on ep, k = max).
+func Table5(cfg Config) (*Table5Result, error) {
+	cfg = cfg.normalized()
+	dataset := "ep"
+	if len(cfg.Datasets) > 0 {
+		dataset = cfg.Datasets[0]
+	}
+	k := cfg.KRange[len(cfg.KRange)-1]
+	g, err := loadDataset(dataset, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := sampleQueries(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{
+		Dataset:         dataset,
+		K:               k,
+		ShortThroughput: map[string]float64{},
+		LongThroughput:  map[string]float64{},
+		ShortResponse:   map[string]float64{},
+		LongResponse:    map[string]float64{},
+		ShortCount:      map[string]int{},
+		LongCount:       map[string]int{},
+	}
+	for _, algo := range []Algo{Baselines()[0], &IDXDFS{}} {
+		records, err := RunQuerySet(algo, g, queries, cfg.runConfig(k))
+		if err != nil {
+			return nil, err
+		}
+		var short, long []Record
+		for _, rec := range records {
+			if rec.TimedOut {
+				long = append(long, rec)
+			} else {
+				short = append(short, rec)
+			}
+		}
+		sAgg, lAgg := Summarize(short), Summarize(long)
+		res.ShortThroughput[algo.Name()] = sAgg.Throughput
+		res.LongThroughput[algo.Name()] = lAgg.Throughput
+		res.ShortResponse[algo.Name()] = sAgg.MeanResponseMs
+		res.LongResponse[algo.Name()] = lAgg.MeanResponseMs
+		res.ShortCount[algo.Name()] = len(short)
+		res.LongCount[algo.Name()] = len(long)
+	}
+	return res, nil
+}
+
+// Render formats Table 5.
+func (r *Table5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: short vs long queries on %s with k=%d\n", r.Dataset, r.K)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "algo\tn(short)\tn(long)\tthroughput(short)\tthroughput(long)\tresponse ms (short)\tresponse ms (long)\n")
+	for algo := range r.ShortThroughput {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.3g\t%.3g\t%.3g\t%.3g\n",
+			algo, r.ShortCount[algo], r.LongCount[algo],
+			r.ShortThroughput[algo], r.LongThroughput[algo],
+			r.ShortResponse[algo], r.LongResponse[algo])
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table6Result reproduces Table 6: average and maximum result counts with
+// k varied (starred entries hit the time limit).
+type Table6Result struct {
+	Datasets []string
+	KRange   []int
+	Avg      map[string]map[int]float64
+	Max      map[string]map[int]uint64
+	Starred  map[string]map[int]bool
+}
+
+// Table6 counts results per k on the representative datasets with IDX-DFS.
+func Table6(cfg Config) (*Table6Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Table6Result{
+		Datasets: datasets,
+		KRange:   cfg.KRange,
+		Avg:      map[string]map[int]float64{},
+		Max:      map[string]map[int]uint64{},
+		Starred:  map[string]map[int]bool{},
+	}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := sampleQueries(g, cfg)
+		if err != nil {
+			continue
+		}
+		res.Avg[name] = map[int]float64{}
+		res.Max[name] = map[int]uint64{}
+		res.Starred[name] = map[int]bool{}
+		for _, k := range cfg.KRange {
+			records, err := RunQuerySet(&IDXDFS{}, g, queries, cfg.runConfig(k))
+			if err != nil {
+				return nil, err
+			}
+			agg := Summarize(records)
+			res.Avg[name][k] = agg.MeanResults
+			res.Max[name][k] = agg.MaxResults
+			res.Starred[name][k] = agg.TimeoutFraction > 0
+		}
+	}
+	return res, nil
+}
+
+// Render formats Table 6.
+func (r *Table6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 6: average and maximum number of results (star = time limit hit)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tstat")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, "%s\tavg", d)
+		for _, k := range r.KRange {
+			star := ""
+			if r.Starred[d][k] {
+				star = "*"
+			}
+			fmt.Fprintf(w, "\t%.3g%s", r.Avg[d][k], star)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%s\tmax", d)
+		for _, k := range r.KRange {
+			fmt.Fprintf(w, "\t%d", r.Max[d][k])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table7Result reproduces Table 7: maximum memory for the index and the
+// join's materialized partial results with k varied.
+type Table7Result struct {
+	Datasets   []string
+	KRange     []int
+	IndexMB    map[string]map[int]float64
+	PartialsMB map[string]map[int]float64
+}
+
+// Table7 measures memory with IDX-JOIN, whose partial results dominate.
+func Table7(cfg Config) (*Table7Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Table7Result{
+		Datasets:   datasets,
+		KRange:     cfg.KRange,
+		IndexMB:    map[string]map[int]float64{},
+		PartialsMB: map[string]map[int]float64{},
+	}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := sampleQueries(g, cfg)
+		if err != nil {
+			continue
+		}
+		res.IndexMB[name] = map[int]float64{}
+		res.PartialsMB[name] = map[int]float64{}
+		for _, k := range cfg.KRange {
+			records, err := RunQuerySet(&IDXJOIN{}, g, queries, cfg.runConfig(k))
+			if err != nil {
+				return nil, err
+			}
+			var maxIdx, maxPart int64
+			for _, rec := range records {
+				if rec.Stats.IndexBytes > maxIdx {
+					maxIdx = rec.Stats.IndexBytes
+				}
+				if rec.Stats.PartialBytes > maxPart {
+					maxPart = rec.Stats.PartialBytes
+				}
+			}
+			res.IndexMB[name][k] = float64(maxIdx) / (1 << 20)
+			res.PartialsMB[name][k] = float64(maxPart) / (1 << 20)
+		}
+	}
+	return res, nil
+}
+
+// Render formats Table 7.
+func (r *Table7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 7: maximum memory consumption (MB)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "component\tdataset")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, "index\t%s", d)
+		for _, k := range r.KRange {
+			fmt.Fprintf(w, "\t%.3f", r.IndexMB[d][k])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, d := range r.Datasets {
+		fmt.Fprintf(w, "partials\t%s", d)
+		for _, k := range r.KRange {
+			fmt.Fprintf(w, "\t%.3f", r.PartialsMB[d][k])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// datasetAndQueries is the shared setup path for single-dataset figures.
+func datasetAndQueries(name string, cfg Config) (*graph.Graph, []workload.Query, error) {
+	g, err := loadDataset(name, cfg.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	queries, err := sampleQueries(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, queries, nil
+}

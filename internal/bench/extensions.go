@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"pathenum/internal/baseline"
+	"pathenum/internal/core"
+	"pathenum/internal/landmark"
+)
+
+// ExtensionsResult is the ablation study for the repository's §7.5-style
+// extensions: the landmark distance oracle, the buffer-reusing session, and
+// the HPI offline index the paper argues against.
+type ExtensionsResult struct {
+	Dataset string
+	K       int
+	Queries int
+
+	OracleBuildMs float64
+	OracleBytes   int64
+
+	// Mean per-query totals.
+	PlainMs         float64
+	SessionMs       float64
+	SessionOracleMs float64
+
+	// HPI offline-index costs (zeros when the index blew its cap).
+	HPIBuildMs  float64
+	HPISegments int64
+	HPIBytes    int64
+	HPIQueryMs  float64
+	HPIBlewCap  bool
+}
+
+// Extensions runs the ablation on one dataset at the default k.
+func Extensions(cfg Config) (*ExtensionsResult, error) {
+	cfg = cfg.normalized()
+	dataset := "ep"
+	if len(cfg.Datasets) > 0 {
+		dataset = cfg.Datasets[0]
+	}
+	g, queries, err := datasetAndQueries(dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtensionsResult{Dataset: dataset, K: cfg.K, Queries: len(queries)}
+
+	start := time.Now()
+	oracle, err := landmark.Build(g, 8)
+	if err != nil {
+		return nil, err
+	}
+	res.OracleBuildMs = ms(time.Since(start))
+	res.OracleBytes = oracle.MemoryBytes()
+
+	timeLimit := cfg.TimeLimit
+	runAll := func(run func(q core.Query) (time.Duration, error)) (float64, error) {
+		var total float64
+		for _, wq := range queries {
+			d, err := run(core.Query{S: wq.S, T: wq.T, K: cfg.K})
+			if err != nil {
+				return 0, err
+			}
+			total += ms(d)
+		}
+		return total / float64(len(queries)), nil
+	}
+
+	if res.PlainMs, err = runAll(func(q core.Query) (time.Duration, error) {
+		start := time.Now()
+		_, err := core.Run(g, q, core.Options{Timeout: timeLimit})
+		return time.Since(start), err
+	}); err != nil {
+		return nil, err
+	}
+
+	sess := core.NewSession(g, nil)
+	if res.SessionMs, err = runAll(func(q core.Query) (time.Duration, error) {
+		start := time.Now()
+		_, err := sess.Run(q, core.Options{Timeout: timeLimit})
+		return time.Since(start), err
+	}); err != nil {
+		return nil, err
+	}
+
+	sessOracle := core.NewSession(g, oracle)
+	if res.SessionOracleMs, err = runAll(func(q core.Query) (time.Duration, error) {
+		start := time.Now()
+		_, err := sessOracle.Run(q, core.Options{Timeout: timeLimit})
+		return time.Since(start), err
+	}); err != nil {
+		return nil, err
+	}
+
+	// HPI with a modest hot set; the cap makes the blowup observable
+	// instead of fatal.
+	start = time.Now()
+	hpi, err := baseline.NewHPI(g, baseline.HPIConfig{
+		KMax:           cfg.K,
+		HotCount:       g.NumVertices() / 20,
+		MaxStoredPaths: 2_000_000,
+	})
+	switch {
+	case errors.Is(err, baseline.ErrHPIIndexTooLarge):
+		res.HPIBlewCap = true
+	case err != nil:
+		return nil, err
+	default:
+		res.HPIBuildMs = ms(time.Since(start))
+		res.HPISegments = hpi.StoredSegments()
+		res.HPIBytes = hpi.MemoryBytes()
+		if res.HPIQueryMs, err = runAll(func(q core.Query) (time.Duration, error) {
+			if err := hpi.Prepare(g, q); err != nil {
+				return 0, err
+			}
+			deadline := time.Now().Add(timeLimit)
+			start := time.Now()
+			_, err := hpi.Enumerate(core.RunControl{ShouldStop: func() bool {
+				return time.Now().After(deadline)
+			}}, nil)
+			return time.Since(start), err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Render formats the ablation report.
+func (r *ExtensionsResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extensions ablation on %s (k=%d, %d queries)\n", r.Dataset, r.K, r.Queries)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "variant\tmean query ms\tnotes\n")
+	fmt.Fprintf(w, "PathEnum (Run)\t%.3g\tper-query allocations\n", r.PlainMs)
+	fmt.Fprintf(w, "PathEnum (Session)\t%.3g\tbuffers reused\n", r.SessionMs)
+	fmt.Fprintf(w, "PathEnum (Session+Oracle)\t%.3g\toracle build %.3g ms, %d KB\n",
+		r.SessionOracleMs, r.OracleBuildMs, r.OracleBytes/1024)
+	if r.HPIBlewCap {
+		fmt.Fprintf(w, "HPI\t-\toffline index exceeded its cap (the paper's criticism)\n")
+	} else {
+		fmt.Fprintf(w, "HPI\t%.3g\toffline build %.3g ms, %d segments, %d KB\n",
+			r.HPIQueryMs, r.HPIBuildMs, r.HPISegments, r.HPIBytes/1024)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,829 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"pathenum/internal/baseline"
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+	"pathenum/internal/workload"
+)
+
+// Fig6Result reproduces Figure 6: the detailed enumeration metrics
+// (#edges accessed, #invalid partial results, #results) of BC-DFS versus
+// IDX-DFS with k varied.
+type Fig6Result struct {
+	Datasets []string
+	KRange   []int
+	// Metric[dataset][algo][k].
+	Edges   map[string]map[string]map[int]float64
+	Invalid map[string]map[string]map[int]float64
+	Results map[string]map[string]map[int]float64
+}
+
+// Fig6 runs the detailed-metric comparison.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Fig6Result{
+		Datasets: datasets,
+		KRange:   cfg.KRange,
+		Edges:    map[string]map[string]map[int]float64{},
+		Invalid:  map[string]map[string]map[int]float64{},
+		Results:  map[string]map[string]map[int]float64{},
+	}
+	for _, name := range datasets {
+		g, queries, err := datasetAndQueries(name, cfg)
+		if err != nil {
+			continue
+		}
+		res.Edges[name] = map[string]map[int]float64{}
+		res.Invalid[name] = map[string]map[int]float64{}
+		res.Results[name] = map[string]map[int]float64{}
+		for _, algo := range []Algo{&baseline.BCDFS{}, &IDXDFS{}} {
+			res.Edges[name][algo.Name()] = map[int]float64{}
+			res.Invalid[name][algo.Name()] = map[int]float64{}
+			res.Results[name][algo.Name()] = map[int]float64{}
+			for _, k := range cfg.KRange {
+				records, err := RunQuerySet(algo, g, queries, cfg.runConfig(k))
+				if err != nil {
+					return nil, err
+				}
+				agg := Summarize(records)
+				res.Edges[name][algo.Name()][k] = agg.MeanEdgesScanned
+				res.Invalid[name][algo.Name()][k] = agg.MeanInvalid
+				res.Results[name][algo.Name()][k] = agg.MeanResults
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 6 as a table of series.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: detailed metrics with k varied (means per query)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\talgo\tmetric")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		for algo := range r.Edges[d] {
+			for _, m := range []struct {
+				name string
+				vals map[int]float64
+			}{
+				{"#edges", r.Edges[d][algo]},
+				{"#invalid", r.Invalid[d][algo]},
+				{"#results", r.Results[d][algo]},
+			} {
+				fmt.Fprintf(w, "%s\t%s\t%s", d, algo, m.name)
+				for _, k := range r.KRange {
+					fmt.Fprintf(w, "\t%.3g", m.vals[k])
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Fig7Result reproduces Figure 7: the query-time breakdown (preprocessing
+// vs enumeration) of BC-DFS versus IDX-DFS with k varied.
+type Fig7Result struct {
+	Datasets []string
+	KRange   []int
+	// Ms[dataset][algo][phase][k] with phase "prep" or "enum".
+	Ms map[string]map[string]map[string]map[int]float64
+}
+
+// Fig7 runs the breakdown study.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Fig7Result{Datasets: datasets, KRange: cfg.KRange, Ms: map[string]map[string]map[string]map[int]float64{}}
+	for _, name := range datasets {
+		g, queries, err := datasetAndQueries(name, cfg)
+		if err != nil {
+			continue
+		}
+		res.Ms[name] = map[string]map[string]map[int]float64{}
+		for _, algo := range []Algo{&baseline.BCDFS{}, &IDXDFS{}} {
+			res.Ms[name][algo.Name()] = map[string]map[int]float64{
+				"prep": {}, "enum": {},
+			}
+			for _, k := range cfg.KRange {
+				records, err := RunQuerySet(algo, g, queries, cfg.runConfig(k))
+				if err != nil {
+					return nil, err
+				}
+				agg := Summarize(records)
+				res.Ms[name][algo.Name()]["prep"][k] = agg.MeanPrepareMs
+				res.Ms[name][algo.Name()]["enum"][k] = agg.MeanEnumMs
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 7.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: query time breakdown (ms)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\talgo\tphase")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		for algo, phases := range r.Ms[d] {
+			for _, phase := range []string{"prep", "enum"} {
+				fmt.Fprintf(w, "%s\t%s\t%s", d, algo, phase)
+				for _, k := range r.KRange {
+					fmt.Fprintf(w, "\t%.3g", phases[phase][k])
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Fig8Result reproduces Figure 8: tail response latency on dynamic graphs
+// where 10% of edges arrive as updates, each triggering a query.
+type Fig8Result struct {
+	Datasets []string
+	KRange   []int
+	// LatencyMs[dataset][algo][k] = 99.9th percentile response time.
+	LatencyMs map[string]map[string]map[int]float64
+	Updates   int
+}
+
+// Fig8 runs the dynamic-graph latency study: edges are removed from the
+// graph, re-inserted one at a time, and each insertion triggers the
+// enumeration query between its endpoints.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Fig8Result{
+		Datasets:  datasets,
+		KRange:    cfg.KRange,
+		LatencyMs: map[string]map[string]map[int]float64{},
+	}
+	for _, name := range datasets {
+		full, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		// Deterministically pick ~10% of edges as the update stream,
+		// capped at the query budget.
+		all := full.Edges()
+		stride := 10
+		var updates []graph.Edge
+		for i := 0; i < len(all) && len(updates) < cfg.Queries; i += stride {
+			updates = append(updates, all[i])
+		}
+		removed := map[graph.Edge]bool{}
+		for _, e := range updates {
+			removed[e] = true
+		}
+		var baseEdges []graph.Edge
+		for _, e := range all {
+			if !removed[e] {
+				baseEdges = append(baseEdges, e)
+			}
+		}
+		base, err := graph.NewGraph(full.NumVertices(), baseEdges)
+		if err != nil {
+			return nil, err
+		}
+		res.Updates = len(updates)
+		res.LatencyMs[name] = map[string]map[int]float64{}
+		for _, algo := range []Algo{&baseline.BCDFS{}, &IDXDFS{}} {
+			res.LatencyMs[name][algo.Name()] = map[int]float64{}
+			for _, k := range cfg.KRange {
+				dyn := graph.NewDynamic(base)
+				var latencies []time.Duration
+				for _, e := range updates {
+					if _, err := dyn.Insert(e.From, e.To); err != nil {
+						return nil, err
+					}
+					snap := dyn.Snapshot()
+					// The query triggered by edge (v,v'): q(v', v, k).
+					q := core.Query{S: e.To, T: e.From, K: k}
+					if q.S == q.T {
+						continue
+					}
+					rec, err := RunOne(algo, snap, q, cfg.runConfig(k))
+					if err != nil {
+						return nil, err
+					}
+					latencies = append(latencies, rec.ResponseTime)
+				}
+				res.LatencyMs[name][algo.Name()][k] = ms(Percentile(latencies, 0.999))
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 8.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: 99.9%% response latency on dynamic graphs (%d updates)\n", r.Updates)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\talgo")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		for algo, vals := range r.LatencyMs[d] {
+			fmt.Fprintf(w, "%s\t%s", d, algo)
+			for _, k := range r.KRange {
+				fmt.Fprintf(w, "\t%.3g", vals[k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Fig9Result reproduces Figure 9: the spectrum analysis of join plans for
+// one query — the left-deep plan (IDX-DFS), every bushy plan (one per cut
+// position), the optimizer's own pick, and the optimization time.
+type Fig9Result struct {
+	Dataset      string
+	K            int
+	Query        core.Query
+	LeftDeepMs   float64
+	BushyMs      map[int]float64 // cut position -> enumeration ms
+	OptimizeMs   float64
+	ChosenMethod string
+	ChosenCut    int
+	PathEnumMs   float64 // optimization + chosen-plan enumeration
+}
+
+// Fig9 runs the spectrum analysis on the heaviest query of the set.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.normalized()
+	dataset := "ep"
+	if len(cfg.Datasets) > 0 {
+		dataset = cfg.Datasets[0]
+	}
+	g, queries, err := datasetAndQueries(dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the query with the largest preliminary estimate.
+	var best core.Query
+	bestEst := -1.0
+	for _, wq := range queries {
+		q := core.Query{S: wq.S, T: wq.T, K: cfg.K}
+		ix, err := core.BuildIndex(g, q)
+		if err != nil {
+			return nil, err
+		}
+		if est := core.PreliminaryEstimate(ix); est > bestEst {
+			bestEst, best = est, q
+		}
+	}
+	res := &Fig9Result{Dataset: dataset, K: cfg.K, Query: best, BushyMs: map[int]float64{}}
+
+	ix, err := core.BuildIndex(g, best)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(cfg.TimeLimit)
+	stop := func() bool { return time.Now().After(deadline) }
+
+	start := time.Now()
+	core.EnumerateDFS(ix, core.RunControl{ShouldStop: stop}, &core.Counters{})
+	res.LeftDeepMs = ms(time.Since(start))
+
+	for cut := 1; cut < cfg.K; cut++ {
+		deadline = time.Now().Add(cfg.TimeLimit)
+		start = time.Now()
+		if _, err := core.EnumerateJoin(ix, cut, core.RunControl{ShouldStop: stop}, &core.Counters{}, nil); err != nil {
+			return nil, err
+		}
+		res.BushyMs[cut] = ms(time.Since(start))
+	}
+
+	start = time.Now()
+	plan := core.ChoosePlan(ix, 0)
+	res.OptimizeMs = ms(time.Since(start))
+	res.ChosenMethod = plan.Method.String()
+	res.ChosenCut = plan.Cut
+	switch plan.Method {
+	case core.MethodJoin:
+		res.PathEnumMs = res.OptimizeMs + res.BushyMs[plan.Cut]
+	default:
+		res.PathEnumMs = res.OptimizeMs + res.LeftDeepMs
+	}
+	return res, nil
+}
+
+// Render formats Figure 9.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: plan spectrum on %s, %v\n", r.Dataset, r.Query)
+	fmt.Fprintf(&b, "  left-deep (IDX-DFS): %.3g ms\n", r.LeftDeepMs)
+	for cut := 1; cut < r.K; cut++ {
+		fmt.Fprintf(&b, "  bushy cut=%d: %.3g ms\n", cut, r.BushyMs[cut])
+	}
+	fmt.Fprintf(&b, "  optimization: %.3g ms\n", r.OptimizeMs)
+	fmt.Fprintf(&b, "  PathEnum: %s (cut=%d) total %.3g ms\n", r.ChosenMethod, r.ChosenCut, r.PathEnumMs)
+	return b.String()
+}
+
+// Fig10Result reproduces Figures 10 and 11: the log-log relationship of
+// enumeration time against index size and against result count.
+type Fig10Result struct {
+	Dataset string
+	K       int
+	// Points: per completed query.
+	LogIndexSize []float64
+	LogResults   []float64
+	LogEnumTime  []float64
+	// Fits: log(enumTime) = a + b*log(x).
+	IndexSlope, IndexIntercept   float64
+	ResultSlope, ResultIntercept float64
+}
+
+// Fig10 collects the regression study with IDX-DFS.
+func Fig10(cfg Config) (*Fig10Result, error) {
+	cfg = cfg.normalized()
+	dataset := "ep"
+	if len(cfg.Datasets) > 0 {
+		dataset = cfg.Datasets[0]
+	}
+	g, queries, err := datasetAndQueries(dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	records, err := RunQuerySet(&IDXDFS{}, g, queries, cfg.runConfig(cfg.K))
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Dataset: dataset, K: cfg.K}
+	for _, rec := range records {
+		if rec.Stats.IndexEdges <= 0 || rec.Results == 0 || rec.EnumTime <= 0 {
+			continue
+		}
+		res.LogIndexSize = append(res.LogIndexSize, math.Log(float64(rec.Stats.IndexEdges)))
+		res.LogResults = append(res.LogResults, math.Log(float64(rec.Results)))
+		res.LogEnumTime = append(res.LogEnumTime, math.Log(ms(rec.EnumTime)))
+	}
+	res.IndexIntercept, res.IndexSlope = LinearRegression(res.LogIndexSize, res.LogEnumTime)
+	res.ResultIntercept, res.ResultSlope = LinearRegression(res.LogResults, res.LogEnumTime)
+	return res, nil
+}
+
+// Render formats Figures 10/11.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 10/11: enumeration-time regressions on %s (k=%d, %d points)\n",
+		r.Dataset, r.K, len(r.LogEnumTime))
+	fmt.Fprintf(&b, "  log(time) ~ %.3f + %.3f * log(index size)\n", r.IndexIntercept, r.IndexSlope)
+	fmt.Fprintf(&b, "  log(time) ~ %.3f + %.3f * log(#results)\n", r.ResultIntercept, r.ResultSlope)
+	return b.String()
+}
+
+// Fig12Result reproduces Figure 12: per-technique execution time and
+// throughput on the billion-edge-class graph (tm), k varied.
+type Fig12Result struct {
+	Dataset string
+	KRange  []int
+	// Per k: phase times in ms and throughput per algorithm.
+	BFSMs       map[int]float64
+	IndexMs     map[int]float64
+	OptimizeMs  map[int]float64
+	DFSMs       map[int]float64
+	JoinMs      map[int]float64
+	ThroughputD map[int]float64 // IDX-DFS
+	ThroughputJ map[int]float64 // IDX-JOIN
+}
+
+// Fig12 runs the scalability study on the tm-like dataset.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	cfg = cfg.normalized()
+	dataset := "tm"
+	if len(cfg.Datasets) > 0 {
+		dataset = cfg.Datasets[0]
+	}
+	if len(cfg.KRange) == 0 || cfg.KRange[0] == 3 && len(cfg.KRange) == 6 {
+		cfg.KRange = []int{3, 4, 5, 6} // the paper's Figure 12 range
+	}
+	g, queries, err := datasetAndQueries(dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{
+		Dataset: dataset, KRange: cfg.KRange,
+		BFSMs: map[int]float64{}, IndexMs: map[int]float64{}, OptimizeMs: map[int]float64{},
+		DFSMs: map[int]float64{}, JoinMs: map[int]float64{},
+		ThroughputD: map[int]float64{}, ThroughputJ: map[int]float64{},
+	}
+	// One representative query keeps the giant-graph run tractable.
+	wq := queries[0]
+	for _, k := range cfg.KRange {
+		q := core.Query{S: wq.S, T: wq.T, K: k}
+		ix, timings, err := core.BuildIndexTimed(g, q)
+		if err != nil {
+			return nil, err
+		}
+		res.BFSMs[k] = ms(timings.BFS)
+		res.IndexMs[k] = ms(timings.Total)
+
+		start := time.Now()
+		est := core.FullEstimate(ix)
+		res.OptimizeMs[k] = ms(time.Since(start))
+
+		deadline := time.Now().Add(cfg.TimeLimit)
+		stop := func() bool { return time.Now().After(deadline) }
+		var dfsCtr core.Counters
+		start = time.Now()
+		core.EnumerateDFS(ix, core.RunControl{ShouldStop: stop}, &dfsCtr)
+		dfsTime := time.Since(start)
+		res.DFSMs[k] = ms(dfsTime)
+		if dfsTime > 0 {
+			res.ThroughputD[k] = float64(dfsCtr.Results) / dfsTime.Seconds()
+		}
+
+		if est.Cut > 0 {
+			deadline = time.Now().Add(cfg.TimeLimit)
+			var joinCtr core.Counters
+			start = time.Now()
+			if _, err := core.EnumerateJoin(ix, est.Cut, core.RunControl{ShouldStop: stop}, &joinCtr, nil); err != nil {
+				return nil, err
+			}
+			joinTime := time.Since(start)
+			res.JoinMs[k] = ms(joinTime)
+			if joinTime > 0 {
+				res.ThroughputJ[k] = float64(joinCtr.Results) / joinTime.Seconds()
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 12.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: scalability on %s\n", r.Dataset)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "k\tBFS ms\tindex ms\toptimize ms\tDFS ms\tJOIN ms\tthroughput DFS\tthroughput JOIN\n")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "%d\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\n",
+			k, r.BFSMs[k], r.IndexMs[k], r.OptimizeMs[k], r.DFSMs[k], r.JoinMs[k],
+			r.ThroughputD[k], r.ThroughputJ[k])
+	}
+	w.Flush()
+	return b.String()
+}
+
+// VaryKResult reproduces Figures 13-15: query time, throughput and
+// response time for all five algorithms with k varied.
+type VaryKResult struct {
+	Datasets []string
+	KRange   []int
+	Algos    []string
+	// Agg[dataset][algo][k].
+	Agg map[string]map[string]map[int]Aggregate
+}
+
+// VaryK runs the k sweep for Figures 13, 14 and 15.
+func VaryK(cfg Config) (*VaryKResult, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &VaryKResult{Datasets: datasets, KRange: cfg.KRange, Agg: map[string]map[string]map[int]Aggregate{}}
+	for _, a := range AllAlgos() {
+		res.Algos = append(res.Algos, a.Name())
+	}
+	for _, name := range datasets {
+		g, queries, err := datasetAndQueries(name, cfg)
+		if err != nil {
+			continue
+		}
+		res.Agg[name] = map[string]map[int]Aggregate{}
+		for _, algo := range AllAlgos() {
+			res.Agg[name][algo.Name()] = map[int]Aggregate{}
+			for _, k := range cfg.KRange {
+				records, err := RunQuerySet(algo, g, queries, cfg.runConfig(k))
+				if err != nil {
+					return nil, err
+				}
+				res.Agg[name][algo.Name()][k] = Summarize(records)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figures 13-15.
+func (r *VaryKResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figures 13/14/15: query time, throughput and response time with k varied\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\talgo\tmetric")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		for _, algo := range r.Algos {
+			perK := r.Agg[d][algo]
+			fmt.Fprintf(w, "%s\t%s\tquery ms", d, algo)
+			for _, k := range r.KRange {
+				fmt.Fprintf(w, "\t%.3g", perK[k].MeanQueryTimeMs)
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "%s\t%s\tthroughput", d, algo)
+			for _, k := range r.KRange {
+				fmt.Fprintf(w, "\t%.3g", perK[k].Throughput)
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "%s\t%s\tresponse ms", d, algo)
+			for _, k := range r.KRange {
+				fmt.Fprintf(w, "\t%.3g", perK[k].MeanResponseMs)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Fig16Result reproduces Figure 16: the cumulative distribution of
+// per-query time for all five algorithms.
+type Fig16Result struct {
+	Datasets   []string
+	Boundaries []time.Duration
+	// CDF[dataset][algo][i] = fraction of queries within Boundaries[i].
+	CDF map[string]map[string][]float64
+}
+
+// Fig16 collects the query-time CDFs at the default k.
+func Fig16(cfg Config) (*Fig16Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	// Log-spaced boundaries from 10us to the time limit.
+	var boundaries []time.Duration
+	for d := 10 * time.Microsecond; d <= cfg.TimeLimit; d *= 4 {
+		boundaries = append(boundaries, d)
+	}
+	boundaries = append(boundaries, cfg.TimeLimit)
+	res := &Fig16Result{Datasets: datasets, Boundaries: boundaries, CDF: map[string]map[string][]float64{}}
+	for _, name := range datasets {
+		g, queries, err := datasetAndQueries(name, cfg)
+		if err != nil {
+			continue
+		}
+		res.CDF[name] = map[string][]float64{}
+		for _, algo := range AllAlgos() {
+			records, err := RunQuerySet(algo, g, queries, cfg.runConfig(cfg.K))
+			if err != nil {
+				return nil, err
+			}
+			res.CDF[name][algo.Name()] = CDF(records, boundaries)
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 16.
+func (r *Fig16Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 16: cumulative distribution of query time\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\talgo")
+	for _, bd := range r.Boundaries {
+		fmt.Fprintf(w, "\t<=%v", bd)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		for algo, cdf := range r.CDF[d] {
+			fmt.Fprintf(w, "%s\t%s", d, algo)
+			for _, f := range cdf {
+				fmt.Fprintf(w, "\t%.2f", f)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Fig17Result reproduces Figure 17: mean per-technique execution time
+// (BFS, index construction, optimization, DFS, JOIN) with k varied.
+type Fig17Result struct {
+	Datasets []string
+	KRange   []int
+	// Ms[dataset][technique][k].
+	Ms map[string]map[string]map[int]float64
+}
+
+// Fig17 measures each individual technique.
+func Fig17(cfg Config) (*Fig17Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Fig17Result{Datasets: datasets, KRange: cfg.KRange, Ms: map[string]map[string]map[int]float64{}}
+	for _, name := range datasets {
+		g, queries, err := datasetAndQueries(name, cfg)
+		if err != nil {
+			continue
+		}
+		res.Ms[name] = map[string]map[int]float64{
+			"bfs": {}, "index": {}, "optimize": {}, "dfs": {}, "join": {},
+		}
+		for _, k := range cfg.KRange {
+			var bfsMs, indexMs, optMs, dfsMs, joinMs float64
+			n := 0
+			for _, wq := range queries {
+				q := core.Query{S: wq.S, T: wq.T, K: k}
+				ix, timings, err := core.BuildIndexTimed(g, q)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				est := core.FullEstimate(ix)
+				optMs += ms(time.Since(start))
+				bfsMs += ms(timings.BFS)
+				indexMs += ms(timings.Total)
+
+				deadline := time.Now().Add(cfg.TimeLimit)
+				stop := func() bool { return time.Now().After(deadline) }
+				start = time.Now()
+				core.EnumerateDFS(ix, core.RunControl{ShouldStop: stop}, &core.Counters{})
+				dfsMs += ms(time.Since(start))
+				if est.Cut > 0 {
+					deadline = time.Now().Add(cfg.TimeLimit)
+					start = time.Now()
+					if _, err := core.EnumerateJoin(ix, est.Cut, core.RunControl{ShouldStop: stop}, &core.Counters{}, nil); err != nil {
+						return nil, err
+					}
+					joinMs += ms(time.Since(start))
+				}
+				n++
+			}
+			fn := float64(n)
+			res.Ms[name]["bfs"][k] = bfsMs / fn
+			res.Ms[name]["index"][k] = indexMs / fn
+			res.Ms[name]["optimize"][k] = optMs / fn
+			res.Ms[name]["dfs"][k] = dfsMs / fn
+			res.Ms[name]["join"][k] = joinMs / fn
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 17.
+func (r *Fig17Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 17: per-technique execution time (ms)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\ttechnique")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		for _, tech := range []string{"bfs", "index", "optimize", "dfs", "join"} {
+			fmt.Fprintf(w, "%s\t%s", d, tech)
+			for _, k := range r.KRange {
+				fmt.Fprintf(w, "\t%.3g", r.Ms[d][tech][k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Fig18Result reproduces Figure 18: estimated versus actual cardinality
+// for both estimators with k varied.
+type Fig18Result struct {
+	Datasets []string
+	KRange   []int
+	// Per dataset and k: geometric means across queries.
+	Actual      map[string]map[int]float64
+	FullFledged map[string]map[int]float64
+	Preliminary map[string]map[int]float64
+}
+
+// Fig18 compares the estimators against true result counts.
+func Fig18(cfg Config) (*Fig18Result, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"ep", "gg"}
+	}
+	res := &Fig18Result{
+		Datasets: datasets, KRange: cfg.KRange,
+		Actual:      map[string]map[int]float64{},
+		FullFledged: map[string]map[int]float64{},
+		Preliminary: map[string]map[int]float64{},
+	}
+	for _, name := range datasets {
+		g, queries, err := datasetAndQueries(name, cfg)
+		if err != nil {
+			continue
+		}
+		res.Actual[name] = map[int]float64{}
+		res.FullFledged[name] = map[int]float64{}
+		res.Preliminary[name] = map[int]float64{}
+		for _, k := range cfg.KRange {
+			var actual, full, prelim float64
+			n := 0
+			for _, wq := range queries {
+				q := core.Query{S: wq.S, T: wq.T, K: k}
+				ix, err := core.BuildIndex(g, q)
+				if err != nil {
+					return nil, err
+				}
+				est := core.FullEstimate(ix)
+				deadline := time.Now().Add(cfg.TimeLimit)
+				var ctr core.Counters
+				done := core.EnumerateDFS(ix, core.RunControl{ShouldStop: func() bool {
+					return time.Now().After(deadline)
+				}}, &ctr)
+				if !done {
+					continue // cannot compare against a truncated count
+				}
+				actual += float64(ctr.Results)
+				full += float64(est.Walks)
+				prelim += core.PreliminaryEstimate(ix)
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			fn := float64(n)
+			res.Actual[name][k] = actual / fn
+			res.FullFledged[name][k] = full / fn
+			res.Preliminary[name][k] = prelim / fn
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 18.
+func (r *Fig18Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 18: cardinality estimation vs actual (means over completed queries)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tseries")
+	for _, k := range r.KRange {
+		fmt.Fprintf(w, "\tk=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, d := range r.Datasets {
+		for _, series := range []struct {
+			name string
+			vals map[int]float64
+		}{
+			{"#results", r.Actual[d]},
+			{"full-fledged", r.FullFledged[d]},
+			{"preliminary", r.Preliminary[d]},
+		} {
+			fmt.Fprintf(w, "%s\t%s", d, series.name)
+			for _, k := range r.KRange {
+				fmt.Fprintf(w, "\t%.3g", series.vals[k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+var _ = workload.Query{} // used via datasetAndQueries signatures

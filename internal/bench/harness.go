@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+	"pathenum/internal/workload"
+)
+
+// RunConfig bounds one query-set execution.
+type RunConfig struct {
+	// K is the hop constraint applied to every query.
+	K int
+	// TimeLimit bounds each query (the paper uses 120 s; the scaled-down
+	// harness defaults to 2 s). Zero means unlimited.
+	TimeLimit time.Duration
+	// ResponseK is the result count defining response time (paper: 1000).
+	ResponseK uint64
+}
+
+// normalized applies the defaults.
+func (c RunConfig) normalized() RunConfig {
+	if c.ResponseK == 0 {
+		c.ResponseK = 1000
+	}
+	if c.K == 0 {
+		c.K = 6
+	}
+	return c
+}
+
+// Record is the outcome of a single query execution.
+type Record struct {
+	Query        core.Query
+	PrepareTime  time.Duration
+	EnumTime     time.Duration
+	ResponseTime time.Duration // time to the first ResponseK results (or full time)
+	Results      uint64
+	TimedOut     bool
+	Counters     core.Counters
+	Stats        Stats
+}
+
+// TotalTime returns preprocessing plus enumeration.
+func (r Record) TotalTime() time.Duration { return r.PrepareTime + r.EnumTime }
+
+// RunOne executes a single query under the config.
+func RunOne(a Algo, g *graph.Graph, q core.Query, cfg RunConfig) (Record, error) {
+	cfg = cfg.normalized()
+	rec := Record{Query: q}
+
+	start := time.Now()
+	if err := a.Prepare(g, q); err != nil {
+		return rec, err
+	}
+	rec.PrepareTime = time.Since(start)
+
+	var deadline time.Time
+	if cfg.TimeLimit > 0 {
+		deadline = start.Add(cfg.TimeLimit)
+	}
+	// Response time (§7.1): elapsed from query start to the ResponseK-th
+	// result, tracked with a counting emit closure.
+	responseAt := time.Duration(0)
+	seen := uint64(0)
+	ctl := core.RunControl{
+		Emit: func([]graph.VertexID) bool {
+			seen++
+			if seen == cfg.ResponseK {
+				responseAt = time.Since(start)
+			}
+			return true
+		},
+		ShouldStop: func() bool {
+			return !deadline.IsZero() && time.Now().After(deadline)
+		},
+	}
+	var ctr core.Counters
+	enumStart := time.Now()
+	done, err := a.Enumerate(ctl, &ctr)
+	if err != nil {
+		return rec, err
+	}
+	rec.EnumTime = time.Since(enumStart)
+	rec.Results = ctr.Results
+	rec.Counters = ctr
+	rec.TimedOut = !done
+	if responseAt == 0 {
+		// Fewer than ResponseK results: response time is the full query.
+		responseAt = rec.TotalTime()
+	}
+	rec.ResponseTime = responseAt
+	if es, ok := a.(ExtraStats); ok {
+		rec.Stats = es.LastStats()
+	}
+	return rec, nil
+}
+
+// RunQuerySet executes every query of the set.
+func RunQuerySet(a Algo, g *graph.Graph, queries []workload.Query, cfg RunConfig) ([]Record, error) {
+	cfg = cfg.normalized()
+	out := make([]Record, 0, len(queries))
+	for _, wq := range queries {
+		rec, err := RunOne(a, g, core.Query{S: wq.S, T: wq.T, K: cfg.K}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Aggregate summarizes a query set the way §7.1 defines its metrics.
+type Aggregate struct {
+	Queries          int
+	MeanQueryTimeMs  float64 // mean total time; timeouts clamped at the limit
+	MeanResponseMs   float64
+	Throughput       float64 // mean over queries of results/second
+	TimeoutFraction  float64
+	TotalResults     uint64
+	MeanResults      float64
+	MaxResults       uint64
+	MeanIndexEdges   float64
+	MeanPrepareMs    float64
+	MeanEnumMs       float64
+	MeanEdgesScanned float64
+	MeanInvalid      float64
+}
+
+// Summarize aggregates records.
+func Summarize(records []Record) Aggregate {
+	agg := Aggregate{Queries: len(records)}
+	if len(records) == 0 {
+		return agg
+	}
+	var tpSum float64
+	for _, r := range records {
+		total := r.TotalTime()
+		agg.MeanQueryTimeMs += ms(total)
+		agg.MeanResponseMs += ms(r.ResponseTime)
+		agg.MeanPrepareMs += ms(r.PrepareTime)
+		agg.MeanEnumMs += ms(r.EnumTime)
+		if total > 0 {
+			tpSum += float64(r.Results) / total.Seconds()
+		}
+		if r.TimedOut {
+			agg.TimeoutFraction++
+		}
+		agg.TotalResults += r.Results
+		if r.Results > agg.MaxResults {
+			agg.MaxResults = r.Results
+		}
+		agg.MeanIndexEdges += float64(r.Stats.IndexEdges)
+		agg.MeanEdgesScanned += float64(r.Counters.EdgesAccessed)
+		agg.MeanInvalid += float64(r.Counters.InvalidPartials)
+	}
+	n := float64(len(records))
+	agg.MeanQueryTimeMs /= n
+	agg.MeanResponseMs /= n
+	agg.MeanPrepareMs /= n
+	agg.MeanEnumMs /= n
+	agg.Throughput = tpSum / n
+	agg.TimeoutFraction /= n
+	agg.MeanResults = float64(agg.TotalResults) / n
+	agg.MeanIndexEdges /= n
+	agg.MeanEdgesScanned /= n
+	agg.MeanInvalid /= n
+	return agg
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Percentile returns the p-quantile (0..1) of the given durations, the
+// metric behind the 99.9% latency plot of Figure 8.
+func Percentile(durations []time.Duration, p float64) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// CDF buckets query times into the given boundaries and returns the
+// cumulative fraction of queries completed within each (Figure 16).
+func CDF(records []Record, boundaries []time.Duration) []float64 {
+	out := make([]float64, len(boundaries))
+	if len(records) == 0 {
+		return out
+	}
+	for _, r := range records {
+		total := r.TotalTime()
+		for i, b := range boundaries {
+			if total <= b {
+				out[i]++
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(records))
+	}
+	return out
+}
+
+// LinearRegression fits y = a + b*x by least squares and returns (a, b),
+// the tool behind the Figure 10/11 log-log fits.
+func LinearRegression(xs, ys []float64) (intercept, slope float64) {
+	n := float64(len(xs))
+	if n == 0 || len(xs) != len(ys) {
+		return 0, 0
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXY += xs[i] * ys[i]
+		sumXX += xs[i] * xs[i]
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return sumY / n, 0
+	}
+	slope = (n*sumXY - sumX*sumY) / den
+	intercept = (sumY - slope*sumX) / n
+	return intercept, slope
+}

@@ -1,0 +1,95 @@
+package core
+
+import "pathenum/internal/graph"
+
+// distUnreachable marks vertices the bounded BFS never assigned.
+const distUnreachable int32 = -1
+
+// bfsScratch holds the reusable buffers for the two bounded breadth-first
+// searches that seed index construction (line 1 of Algorithm 3). Reusing the
+// buffers across queries keeps per-query allocation at O(1) beyond the index
+// itself.
+type bfsScratch struct {
+	distS []int32 // v.s = S(s, v | G - {t}); -1 if unassigned
+	distT []int32 // v.t = S(v, t | G - {s}); -1 if unassigned
+	queue []graph.VertexID
+}
+
+func newBFSScratch(n int) *bfsScratch {
+	return &bfsScratch{
+		distS: make([]int32, n),
+		distT: make([]int32, n),
+	}
+}
+
+// EdgePredicate restricts a query to edges it returns true for (the
+// predicate constraint of Appendix E). A nil predicate admits every edge.
+type EdgePredicate func(from, to graph.VertexID) bool
+
+// run computes both distance labelings for query q, bounded at depth q.K
+// (vertices farther than k from s or t cannot join the index).
+//
+// The forward search from s never expands t, so distS[v] = S(s,v | G-{t})
+// for v != t, while distS[t] itself is the true s->t distance (t is
+// assigned when first reached, which is what the partition X needs).
+// Symmetrically the backward search from t along reversed edges never
+// expands s.
+//
+// A non-nil pred restricts both searches to edges satisfying it, which is
+// how predicate constraints integrate without materializing the filtered
+// subgraph (Appendix E).
+func (b *bfsScratch) run(g *graph.Graph, q Query, pred EdgePredicate) {
+	for i := range b.distS {
+		b.distS[i] = distUnreachable
+		b.distT[i] = distUnreachable
+	}
+	bound := int32(q.K)
+
+	// Forward BFS from s, skipping expansion of t.
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, q.S)
+	b.distS[q.S] = 0
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		d := b.distS[v]
+		if d >= bound {
+			break // BFS visits in distance order; all remaining are at bound
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if b.distS[w] != distUnreachable {
+				continue
+			}
+			if pred != nil && !pred(v, w) {
+				continue
+			}
+			b.distS[w] = d + 1
+			if w != q.T {
+				b.queue = append(b.queue, w)
+			}
+		}
+	}
+
+	// Backward BFS from t along in-edges, skipping expansion of s.
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, q.T)
+	b.distT[q.T] = 0
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		d := b.distT[v]
+		if d >= bound {
+			break
+		}
+		for _, w := range g.InNeighbors(v) {
+			if b.distT[w] != distUnreachable {
+				continue
+			}
+			if pred != nil && !pred(w, v) {
+				continue
+			}
+			b.distT[w] = d + 1
+			if w != q.S {
+				b.queue = append(b.queue, w)
+			}
+		}
+	}
+}

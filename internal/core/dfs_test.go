@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+func collectDFS(t *testing.T, ix *Index) [][]graph.VertexID {
+	t.Helper()
+	var out [][]graph.VertexID
+	done := EnumerateDFS(ix, RunControl{Emit: func(p []graph.VertexID) bool {
+		out = append(out, append([]graph.VertexID(nil), p...))
+		return true
+	}}, nil)
+	if !done {
+		t.Fatal("EnumerateDFS stopped unexpectedly")
+	}
+	return out
+}
+
+func sortPaths(paths [][]graph.VertexID) {
+	sort.Slice(paths, func(i, j int) bool {
+		a, b := paths[i], paths[j]
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func samePaths(a, b [][]graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortPaths(a)
+	sortPaths(b)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDFSPaperExample: q(s,t,4) on Figure 1a has exactly 5 simple paths.
+func TestDFSPaperExample(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	got := collectDFS(t, ix)
+	want := brutePathsLocal(g, vS, vT, 4)
+	if len(want) != 5 {
+		t.Fatalf("oracle found %d paths, expected 5 from the paper example", len(want))
+	}
+	if !samePaths(got, want) {
+		t.Fatalf("DFS paths %v != oracle %v", got, want)
+	}
+}
+
+// TestDFSMatchesBruteForce is the central correctness property: IDX-DFS
+// enumerates exactly P(s,t,k,G) on randomized graphs (Proposition C.1).
+func TestDFSMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(12)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 1 + rng.Intn(5)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		got := collectDFS(t, ix)
+		want := brutePathsLocal(g, s, tt, k)
+		if !samePaths(got, want) {
+			t.Fatalf("trial %d (n=%d s=%d t=%d k=%d): DFS %d paths, oracle %d",
+				trial, n, s, tt, k, len(got), len(want))
+		}
+	}
+}
+
+func TestDFSEmptyIndex(t *testing.T) {
+	g, err := graph.NewGraph(3, []graph.Edge{{From: 0, To: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := mustIndex(t, g, Query{S: 0, T: 2, K: 4})
+	var ctr Counters
+	if !EnumerateDFS(ix, RunControl{}, &ctr) {
+		t.Fatal("empty-index run must complete")
+	}
+	if ctr.Results != 0 {
+		t.Fatalf("Results = %d, want 0", ctr.Results)
+	}
+}
+
+func TestDFSLimit(t *testing.T) {
+	g := gen.Layered(4, 3) // 64 paths source->sink
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 4})
+	var ctr Counters
+	done := EnumerateDFS(ix, RunControl{Limit: 10}, &ctr)
+	if done {
+		t.Fatal("run with limit must report early stop")
+	}
+	if ctr.Results != 10 {
+		t.Fatalf("Results = %d, want 10", ctr.Results)
+	}
+}
+
+func TestDFSEmitCancel(t *testing.T) {
+	g := gen.Layered(4, 3)
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 4})
+	count := 0
+	done := EnumerateDFS(ix, RunControl{Emit: func([]graph.VertexID) bool {
+		count++
+		return count < 5
+	}}, nil)
+	if done {
+		t.Fatal("cancelled run must report early stop")
+	}
+	if count != 5 {
+		t.Fatalf("emit called %d times, want 5", count)
+	}
+}
+
+func TestDFSShouldStop(t *testing.T) {
+	// Large layered graph; stop immediately via ShouldStop.
+	g := gen.Layered(8, 4) // 4096 paths
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 5})
+	var ctr Counters
+	done := EnumerateDFS(ix, RunControl{ShouldStop: func() bool { return true }}, &ctr)
+	if done {
+		t.Fatal("ShouldStop run must report early stop")
+	}
+	full := collectCount(ix)
+	if ctr.Results >= full {
+		t.Fatalf("stopped run found %d of %d results", ctr.Results, full)
+	}
+}
+
+func collectCount(ix *Index) uint64 {
+	var ctr Counters
+	EnumerateDFS(ix, RunControl{}, &ctr)
+	return ctr.Results
+}
+
+func TestDFSCountersPaperExample(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	var ctr Counters
+	EnumerateDFS(ix, RunControl{}, &ctr)
+	if ctr.Results != 5 {
+		t.Fatalf("Results = %d, want 5", ctr.Results)
+	}
+	if ctr.EdgesAccessed == 0 {
+		t.Fatal("EdgesAccessed must be positive")
+	}
+	// The only invalid partial on this graph is the branch through v6:
+	// (s,v0,v6) -> (s,v0,v6,v0 is on path) dead end, plus any budget dead
+	// ends. Just require it is small but positive.
+	if ctr.InvalidPartials == 0 {
+		t.Fatal("expected at least one invalid partial (the v6 branch)")
+	}
+}
+
+// TestDFSLayeredCounts: a width^layers layered graph has exactly
+// width^layers paths and zero invalid partials (every branch succeeds),
+// which is the "delta_P close to delta_W" regime of §5.2.
+func TestDFSLayeredCounts(t *testing.T) {
+	g := gen.Layered(5, 3)
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 4})
+	var ctr Counters
+	EnumerateDFS(ix, RunControl{}, &ctr)
+	if ctr.Results != 125 {
+		t.Fatalf("Results = %d, want 125", ctr.Results)
+	}
+	if ctr.InvalidPartials != 0 {
+		t.Fatalf("InvalidPartials = %d, want 0 on a layered graph", ctr.InvalidPartials)
+	}
+}
+
+// TestDFSKEqualsOne: the minimal hop constraint enumerates only the direct
+// edge.
+func TestDFSKEqualsOne(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, Query{S: vS, T: vT, K: 1})
+	got := collectDFS(t, ix)
+	if len(got) != 0 {
+		t.Fatalf("no direct s->t edge, got %d paths", len(got))
+	}
+	ix2 := mustIndex(t, g, Query{S: vV0, T: vT, K: 1})
+	got2 := collectDFS(t, ix2)
+	if len(got2) != 1 || len(got2[0]) != 2 {
+		t.Fatalf("v0->t direct: got %v", got2)
+	}
+}
+
+// TestDFSPathLengthBound: every emitted path obeys the hop constraint and
+// endpoints.
+func TestDFSPathLengthBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.BarabasiAlbert(60, 4, 17)
+	for trial := 0; trial < 20; trial++ {
+		s := graph.VertexID(rng.Intn(60))
+		tt := graph.VertexID(rng.Intn(60))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(4)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		EnumerateDFS(ix, RunControl{Emit: func(p []graph.VertexID) bool {
+			if len(p)-1 > k {
+				t.Fatalf("path %v exceeds k=%d", p, k)
+			}
+			if p[0] != s || p[len(p)-1] != tt {
+				t.Fatalf("path %v has wrong endpoints", p)
+			}
+			seen := map[graph.VertexID]bool{}
+			for _, v := range p {
+				if seen[v] {
+					t.Fatalf("path %v revisits %d", p, v)
+				}
+				seen[v] = true
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !g.HasEdge(p[i], p[i+1]) {
+					t.Fatalf("path %v uses missing edge %d->%d", p, p[i], p[i+1])
+				}
+			}
+			return true
+		}}, nil)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+// FuzzEnumerationAgreement drives native fuzzing over the full pipeline:
+// a fuzz-chosen random graph and query must give identical results through
+// IDX-DFS, IDX-JOIN and the optimizer, all matching the brute-force oracle,
+// and the full estimator must count walks exactly. Run with
+// `go test -fuzz=FuzzEnumerationAgreement ./internal/core` for open-ended
+// fuzzing; the seed corpus runs in normal test mode.
+func FuzzEnumerationAgreement(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(30), uint8(0), uint8(5), uint8(3))
+	f.Add(int64(2), uint8(6), uint8(18), uint8(1), uint8(2), uint8(4))
+	f.Add(int64(3), uint8(15), uint8(60), uint8(3), uint8(9), uint8(5))
+	f.Add(int64(4), uint8(4), uint8(4), uint8(0), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw, sRaw, tRaw, kRaw uint8) {
+		n := 2 + int(nRaw)%14 // 2..15 vertices
+		m := int(mRaw) % 64
+		g := gen.ErdosRenyi(n, m, seed)
+		s := graph.VertexID(int(sRaw) % n)
+		tt := graph.VertexID(int(tRaw) % n)
+		if s == tt {
+			return
+		}
+		k := 1 + int(kRaw)%5
+		q := Query{S: s, T: tt, K: k}
+
+		want := brutePathsLocal(g, s, tt, k)
+		ix, err := BuildIndex(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dfs Counters
+		EnumerateDFS(ix, RunControl{}, &dfs)
+		if dfs.Results != uint64(len(want)) {
+			t.Fatalf("DFS %d results, oracle %d (q=%v)", dfs.Results, len(want), q)
+		}
+		if k >= 2 {
+			for cut := 1; cut < k; cut++ {
+				var join Counters
+				if _, err := EnumerateJoin(ix, cut, RunControl{}, &join, nil); err != nil {
+					t.Fatal(err)
+				}
+				if join.Results != dfs.Results {
+					t.Fatalf("join(cut=%d) %d results, DFS %d (q=%v)", cut, join.Results, dfs.Results, q)
+				}
+			}
+		}
+		res, err := Run(g, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.Results != dfs.Results {
+			t.Fatalf("planner %d results, DFS %d (q=%v)", res.Counters.Results, dfs.Results, q)
+		}
+		est := FullEstimate(ix)
+		if walks := bruteWalksLocal(g, s, tt, k); est.Walks != uint64(walks) {
+			t.Fatalf("estimator %d walks, oracle %d (q=%v)", est.Walks, walks, q)
+		}
+	})
+}

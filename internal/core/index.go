@@ -1,0 +1,429 @@
+package core
+
+import (
+	"time"
+
+	"pathenum/internal/graph"
+)
+
+// Index is the query-dependent light-weight index of §4.2 (Algorithm 3).
+//
+// For a query q(s,t,k) it stores, for every vertex v with
+// S(s,v|G-{t}) + S(v,t|G-{s}) <= k (the partition X):
+//
+//   - the distance labels v.s and v.t;
+//   - the out-neighbors w of v that can still reach t within budget
+//     (v.s + w.t + 1 <= k), sorted ascending by w.t, with per-vertex prefix
+//     offsets so It(v,b) — "neighbors w with w.t <= b" — is an O(1) slice;
+//   - the mirrored in-neighbor lists sorted by w.s for Is(v,b), used by the
+//     backward dynamic program of the join-order optimizer (Algorithm 5).
+//
+// Following the relation construction of §3.1, edges into s and out of t
+// are excluded, and t carries the single padding self-loop (t,t) so that
+// paths shorter than k survive the chain join (property 3 of §3.1).
+// Appendix B proves this edge set equals the full-reducer output of
+// Algorithm 2; the tests verify that equivalence.
+type Index struct {
+	g    *graph.Graph
+	q    Query
+	k    int
+	pred EdgePredicate // optional edge filter (Appendix E); nil = all edges
+
+	empty bool // s or t fell outside X: the query has no results
+
+	verts []graph.VertexID // vertices of X in ascending id order
+	pos   []int32          // vertex -> dense position in verts, -1 if not in X
+	vs    []int32          // per dense position: v.s
+	vt    []int32          // per dense position: v.t
+
+	fwdNbrs []graph.VertexID
+	fwdBase []int64 // len(verts)+1
+	fwdOff  []int32 // len(verts)*(k+2) prefix counts keyed by w.t
+
+	revNbrs []graph.VertexID
+	revBase []int64
+	revOff  []int32 // prefix counts keyed by w.s
+
+	cSize []int64  // |C_i| for i = 0..k
+	sumIt []uint64 // sum over C_i of |It(v, k-i-1)| for i = 0..k-1 (Eq. 5 stats)
+
+	edges int64 // index edges excluding the (t,t) padding loop
+}
+
+// BuildIndex constructs the light-weight index for q on g (Algorithm 3).
+// Construction is O(|E| + |V|) time: two bounded BFS passes, one partition
+// pass and two counting-sort adjacency passes.
+func BuildIndex(g *graph.Graph, q Query) (*Index, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	scratch := newBFSScratch(n)
+	scratch.run(g, q, nil)
+	return buildIndexFrom(g, q, scratch, nil), nil
+}
+
+// IndexBuildTimings reports the phases of one index construction: the
+// distance-labeling BFS (line 1 of Algorithm 3) and the total build.
+type IndexBuildTimings struct {
+	BFS   time.Duration
+	Total time.Duration
+}
+
+// BuildIndexTimed builds the index while timing the BFS phase separately,
+// feeding the per-technique breakdowns of Figures 12 and 17.
+func BuildIndexTimed(g *graph.Graph, q Query) (*Index, IndexBuildTimings, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, IndexBuildTimings{}, err
+	}
+	start := time.Now()
+	scratch := newBFSScratch(g.NumVertices())
+	scratch.run(g, q, nil)
+	bfs := time.Since(start)
+	ix := buildIndexFrom(g, q, scratch, nil)
+	return ix, IndexBuildTimings{BFS: bfs, Total: time.Since(start)}, nil
+}
+
+// BuildIndexFiltered constructs the index for q on the subgraph of edges
+// satisfying pred, implementing the predicate-constraint extension of
+// Appendix E without materializing the subgraph: the BFS labelings and both
+// adjacency passes consult the predicate directly.
+func BuildIndexFiltered(g *graph.Graph, q Query, pred EdgePredicate) (*Index, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	scratch := newBFSScratch(g.NumVertices())
+	scratch.run(g, q, pred)
+	return buildIndexFrom(g, q, scratch, pred), nil
+}
+
+// buildIndexFrom assembles the index from completed BFS labelings. Split
+// out so the harness can time the BFS phase separately (Figure 12/17).
+func buildIndexFrom(g *graph.Graph, q Query, scratch *bfsScratch, pred EdgePredicate) *Index {
+	n := g.NumVertices()
+	k := q.K
+	k32 := int32(k)
+	distS, distT := scratch.distS, scratch.distT
+
+	ix := &Index{g: g, q: q, k: k, pred: pred}
+	ix.pos = make([]int32, n)
+	for i := range ix.pos {
+		ix.pos[i] = -1
+	}
+
+	inX := func(v graph.VertexID) bool {
+		ds, dt := distS[v], distT[v]
+		return ds >= 0 && dt >= 0 && ds+dt <= k32
+	}
+	// The partition X (lines 2-4). If either endpoint is outside X there is
+	// no s-t path of length <= k and the index stays empty.
+	if !inX(q.S) || !inX(q.T) {
+		ix.empty = true
+		ix.cSize = make([]int64, k+1)
+		ix.sumIt = make([]uint64, k)
+		return ix
+	}
+	for v := 0; v < n; v++ {
+		if inX(graph.VertexID(v)) {
+			ix.pos[v] = int32(len(ix.verts))
+			ix.verts = append(ix.verts, graph.VertexID(v))
+		}
+	}
+	m := len(ix.verts)
+	ix.vs = make([]int32, m)
+	ix.vt = make([]int32, m)
+	for p, v := range ix.verts {
+		ix.vs[p] = distS[v]
+		ix.vt[p] = distT[v]
+	}
+
+	ix.buildForward(distT)
+	ix.buildReverse(distS)
+	ix.collectStats()
+	return ix
+}
+
+// buildForward fills the neighbor lists sorted by w.t (lines 5-11).
+func (ix *Index) buildForward(distT []int32) {
+	g, q, k := ix.g, ix.q, ix.k
+	m := len(ix.verts)
+	k32 := int32(k)
+
+	keep := func(p int, v, w graph.VertexID) bool {
+		if w == q.S { // no edges into s (relation property 2)
+			return false
+		}
+		if ix.pred != nil && !ix.pred(v, w) {
+			return false
+		}
+		wt := distT[w]
+		return wt >= 0 && ix.vs[p]+wt+1 <= k32
+	}
+
+	ix.fwdBase = make([]int64, m+1)
+	for p, v := range ix.verts {
+		if v == q.T {
+			ix.fwdBase[p+1] = ix.fwdBase[p] + 1 // the (t,t) loop only
+			continue
+		}
+		cnt := int64(0)
+		for _, w := range g.OutNeighbors(v) {
+			if keep(p, v, w) {
+				cnt++
+			}
+		}
+		ix.fwdBase[p+1] = ix.fwdBase[p] + cnt
+	}
+	total := ix.fwdBase[m]
+	ix.fwdNbrs = make([]graph.VertexID, total)
+	ix.fwdOff = make([]int32, m*(k+2))
+	ix.edges = total - 1 // exclude the (t,t) loop
+
+	var buckets [][]graph.VertexID // per-distance buckets for counting sort
+	for p, v := range ix.verts {
+		off := ix.fwdOff[p*(k+2) : (p+1)*(k+2)]
+		base := ix.fwdBase[p]
+		if v == q.T {
+			ix.fwdNbrs[base] = q.T
+			for d := 1; d <= k+1; d++ {
+				off[d] = 1 // t.t = 0, so every non-empty budget sees the loop
+			}
+			continue
+		}
+		if buckets == nil {
+			buckets = make([][]graph.VertexID, k+1)
+		}
+		for d := range buckets {
+			buckets[d] = buckets[d][:0]
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if keep(p, v, w) {
+				buckets[distT[w]] = append(buckets[distT[w]], w)
+			}
+		}
+		cursor := base
+		for d := 0; d <= k; d++ {
+			for _, w := range buckets[d] {
+				ix.fwdNbrs[cursor] = w
+				cursor++
+			}
+			off[d+1] = int32(cursor - base)
+		}
+	}
+}
+
+// buildReverse fills the mirrored in-neighbor lists sorted by w.s. The edge
+// set is identical to the forward one: this is only a second access path.
+func (ix *Index) buildReverse(distS []int32) {
+	g, q, k := ix.g, ix.q, ix.k
+	m := len(ix.verts)
+	k32 := int32(k)
+
+	keep := func(p int, v, w graph.VertexID) bool {
+		// w -> v must be a forward index edge: w in X - {t}, v != s,
+		// w.s + v.t + 1 <= k.
+		if w == q.T {
+			return false
+		}
+		wp := ix.pos[w]
+		if wp < 0 {
+			return false
+		}
+		if ix.pred != nil && !ix.pred(w, v) {
+			return false
+		}
+		return ix.vs[wp]+ix.vt[p]+1 <= k32
+	}
+
+	ix.revBase = make([]int64, m+1)
+	for p, v := range ix.verts {
+		cnt := int64(0)
+		if v != q.S {
+			for _, w := range g.InNeighbors(v) {
+				if keep(p, v, w) {
+					cnt++
+				}
+			}
+			if v == q.T {
+				cnt++ // the (t,t) loop
+			}
+		}
+		ix.revBase[p+1] = ix.revBase[p] + cnt
+	}
+	ix.revNbrs = make([]graph.VertexID, ix.revBase[m])
+	ix.revOff = make([]int32, m*(k+2))
+
+	var buckets [][]graph.VertexID
+	for p, v := range ix.verts {
+		off := ix.revOff[p*(k+2) : (p+1)*(k+2)]
+		base := ix.revBase[p]
+		if v == q.S {
+			continue // no in-edges; off stays all zero
+		}
+		if buckets == nil {
+			buckets = make([][]graph.VertexID, k+1)
+		}
+		for d := range buckets {
+			buckets[d] = buckets[d][:0]
+		}
+		for _, w := range g.InNeighbors(v) {
+			if keep(p, v, w) {
+				buckets[distS[w]] = append(buckets[distS[w]], w)
+			}
+		}
+		if v == q.T {
+			// t.s is the s->t distance; the loop joins t's own bucket.
+			buckets[ix.vs[p]] = append(buckets[ix.vs[p]], q.T)
+		}
+		cursor := base
+		for d := 0; d <= k; d++ {
+			for _, w := range buckets[d] {
+				ix.revNbrs[cursor] = w
+				cursor++
+			}
+			off[d+1] = int32(cursor - base)
+		}
+	}
+}
+
+// collectStats gathers |C_i| and the Equation-5 neighbor sums.
+func (ix *Index) collectStats() {
+	k := ix.k
+	ix.cSize = make([]int64, k+1)
+	ix.sumIt = make([]uint64, k)
+	for p := range ix.verts {
+		lo, hi := int(ix.vs[p]), k-int(ix.vt[p])
+		for i := lo; i <= hi; i++ {
+			ix.cSize[i]++
+			if i < k {
+				ix.sumIt[i] += uint64(len(ix.outUpToPos(int32(p), k-i-1)))
+			}
+		}
+	}
+}
+
+// Empty reports whether the index proves the query has no results.
+func (ix *Index) Empty() bool { return ix.empty }
+
+// K returns the query's hop constraint.
+func (ix *Index) K() int { return ix.k }
+
+// Query returns the query the index was built for.
+func (ix *Index) Query() Query { return ix.q }
+
+// Graph returns the underlying graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// NumIndexed returns |X|, the number of indexed vertices.
+func (ix *Index) NumIndexed() int { return len(ix.verts) }
+
+// Edges returns the number of index edges (excluding the padding loop),
+// the "index size" metric of Figure 10.
+func (ix *Index) Edges() int64 {
+	if ix.empty {
+		return 0
+	}
+	return ix.edges
+}
+
+// InX reports whether v belongs to the partition X.
+func (ix *Index) InX(v graph.VertexID) bool { return !ix.empty && ix.pos[v] >= 0 }
+
+// DistS returns v.s, or -1 if v is outside X.
+func (ix *Index) DistS(v graph.VertexID) int32 {
+	if ix.empty || ix.pos[v] < 0 {
+		return -1
+	}
+	return ix.vs[ix.pos[v]]
+}
+
+// DistT returns v.t, or -1 if v is outside X.
+func (ix *Index) DistT(v graph.VertexID) int32 {
+	if ix.empty || ix.pos[v] < 0 {
+		return -1
+	}
+	return ix.vt[ix.pos[v]]
+}
+
+// OutUpTo implements It(v, b): the out-neighbors w of v in the index with
+// w.t <= b, sorted ascending by w.t. The slice aliases index storage. O(1).
+func (ix *Index) OutUpTo(v graph.VertexID, b int) []graph.VertexID {
+	if ix.empty {
+		return nil
+	}
+	p := ix.pos[v]
+	if p < 0 {
+		return nil
+	}
+	return ix.outUpToPos(p, b)
+}
+
+func (ix *Index) outUpToPos(p int32, b int) []graph.VertexID {
+	if b < 0 {
+		return nil
+	}
+	if b > ix.k {
+		b = ix.k
+	}
+	base := ix.fwdBase[p]
+	end := ix.fwdOff[int(p)*(ix.k+2)+b+1]
+	return ix.fwdNbrs[base : base+int64(end)]
+}
+
+// InUpTo implements Is(v, b): the in-neighbors w of v in the index with
+// w.s <= b, sorted ascending by w.s. The slice aliases index storage. O(1).
+func (ix *Index) InUpTo(v graph.VertexID, b int) []graph.VertexID {
+	if ix.empty {
+		return nil
+	}
+	p := ix.pos[v]
+	if p < 0 {
+		return nil
+	}
+	return ix.inUpToPos(p, b)
+}
+
+func (ix *Index) inUpToPos(p int32, b int) []graph.VertexID {
+	if b < 0 {
+		return nil
+	}
+	if b > ix.k {
+		b = ix.k
+	}
+	base := ix.revBase[p]
+	end := ix.revOff[int(p)*(ix.k+2)+b+1]
+	return ix.revNbrs[base : base+int64(end)]
+}
+
+// LevelSize returns |C_i| = |I(i)|, the number of vertices that can appear
+// at position i of a result (Proposition 4.3).
+func (ix *Index) LevelSize(i int) int64 {
+	if i < 0 || i > ix.k {
+		return 0
+	}
+	return ix.cSize[i]
+}
+
+// ForEachLevel calls fn for every vertex of C_i.
+func (ix *Index) ForEachLevel(i int, fn func(v graph.VertexID)) {
+	if ix.empty || i < 0 || i > ix.k {
+		return
+	}
+	i32 := int32(i)
+	ki32 := int32(ix.k - i)
+	for p, v := range ix.verts {
+		if ix.vs[p] <= i32 && ix.vt[p] <= ki32 {
+			fn(v)
+		}
+	}
+}
+
+// MemoryBytes estimates the resident size of the index (Table 7).
+func (ix *Index) MemoryBytes() int64 {
+	b := int64(len(ix.pos))*4 + int64(len(ix.verts))*4
+	b += int64(len(ix.vs))*4 + int64(len(ix.vt))*4
+	b += int64(len(ix.fwdNbrs))*4 + int64(len(ix.fwdBase))*8 + int64(len(ix.fwdOff))*4
+	b += int64(len(ix.revNbrs))*4 + int64(len(ix.revBase))*8 + int64(len(ix.revOff))*4
+	b += int64(len(ix.cSize))*8 + int64(len(ix.sumIt))*8
+	return b
+}

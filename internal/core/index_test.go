@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+// Vertex names for the paper's running-example graph (Figure 1a).
+const (
+	vS  = graph.VertexID(0)
+	vT  = graph.VertexID(1)
+	vV0 = graph.VertexID(2)
+	vV1 = graph.VertexID(3)
+	vV2 = graph.VertexID(4)
+	vV3 = graph.VertexID(5)
+	vV4 = graph.VertexID(6)
+	vV5 = graph.VertexID(7)
+	vV6 = graph.VertexID(8)
+	vV7 = graph.VertexID(9)
+)
+
+// paperGraph reconstructs Figure 1a: the edges are read off the initial
+// relations of Figure 3a. v7 only hangs off t, so it is reachable from
+// neither side within any budget and must be excluded from the index.
+func paperGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	edges := []graph.Edge{
+		{From: vS, To: vV0}, {From: vS, To: vV1}, {From: vS, To: vV3},
+		{From: vV0, To: vV1}, {From: vV0, To: vV6}, {From: vV0, To: vT},
+		{From: vV1, To: vV2}, {From: vV1, To: vV3},
+		{From: vV2, To: vV0}, {From: vV2, To: vT},
+		{From: vV3, To: vV4},
+		{From: vV4, To: vV5},
+		{From: vV5, To: vV2}, {From: vV5, To: vT},
+		{From: vV6, To: vV0},
+		{From: vT, To: vV7},
+	}
+	g, err := graph.NewGraph(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func paperQuery() Query { return Query{S: vS, T: vT, K: 4} }
+
+func mustIndex(t *testing.T, g *graph.Graph, q Query) *Index {
+	t.Helper()
+	ix, err := BuildIndex(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexDistanceLabels(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+
+	wantS := map[graph.VertexID]int32{
+		vS: 0, vV0: 1, vV1: 1, vV3: 1, vV2: 2, vV4: 2, vV6: 2, vV5: 3, vT: 2,
+	}
+	wantT := map[graph.VertexID]int32{
+		vT: 0, vV0: 1, vV2: 1, vV5: 1, vV1: 2, vV4: 2, vV6: 2, vV3: 3, vS: 2,
+	}
+	for v, want := range wantS {
+		if got := ix.DistS(v); got != want {
+			t.Errorf("DistS(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for v, want := range wantT {
+		if got := ix.DistT(v); got != want {
+			t.Errorf("DistT(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if ix.InX(vV7) {
+		t.Error("v7 must be excluded from X")
+	}
+	if ix.NumIndexed() != 9 {
+		t.Errorf("NumIndexed = %d, want 9", ix.NumIndexed())
+	}
+}
+
+// TestIndexPartitionExample checks Example 4.4: X[2,2] = {v4, v6}.
+func TestIndexPartitionExample(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	var cell []graph.VertexID
+	for v := graph.VertexID(0); v < 10; v++ {
+		if ix.InX(v) && ix.DistS(v) == 2 && ix.DistT(v) == 2 {
+			cell = append(cell, v)
+		}
+	}
+	if len(cell) != 2 || cell[0] != vV4 || cell[1] != vV6 {
+		t.Fatalf("X[2,2] = %v, want [v4 v6] = [%d %d]", cell, vV4, vV6)
+	}
+}
+
+// TestIndexNeighborExample checks Example 4.4: v0's indexed neighbors are
+// {t, v1, v6} sorted ascending by distance to t, and It(v0, 2) returns all
+// three.
+func TestIndexNeighborExample(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	nbrs := ix.OutUpTo(vV0, 2)
+	if len(nbrs) != 3 || nbrs[0] != vT {
+		t.Fatalf("It(v0,2) = %v, want [t v1 v6] (t first)", nbrs)
+	}
+	rest := map[graph.VertexID]bool{nbrs[1]: true, nbrs[2]: true}
+	if !rest[vV1] || !rest[vV6] {
+		t.Fatalf("It(v0,2) = %v, want {t, v1, v6}", nbrs)
+	}
+	// With budget 0 only t qualifies.
+	if got := ix.OutUpTo(vV0, 0); len(got) != 1 || got[0] != vT {
+		t.Fatalf("It(v0,0) = %v, want [t]", got)
+	}
+	// Negative budget yields nothing.
+	if got := ix.OutUpTo(vV0, -1); len(got) != 0 {
+		t.Fatalf("It(v0,-1) = %v, want empty", got)
+	}
+}
+
+func TestIndexTSelfLoopOnly(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	nbrs := ix.OutUpTo(vT, 4)
+	if len(nbrs) != 1 || nbrs[0] != vT {
+		t.Fatalf("It(t,k) = %v, want [t] (padding loop only)", nbrs)
+	}
+	// s has no in-edges in the index.
+	if got := ix.InUpTo(vS, 4); len(got) != 0 {
+		t.Fatalf("Is(s,k) = %v, want empty", got)
+	}
+}
+
+func TestIndexLevelSizes(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	// C_0 = {v.s <= 0, v.t <= 4} = {s}.
+	if got := ix.LevelSize(0); got != 1 {
+		t.Errorf("LevelSize(0) = %d, want 1", got)
+	}
+	// C_4 = {v.s <= 4, v.t <= 0} = {t}.
+	if got := ix.LevelSize(4); got != 1 {
+		t.Errorf("LevelSize(4) = %d, want 1", got)
+	}
+	// Every level size is bounded by |X|.
+	for i := 0; i <= 4; i++ {
+		if ix.LevelSize(i) > int64(ix.NumIndexed()) {
+			t.Errorf("LevelSize(%d) = %d > |X|", i, ix.LevelSize(i))
+		}
+	}
+	if ix.LevelSize(-1) != 0 || ix.LevelSize(5) != 0 {
+		t.Error("out-of-range levels must be empty")
+	}
+	// ForEachLevel agrees with LevelSize.
+	for i := 0; i <= 4; i++ {
+		n := 0
+		ix.ForEachLevel(i, func(graph.VertexID) { n++ })
+		if int64(n) != ix.LevelSize(i) {
+			t.Errorf("ForEachLevel(%d) visited %d, want %d", i, n, ix.LevelSize(i))
+		}
+	}
+}
+
+// TestIndexMembershipProposition43 checks Proposition 4.3 on random graphs:
+// every vertex of every result path at position i satisfies v.s <= i and
+// v.t <= k-i, hence belongs to X; and conversely the index only stores
+// vertices/edges compatible with the distance bounds.
+func TestIndexMembershipProposition43(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(12)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(4)
+		q := Query{S: s, T: tt, K: k}
+		ix := mustIndex(t, g, q)
+		paths := brutePathsLocal(g, s, tt, k)
+		if len(paths) > 0 && ix.Empty() {
+			t.Fatalf("trial %d: index empty but %d paths exist", trial, len(paths))
+		}
+		for _, p := range paths {
+			for i, v := range p {
+				if !ix.InX(v) {
+					t.Fatalf("trial %d: path vertex %d not in X", trial, v)
+				}
+				if int(ix.DistS(v)) > i || int(ix.DistT(v)) > k-i {
+					t.Fatalf("trial %d: vertex %d at position %d violates Prop 4.3", trial, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexForwardReverseMirror verifies the forward and reverse adjacency
+// encode the same edge set on random graphs.
+func TestIndexForwardReverseMirror(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(15)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID((int(s) + 1 + rng.Intn(n-1)) % n)
+		k := 2 + rng.Intn(4)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		if ix.Empty() {
+			continue
+		}
+		type edge struct{ from, to graph.VertexID }
+		fwd := map[edge]bool{}
+		rev := map[edge]bool{}
+		for _, v := range ix.verts {
+			for _, w := range ix.OutUpTo(v, k) {
+				fwd[edge{v, w}] = true
+			}
+			for _, w := range ix.InUpTo(v, k) {
+				rev[edge{w, v}] = true
+			}
+		}
+		if len(fwd) != len(rev) {
+			t.Fatalf("trial %d: forward %d edges, reverse %d", trial, len(fwd), len(rev))
+		}
+		for e := range fwd {
+			if !rev[e] {
+				t.Fatalf("trial %d: edge %v in forward but not reverse", trial, e)
+			}
+		}
+	}
+}
+
+// TestIndexNeighborsSortedByDistance checks the counting-sort invariant on
+// random graphs: It lists ascend by w.t, Is lists ascend by w.s.
+func TestIndexNeighborsSortedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(20)
+		g := gen.ErdosRenyi(n, n*4, rng.Int63())
+		s := graph.VertexID(0)
+		tt := graph.VertexID(n - 1)
+		k := 3 + rng.Intn(3)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		if ix.Empty() {
+			continue
+		}
+		for _, v := range ix.verts {
+			out := ix.OutUpTo(v, k)
+			for i := 1; i < len(out); i++ {
+				if ix.DistT(out[i-1]) > ix.DistT(out[i]) {
+					t.Fatalf("It(%d) not sorted by w.t: %v", v, out)
+				}
+			}
+			in := ix.InUpTo(v, k)
+			for i := 1; i < len(in); i++ {
+				if ix.DistS(in[i-1]) > ix.DistS(in[i]) {
+					t.Fatalf("Is(%d) not sorted by w.s: %v", v, in)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexBudgetSlices cross-checks It(v,b) against a filter of the full
+// neighbor list for every budget.
+func TestIndexBudgetSlices(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	for _, v := range ix.verts {
+		full := ix.OutUpTo(v, 4)
+		for b := -1; b <= 5; b++ {
+			got := ix.OutUpTo(v, b)
+			want := 0
+			for _, w := range full {
+				if b >= 0 && int(ix.DistT(w)) <= b {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("It(%d,%d): got %d neighbors, want %d", v, b, len(got), want)
+			}
+		}
+	}
+}
+
+func TestIndexEmptyWhenUnreachable(t *testing.T) {
+	// Two disjoint edges: no s-t path whatsoever.
+	g, err := graph.NewGraph(4, []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := mustIndex(t, g, Query{S: 0, T: 3, K: 5})
+	if !ix.Empty() {
+		t.Fatal("index must be empty for unreachable target")
+	}
+	if ix.Edges() != 0 || ix.OutUpTo(0, 5) != nil {
+		t.Fatal("empty index must expose no edges")
+	}
+}
+
+func TestIndexEmptyWhenTooFar(t *testing.T) {
+	// Path of length 4 but k=3.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32(i + 1)})
+	}
+	g, err := graph.NewGraph(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := mustIndex(t, g, Query{S: 0, T: 4, K: 3})
+	if !ix.Empty() {
+		t.Fatal("index must be empty when dist(s,t) > k")
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := BuildIndex(g, Query{S: 0, T: 0, K: 3}); err == nil {
+		t.Error("s == t: expected error")
+	}
+	if _, err := BuildIndex(g, Query{S: 0, T: 1, K: 0}); err == nil {
+		t.Error("k = 0: expected error")
+	}
+	if _, err := BuildIndex(g, Query{S: 0, T: 99, K: 3}); err == nil {
+		t.Error("out-of-range t: expected error")
+	}
+}
+
+func TestIndexMemoryBytesPositive(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	if ix.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive for a non-empty index")
+	}
+	if ix.Edges() <= 0 {
+		t.Fatal("Edges must be positive for the paper graph")
+	}
+}
+
+// brutePathsLocal avoids importing internal/baseline from core tests
+// (baseline imports core in its own tests; keep the dependency one-way).
+func brutePathsLocal(g *graph.Graph, s, t graph.VertexID, k int) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	onPath := make([]bool, g.NumVertices())
+	path := []graph.VertexID{s}
+	onPath[s] = true
+	var rec func()
+	rec = func() {
+		v := path[len(path)-1]
+		if v == t {
+			out = append(out, append([]graph.VertexID(nil), path...))
+			return
+		}
+		if len(path)-1 == k {
+			return
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if onPath[w] {
+				continue
+			}
+			path = append(path, w)
+			onPath[w] = true
+			rec()
+			onPath[w] = false
+			path = path[:len(path)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// bruteWalksLocal mirrors baseline.BruteWalks for estimator tests.
+func bruteWalksLocal(g *graph.Graph, s, t graph.VertexID, k int) int {
+	count := 0
+	walk := []graph.VertexID{s}
+	var rec func()
+	rec = func() {
+		v := walk[len(walk)-1]
+		if v == t {
+			count++
+			return
+		}
+		if len(walk)-1 == k {
+			return
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if w == s {
+				continue
+			}
+			walk = append(walk, w)
+			rec()
+			walk = walk[:len(walk)-1]
+		}
+	}
+	rec()
+	return count
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"pathenum/internal/graph"
+)
+
+// JoinStats reports the materialization footprint of one Algorithm-6 run,
+// feeding the partial-result memory numbers of Table 7.
+type JoinStats struct {
+	LeftTuples   int64 // |Ra| = results of Q[0:cut]
+	RightTuples  int64 // |Rb| = results of Q[cut:k]
+	PartialBytes int64 // bytes materialized for Ra plus Rb
+}
+
+// joinSearcher materializes one side of the cut with the index DFS of
+// Algorithm 6 (procedure Search): it collects *walks* — no duplicate-vertex
+// check — of a fixed vertex count; path validity is checked at join time,
+// as §6.3 prescribes.
+type joinSearcher struct {
+	ix       *Index
+	tuples   []graph.VertexID // flat storage, stride = tupleLen
+	tupleLen int
+	startPos int // absolute position of the first tuple vertex in Q
+	buf      []graph.VertexID
+	ctr      *Counters
+	ctl      *RunControl
+	ticker   uint32
+	stopped  bool
+}
+
+func (js *joinSearcher) search() {
+	depth := len(js.buf)
+	if depth == js.tupleLen {
+		js.tuples = append(js.tuples, js.buf...)
+		return
+	}
+	js.ticker++
+	if js.ticker%stopCheckInterval == 0 && js.ctl.ShouldStop != nil && js.ctl.ShouldStop() {
+		js.stopped = true
+		return
+	}
+	v := js.buf[depth-1]
+	// Budget: k - i - L(M) - 1 where i is the sub-query start position.
+	budget := js.ix.k - js.startPos - (depth - 1) - 1
+	nbrs := js.ix.OutUpTo(v, budget)
+	js.ctr.EdgesAccessed += uint64(len(nbrs))
+	for _, w := range nbrs {
+		js.buf = append(js.buf, w)
+		js.search()
+		js.buf = js.buf[:depth]
+		if js.stopped {
+			return
+		}
+	}
+}
+
+// EnumerateJoin runs the join on the index (Algorithm 6) with the given cut
+// position in [1, k-1]: it materializes Ra = Q[0:cut] and Rb = Q[cut:k]
+// with depth-first searches on the index, hash-joins them on the cut vertex
+// and emits every joined tuple that is a valid simple path. It returns true
+// when the run completed (no stop/limit) and fills stats when non-nil.
+func EnumerateJoin(ix *Index, cut int, ctl RunControl, ctr *Counters, stats *JoinStats) (bool, error) {
+	if ctr == nil {
+		ctr = &Counters{}
+	}
+	if ix.Empty() {
+		return true, nil
+	}
+	k := ix.k
+	if cut < 1 || cut >= k {
+		return false, fmt.Errorf("core: join cut %d out of range [1,%d]", cut, k-1)
+	}
+
+	// Phase 1: Ra = walks from s spanning positions 0..cut.
+	left := &joinSearcher{
+		ix:       ix,
+		tupleLen: cut + 1,
+		startPos: 0,
+		buf:      make([]graph.VertexID, 0, cut+1),
+		ctr:      ctr,
+		ctl:      &ctl,
+	}
+	left.buf = append(left.buf, ix.q.S)
+	left.search()
+	if left.stopped {
+		return false, nil
+	}
+	nLeft := int64(len(left.tuples) / (cut + 1))
+
+	// Phase 2: C = distinct cut vertices of Ra; Rb = walks spanning
+	// positions cut..k grouped by their first vertex.
+	type rng struct{ lo, hi int64 }
+	groups := make(map[graph.VertexID]rng)
+	right := &joinSearcher{
+		ix:       ix,
+		tupleLen: k - cut + 1,
+		startPos: cut,
+		buf:      make([]graph.VertexID, 0, k-cut+1),
+		ctr:      ctr,
+		ctl:      &ctl,
+	}
+	stride := int64(cut + 1)
+	rStride := int64(k - cut + 1)
+	for i := int64(0); i < nLeft; i++ {
+		v := left.tuples[i*stride+int64(cut)]
+		if _, done := groups[v]; done {
+			continue
+		}
+		lo := int64(len(right.tuples)) / rStride
+		right.buf = right.buf[:0]
+		right.buf = append(right.buf, v)
+		right.search()
+		if right.stopped {
+			return false, nil
+		}
+		hi := int64(len(right.tuples)) / rStride
+		groups[v] = rng{lo: lo, hi: hi}
+	}
+	nRight := int64(len(right.tuples)) / rStride
+	if stats != nil {
+		stats.LeftTuples = nLeft
+		stats.RightTuples = nRight
+		stats.PartialBytes = int64(len(left.tuples)+len(right.tuples)) * 4
+	}
+
+	// Phase 3: hash join on the cut vertex; validate and emit.
+	joined := make([]graph.VertexID, 0, k+1)
+	seen := make([]int32, ix.g.NumVertices())
+	epoch := int32(0)
+	for i := int64(0); i < nLeft; i++ {
+		la := left.tuples[i*stride : (i+1)*stride]
+		g := groups[la[cut]]
+		for j := g.lo; j < g.hi; j++ {
+			rb := right.tuples[j*rStride : (j+1)*rStride]
+			joined = joined[:0]
+			joined = append(joined, la...)
+			joined = append(joined, rb[1:]...) // rb[0] == la[cut]
+			epoch++
+			if path, ok := validatePath(joined, ix.q.T, seen, epoch); ok {
+				ctr.Results++
+				if ctl.Emit != nil && !ctl.Emit(path) {
+					return false, nil
+				}
+				if ctl.Limit > 0 && ctr.Results >= ctl.Limit {
+					return false, nil
+				}
+			}
+			if ctl.ShouldStop != nil {
+				if epoch%stopCheckInterval == 0 && ctl.ShouldStop() {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// validatePath checks whether the padded-walk tuple r (k+1 vertices ending
+// in t-padding) is a simple path, and returns the truncated path if so.
+// Interior occurrences of s cannot arise (the index has no edges into s),
+// so only duplicate detection up to the first t is required (Theorem 3.1).
+func validatePath(r []graph.VertexID, t graph.VertexID, seen []int32, epoch int32) ([]graph.VertexID, bool) {
+	for i, v := range r {
+		if v == t {
+			return r[:i+1], true
+		}
+		if seen[v] == epoch {
+			return nil, false
+		}
+		seen[v] = epoch
+	}
+	// Index construction guarantees position k is t; defensive fallback.
+	return nil, false
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+func collectJoin(t *testing.T, ix *Index, cut int) [][]graph.VertexID {
+	t.Helper()
+	var out [][]graph.VertexID
+	done, err := EnumerateJoin(ix, cut, RunControl{Emit: func(p []graph.VertexID) bool {
+		out = append(out, append([]graph.VertexID(nil), p...))
+		return true
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("EnumerateJoin stopped unexpectedly")
+	}
+	return out
+}
+
+// TestJoinPaperExampleAllCuts: Algorithm 6 must produce the same 5 paths as
+// the oracle for every interior cut position.
+func TestJoinPaperExampleAllCuts(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	want := brutePathsLocal(g, vS, vT, 4)
+	for cut := 1; cut <= 3; cut++ {
+		got := collectJoin(t, ix, cut)
+		if !samePaths(got, want) {
+			t.Fatalf("cut %d: join %d paths, oracle %d", cut, len(got), len(want))
+		}
+	}
+}
+
+// TestJoinMatchesBruteForce mirrors the DFS property test for the join
+// algorithm across random graphs and cut positions (Proposition C.2).
+func TestJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(10)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(4)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		want := brutePathsLocal(g, s, tt, k)
+		cut := 1 + rng.Intn(k-1)
+		got := collectJoin(t, ix, cut)
+		if !samePaths(got, want) {
+			t.Fatalf("trial %d (n=%d s=%d t=%d k=%d cut=%d): join %d paths, oracle %d",
+				trial, n, s, tt, k, cut, len(got), len(want))
+		}
+	}
+}
+
+func TestJoinInvalidCut(t *testing.T) {
+	g := paperGraph(t)
+	ix := mustIndex(t, g, paperQuery())
+	for _, cut := range []int{0, 4, -1, 99} {
+		if _, err := EnumerateJoin(ix, cut, RunControl{}, nil, nil); err == nil {
+			t.Errorf("cut %d: expected error", cut)
+		}
+	}
+}
+
+func TestJoinEmptyIndex(t *testing.T) {
+	g, err := graph.NewGraph(3, []graph.Edge{{From: 0, To: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := mustIndex(t, g, Query{S: 0, T: 2, K: 4})
+	var ctr Counters
+	done, err := EnumerateJoin(ix, 2, RunControl{}, &ctr, nil)
+	if err != nil || !done {
+		t.Fatalf("empty index join: done=%v err=%v", done, err)
+	}
+	if ctr.Results != 0 {
+		t.Fatalf("Results = %d, want 0", ctr.Results)
+	}
+}
+
+// TestJoinStatsProposition61: every materialized half-tuple appears in a
+// padded walk, so |Ra| and |Rb| are bounded by delta_W (Proposition 6.1 and
+// the §6.4 space analysis).
+func TestJoinStatsProposition61(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(8)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(3)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		walks := uint64(bruteWalksLocal(g, s, tt, k))
+		var stats JoinStats
+		cut := 1 + rng.Intn(k-1)
+		if _, err := EnumerateJoin(ix, cut, RunControl{}, nil, &stats); err != nil {
+			t.Fatal(err)
+		}
+		if uint64(stats.LeftTuples) > walks {
+			t.Fatalf("trial %d: |Ra|=%d > delta_W=%d", trial, stats.LeftTuples, walks)
+		}
+		// Rb is grouped per distinct cut vertex, each group bounded by the
+		// walks through that vertex; the total is bounded by delta_W too.
+		if uint64(stats.RightTuples) > walks {
+			t.Fatalf("trial %d: |Rb|=%d > delta_W=%d", trial, stats.RightTuples, walks)
+		}
+		if stats.PartialBytes < 0 {
+			t.Fatalf("negative PartialBytes")
+		}
+	}
+}
+
+func TestJoinLimitAndCancel(t *testing.T) {
+	g := gen.Layered(4, 3) // 64 paths, k = 4
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 4})
+	var ctr Counters
+	done, err := EnumerateJoin(ix, 2, RunControl{Limit: 7}, &ctr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done || ctr.Results != 7 {
+		t.Fatalf("limit run: done=%v results=%d", done, ctr.Results)
+	}
+	count := 0
+	done, err = EnumerateJoin(ix, 2, RunControl{Emit: func([]graph.VertexID) bool {
+		count++
+		return false
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done || count != 1 {
+		t.Fatalf("cancel run: done=%v count=%d", done, count)
+	}
+}
+
+func TestJoinShouldStop(t *testing.T) {
+	g := gen.Layered(8, 4)
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 5})
+	done, err := EnumerateJoin(ix, 2, RunControl{ShouldStop: func() bool { return true }}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("ShouldStop join must stop early")
+	}
+}
+
+// TestJoinDFSAgree: both index algorithms agree on larger pseudo-random
+// inputs where brute force is still feasible.
+func TestJoinDFSAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 15; trial++ {
+		g := gen.BarabasiAlbert(80, 4, rng.Int63())
+		s := graph.VertexID(rng.Intn(80))
+		tt := graph.VertexID(rng.Intn(80))
+		if s == tt {
+			continue
+		}
+		k := 3 + rng.Intn(3)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		var dfsCtr Counters
+		EnumerateDFS(ix, RunControl{}, &dfsCtr)
+		for cut := 1; cut < k; cut++ {
+			var joinCtr Counters
+			if _, err := EnumerateJoin(ix, cut, RunControl{}, &joinCtr, nil); err != nil {
+				t.Fatal(err)
+			}
+			if joinCtr.Results != dfsCtr.Results {
+				t.Fatalf("trial %d cut %d: join %d results, DFS %d",
+					trial, cut, joinCtr.Results, dfsCtr.Results)
+			}
+		}
+	}
+}
+
+func TestValidatePath(t *testing.T) {
+	seen := make([]int32, 10)
+	cases := []struct {
+		r    []graph.VertexID
+		tVtx graph.VertexID
+		ok   bool
+		n    int
+	}{
+		{[]graph.VertexID{0, 2, 1, 1, 1}, 1, true, 3},
+		{[]graph.VertexID{0, 2, 2, 1, 1}, 1, false, 0}, // duplicate v2
+		{[]graph.VertexID{0, 1, 1, 1, 1}, 1, true, 2},  // direct edge
+		{[]graph.VertexID{0, 2, 3, 4, 1}, 1, true, 5},
+		{[]graph.VertexID{0, 2, 3, 4, 5}, 1, false, 0}, // never reaches t
+	}
+	for i, c := range cases {
+		path, ok := validatePath(c.r, c.tVtx, seen, int32(i+1))
+		if ok != c.ok {
+			t.Errorf("case %d: ok = %v, want %v", i, ok, c.ok)
+			continue
+		}
+		if ok && len(path) != c.n {
+			t.Errorf("case %d: path len %d, want %d", i, len(path), c.n)
+		}
+	}
+}

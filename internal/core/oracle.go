@@ -1,0 +1,110 @@
+package core
+
+import "pathenum/internal/graph"
+
+// DistanceOracle abstracts the global offline index of §7.5 (future work):
+// a source of lower bounds on directed distances. LowerBound(u,v) must
+// never exceed the true distance d(u,v) in the graph the queries run on,
+// and may return a negative value to certify that v is unreachable from u.
+// internal/landmark provides the landmark-based implementation.
+type DistanceOracle interface {
+	LowerBound(u, v graph.VertexID) int32
+}
+
+// runPruned is the oracle-accelerated variant of bfsScratch.run: both
+// searches skip expanding any vertex whose distance-so-far plus the
+// oracle's lower bound to the remaining endpoint already exceeds k.
+//
+// Soundness: such a vertex is provably outside the partition X, and any
+// vertex on a shortest path from s (or to t) of an X member is itself in X
+// (the triangle inequality argument in the landmark package doc), so
+// pruning it cannot change the label of any vertex the index keeps. The
+// resulting index is identical to the unpruned one; the tests verify this
+// property on randomized inputs.
+func (b *bfsScratch) runPruned(g *graph.Graph, q Query, pred EdgePredicate, oracle DistanceOracle) {
+	if oracle == nil {
+		b.run(g, q, pred)
+		return
+	}
+	for i := range b.distS {
+		b.distS[i] = distUnreachable
+		b.distT[i] = distUnreachable
+	}
+	bound := int32(q.K)
+
+	// Forward BFS from s with goal-directed pruning toward t.
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, q.S)
+	b.distS[q.S] = 0
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		d := b.distS[v]
+		if d >= bound {
+			break
+		}
+		if lb := oracle.LowerBound(v, q.T); lb < 0 || d+lb > bound {
+			continue // v cannot be in X; skip expansion, keep its label
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if b.distS[w] != distUnreachable {
+				continue
+			}
+			if pred != nil && !pred(v, w) {
+				continue
+			}
+			b.distS[w] = d + 1
+			if w != q.T {
+				b.queue = append(b.queue, w)
+			}
+		}
+	}
+
+	// Backward BFS from t with pruning toward s.
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, q.T)
+	b.distT[q.T] = 0
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		d := b.distT[v]
+		if d >= bound {
+			break
+		}
+		if lb := oracle.LowerBound(q.S, v); lb < 0 || d+lb > bound {
+			continue
+		}
+		for _, w := range g.InNeighbors(v) {
+			if b.distT[w] != distUnreachable {
+				continue
+			}
+			if pred != nil && !pred(w, v) {
+				continue
+			}
+			b.distT[w] = d + 1
+			if w != q.S {
+				b.queue = append(b.queue, w)
+			}
+		}
+	}
+}
+
+// BuildIndexOracle constructs the light-weight index with oracle-pruned
+// BFS passes. The oracle must have been built on g (or on a subgraph view
+// whose distances are no smaller); with a nil oracle this is BuildIndex.
+func BuildIndexOracle(g *graph.Graph, q Query, oracle DistanceOracle) (*Index, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	if oracle != nil {
+		// Infeasibility certificate: no BFS at all (§7.5's response-time
+		// motivation).
+		if lb := oracle.LowerBound(q.S, q.T); lb < 0 || int(lb) > q.K {
+			ix := &Index{g: g, q: q, k: q.K, empty: true}
+			ix.cSize = make([]int64, q.K+1)
+			ix.sumIt = make([]uint64, q.K)
+			return ix, nil
+		}
+	}
+	scratch := newBFSScratch(g.NumVertices())
+	scratch.runPruned(g, q, nil, oracle)
+	return buildIndexFrom(g, q, scratch, nil), nil
+}

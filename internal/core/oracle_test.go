@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+	"pathenum/internal/landmark"
+)
+
+// TestOracleIndexIdentical is the central property of the §7.5 extension:
+// the oracle-pruned index is exactly the plain index — same partition, same
+// edges, same enumeration results.
+func TestOracleIndexIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(40)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		oracle, err := landmark.Build(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		q := Query{S: s, T: tt, K: 2 + rng.Intn(4)}
+
+		plain := mustIndex(t, g, q)
+		pruned, err := BuildIndexOracle(g, q, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Empty() != pruned.Empty() {
+			t.Fatalf("trial %d %v: empty mismatch: plain=%v pruned=%v",
+				trial, q, plain.Empty(), pruned.Empty())
+		}
+		if plain.Empty() {
+			continue
+		}
+		if plain.NumIndexed() != pruned.NumIndexed() {
+			t.Fatalf("trial %d %v: |X| %d vs %d", trial, q, plain.NumIndexed(), pruned.NumIndexed())
+		}
+		if plain.Edges() != pruned.Edges() {
+			t.Fatalf("trial %d %v: edges %d vs %d", trial, q, plain.Edges(), pruned.Edges())
+		}
+		for v := graph.VertexID(0); v < graph.VertexID(n); v++ {
+			if plain.InX(v) != pruned.InX(v) {
+				t.Fatalf("trial %d %v: InX(%d) differs", trial, q, v)
+			}
+			if plain.InX(v) && (plain.DistS(v) != pruned.DistS(v) || plain.DistT(v) != pruned.DistT(v)) {
+				t.Fatalf("trial %d %v: labels of %d differ", trial, q, v)
+			}
+		}
+		var a, b Counters
+		EnumerateDFS(plain, RunControl{}, &a)
+		EnumerateDFS(pruned, RunControl{}, &b)
+		if a.Results != b.Results {
+			t.Fatalf("trial %d %v: results %d vs %d", trial, q, a.Results, b.Results)
+		}
+	}
+}
+
+// TestOracleInfeasibleShortcut: a provably out-of-range query must produce
+// an empty index with no BFS.
+func TestOracleInfeasibleShortcut(t *testing.T) {
+	// Long directed path: dist(0, n-1) = n-1.
+	n := 30
+	var edges []graph.Edge
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32(i + 1)})
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := landmark.Build(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndexOracle(g, Query{S: 0, T: int32(n - 1), K: 5}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Empty() {
+		t.Fatal("index must be empty for an infeasible query")
+	}
+	// Unreachable pair (reverse direction on a one-way path).
+	ix2, err := BuildIndexOracle(g, Query{S: int32(n - 1), T: 0, K: 5}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix2.Empty() {
+		t.Fatal("index must be empty for an unreachable target")
+	}
+}
+
+// TestRunWithOracleOption: the end-to-end driver with an oracle agrees
+// with the plain run.
+func TestRunWithOracleOption(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 4, 12)
+	oracle, err := landmark.Build(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		s := graph.VertexID(rng.Intn(150))
+		tt := graph.VertexID(rng.Intn(150))
+		if s == tt {
+			continue
+		}
+		q := Query{S: s, T: tt, K: 4}
+		plain, err := Run(g, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := Run(g, q, Options{Oracle: oracle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Counters.Results != pruned.Counters.Results {
+			t.Fatalf("trial %d %v: %d vs %d results",
+				trial, q, plain.Counters.Results, pruned.Counters.Results)
+		}
+	}
+}
+
+func TestBuildIndexOracleValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	oracle, err := landmark.Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildIndexOracle(g, Query{S: 1, T: 1, K: 3}, oracle); err == nil {
+		t.Fatal("s == t: expected error")
+	}
+	// Nil oracle degrades to the plain build.
+	ix, err := BuildIndexOracle(g, Query{S: 0, T: 2, K: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Empty() {
+		t.Fatal("cycle query must be feasible")
+	}
+}

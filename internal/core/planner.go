@@ -1,0 +1,69 @@
+package core
+
+import "fmt"
+
+// Method identifies which enumeration algorithm evaluates a query.
+type Method int
+
+// Enumeration methods. MethodAuto lets the two-phase optimizer decide
+// (§3.2, §6.1); the others force a specific algorithm, which the
+// experiments use to study IDX-DFS and IDX-JOIN in isolation.
+const (
+	MethodAuto Method = iota
+	MethodDFS
+	MethodJoin
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "PathEnum"
+	case MethodDFS:
+		return "IDX-DFS"
+	case MethodJoin:
+		return "IDX-JOIN"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// DefaultTau is the preliminary-estimate threshold below which the
+// optimizer skips join-order optimization and runs IDX-DFS directly. The
+// paper calibrates tau = 1e5 by pre-executing random queries (§6.2).
+const DefaultTau = 1e5
+
+// Plan records the optimizer's decision for one query.
+type Plan struct {
+	// Method is the chosen algorithm: MethodDFS or MethodJoin.
+	Method Method
+	// Cut is the join cut position i*; meaningful when Method is MethodJoin.
+	Cut int
+	// Preliminary is the Equation-5 estimate that gated the decision.
+	Preliminary float64
+	// Full holds the full-fledged estimate, or nil when the preliminary
+	// phase short-circuited to IDX-DFS.
+	Full *Estimate
+}
+
+// ChoosePlan implements the two-phase query optimizer: if the preliminary
+// estimate is at most tau the query is cheap and IDX-DFS runs directly;
+// otherwise the full-fledged estimator prices the left-deep plan against
+// the best bushy plan and the cheaper one wins (§6.1-6.3).
+func ChoosePlan(ix *Index, tau float64) Plan {
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	prelim := PreliminaryEstimate(ix)
+	if prelim <= tau {
+		return Plan{Method: MethodDFS, Preliminary: prelim}
+	}
+	est := FullEstimate(ix)
+	plan := Plan{Preliminary: prelim, Full: est, Cut: est.Cut}
+	if est.TDFS <= est.TJoin || est.Cut == 0 {
+		plan.Method = MethodDFS
+	} else {
+		plan.Method = MethodJoin
+	}
+	return plan
+}

@@ -1,0 +1,52 @@
+// Package core implements the paper's primary contribution: the PathEnum
+// query engine for hop-constrained s-t path enumeration (HcPE).
+//
+// For a query q(s,t,k) on a directed graph G, PathEnum (1) builds a
+// query-dependent light-weight index from the distances of every vertex to s
+// and t (§4.2, Algorithm 3), (2) estimates the search-space size with a
+// preliminary estimator (Equation 5), and (3) either runs a depth-first
+// search directly on the index (§5, Algorithm 4) or invokes a full-fledged
+// cardinality estimator (Algorithm 5) to pick between the DFS and a bushy
+// join plan that splits the query at an optimized cut position (§6,
+// Algorithm 6).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pathenum/internal/graph"
+)
+
+// Query is a HcPE query q(s,t,k): enumerate all simple paths from S to T
+// with at most K edges.
+type Query struct {
+	S graph.VertexID
+	T graph.VertexID
+	K int
+}
+
+// Validation errors returned by Query.Validate.
+var (
+	ErrSameEndpoints = errors.New("core: source and target must be distinct")
+	ErrHopConstraint = errors.New("core: hop constraint must be >= 1")
+	ErrVertexRange   = errors.New("core: query endpoint out of range")
+)
+
+// Validate checks the query against g.
+func (q Query) Validate(g *graph.Graph) error {
+	n := graph.VertexID(g.NumVertices())
+	if q.S < 0 || q.S >= n || q.T < 0 || q.T >= n {
+		return fmt.Errorf("%w: s=%d t=%d n=%d", ErrVertexRange, q.S, q.T, n)
+	}
+	if q.S == q.T {
+		return fmt.Errorf("%w: s=t=%d", ErrSameEndpoints, q.S)
+	}
+	if q.K < 1 {
+		return fmt.Errorf("%w: k=%d", ErrHopConstraint, q.K)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (q Query) String() string { return fmt.Sprintf("q(%d,%d,%d)", q.S, q.T, q.K) }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"pathenum/internal/graph"
+)
+
+// Options configures one PathEnum query execution.
+type Options struct {
+	// Method selects the algorithm; MethodAuto enables the optimizer.
+	Method Method
+	// Tau overrides the preliminary-estimate threshold (0 = DefaultTau).
+	Tau float64
+	// Limit stops enumeration after this many results when positive.
+	Limit uint64
+	// Timeout bounds the whole run when positive.
+	Timeout time.Duration
+	// Emit receives each result path; the slice is reused — copy to
+	// retain. Returning false stops the run. Nil counts only.
+	Emit func(path []graph.VertexID) bool
+	// Predicate restricts the query to edges satisfying it (Appendix E);
+	// nil admits all edges.
+	Predicate EdgePredicate
+	// Oracle, when non-nil, prunes index construction with global
+	// distance lower bounds (§7.5 future work; see internal/landmark).
+	// It must have been built on the same graph.
+	Oracle DistanceOracle
+}
+
+// Timings breaks the query time into the phases reported by Figures 7, 12
+// and 17.
+type Timings struct {
+	BFS       time.Duration // distance labeling (included in Build)
+	Build     time.Duration // full index construction, BFS included
+	Optimize  time.Duration // estimator + plan selection
+	Enumerate time.Duration // result enumeration
+}
+
+// Total returns the full query time.
+func (t Timings) Total() time.Duration { return t.Build + t.Optimize + t.Enumerate }
+
+// Result reports the outcome of one query execution.
+type Result struct {
+	Query     Query
+	Plan      Plan
+	Counters  Counters
+	JoinStats JoinStats
+	Timings   Timings
+	// Completed is false when the run stopped early (limit, timeout or
+	// emit cancellation).
+	Completed bool
+	// IndexEdges / IndexVertices / IndexBytes describe the built index.
+	IndexEdges    int64
+	IndexVertices int
+	IndexBytes    int64
+}
+
+// Run executes q on g per opts: build index, plan, enumerate. This is the
+// engine behind the public API and every experiment harness.
+func Run(g *graph.Graph, q Query, opts Options) (*Result, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q}
+
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	shouldStop := func() bool { return false }
+	if !deadline.IsZero() {
+		shouldStop = func() bool { return time.Now().After(deadline) }
+	}
+
+	// Phase 1: index construction (Algorithm 3), with the BFS timed
+	// separately for the Figure 12/17 breakdowns.
+	start := time.Now()
+	scratch := newBFSScratch(g.NumVertices())
+	scratch.runPruned(g, q, opts.Predicate, opts.Oracle)
+	res.Timings.BFS = time.Since(start)
+	ix := buildIndexFrom(g, q, scratch, opts.Predicate)
+	res.Timings.Build = time.Since(start)
+	res.IndexEdges = ix.Edges()
+	res.IndexVertices = ix.NumIndexed()
+	res.IndexBytes = ix.MemoryBytes()
+
+	// Phase 2: plan selection (§6).
+	optStart := time.Now()
+	var plan Plan
+	switch opts.Method {
+	case MethodDFS:
+		plan = Plan{Method: MethodDFS, Preliminary: PreliminaryEstimate(ix)}
+	case MethodJoin:
+		est := FullEstimate(ix)
+		plan = Plan{Method: MethodJoin, Cut: est.Cut, Full: est, Preliminary: PreliminaryEstimate(ix)}
+		if est.Cut == 0 {
+			plan.Method = MethodDFS // k < 2 leaves no interior cut
+		}
+	default:
+		plan = ChoosePlan(ix, opts.Tau)
+	}
+	res.Plan = plan
+	res.Timings.Optimize = time.Since(optStart)
+
+	// Phase 3: enumeration.
+	ctl := RunControl{Emit: opts.Emit, Limit: opts.Limit, ShouldStop: shouldStop}
+	enumStart := time.Now()
+	switch plan.Method {
+	case MethodJoin:
+		done, err := EnumerateJoin(ix, plan.Cut, ctl, &res.Counters, &res.JoinStats)
+		if err != nil {
+			return nil, err
+		}
+		res.Completed = done
+	default:
+		res.Completed = EnumerateDFS(ix, ctl, &res.Counters)
+	}
+	res.Timings.Enumerate = time.Since(enumStart)
+	return res, nil
+}
+
+// Count returns the number of hop-constrained s-t paths, running the full
+// optimizer with no limits. Convenience wrapper used widely in tests.
+func Count(g *graph.Graph, q Query) (uint64, error) {
+	res, err := Run(g, q, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Counters.Results, nil
+}

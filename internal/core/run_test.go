@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+func TestRunPaperExample(t *testing.T) {
+	g := paperGraph(t)
+	for _, m := range []Method{MethodAuto, MethodDFS, MethodJoin} {
+		res, err := Run(g, paperQuery(), Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Counters.Results != 5 {
+			t.Fatalf("%v: Results = %d, want 5", m, res.Counters.Results)
+		}
+		if !res.Completed {
+			t.Fatalf("%v: run must complete", m)
+		}
+		if res.IndexVertices != 9 {
+			t.Fatalf("%v: IndexVertices = %d, want 9", m, res.IndexVertices)
+		}
+	}
+}
+
+// TestRunMethodsAgreeRandom: all three methods count identically on random
+// inputs; this exercises the planner on top of the two enumerators.
+func TestRunMethodsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(40)
+		g := gen.BarabasiAlbert(n, 3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		q := Query{S: s, T: tt, K: 2 + rng.Intn(4)}
+		var counts [3]uint64
+		for i, m := range []Method{MethodAuto, MethodDFS, MethodJoin} {
+			res, err := Run(g, q, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[i] = res.Counters.Results
+		}
+		if counts[0] != counts[1] || counts[1] != counts[2] {
+			t.Fatalf("trial %d %v: counts %v differ", trial, q, counts)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := Run(g, Query{S: 0, T: 0, K: 3}, Options{}); err == nil {
+		t.Error("s == t: expected error")
+	}
+	if _, err := Run(g, Query{S: 0, T: 1, K: -1}, Options{}); err == nil {
+		t.Error("negative k: expected error")
+	}
+	if _, err := Run(g, Query{S: -3, T: 1, K: 3}, Options{}); err == nil {
+		t.Error("negative s: expected error")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	g := gen.Layered(5, 3) // 125 results
+	res, err := Run(g, Query{S: 0, T: 1, K: 4}, Options{Limit: 30, Method: MethodDFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.Counters.Results != 30 {
+		t.Fatalf("limit run: completed=%v results=%d", res.Completed, res.Counters.Results)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	// A wide layered graph gives an enormous result set; a tiny timeout
+	// must stop the run early yet report partial results.
+	g := gen.Layered(24, 5) // 24^5 ~ 8M paths
+	res, err := Run(g, Query{S: 0, T: 1, K: 6}, Options{Timeout: 10 * time.Millisecond, Method: MethodDFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("timeout run must not complete")
+	}
+	if res.Counters.Results == 0 {
+		t.Fatal("timeout run should still find some results")
+	}
+}
+
+func TestRunEmitReceivesPaths(t *testing.T) {
+	g := paperGraph(t)
+	var lengths []int
+	_, err := Run(g, paperQuery(), Options{Emit: func(p []graph.VertexID) bool {
+		lengths = append(lengths, len(p))
+		return true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lengths) != 5 {
+		t.Fatalf("emit saw %d paths, want 5", len(lengths))
+	}
+}
+
+func TestRunTimingsPopulated(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 5, 3)
+	res, err := Run(g, Query{S: 0, T: 1, K: 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings.Build <= 0 {
+		t.Error("Build timing must be positive")
+	}
+	if res.Timings.BFS > res.Timings.Build {
+		t.Error("BFS is a sub-phase of Build")
+	}
+	if res.Timings.Total() < res.Timings.Build {
+		t.Error("Total must include Build")
+	}
+}
+
+func TestRunForcedJoinOnKOne(t *testing.T) {
+	// k=1 leaves no interior cut: MethodJoin must fall back to DFS and
+	// still answer correctly.
+	g := paperGraph(t)
+	res, err := Run(g, Query{S: vV0, T: vT, K: 1}, Options{Method: MethodJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Method != MethodDFS {
+		t.Fatalf("plan method = %v, want DFS fallback", res.Plan.Method)
+	}
+	if res.Counters.Results != 1 {
+		t.Fatalf("Results = %d, want 1", res.Counters.Results)
+	}
+}
+
+func TestCount(t *testing.T) {
+	g := paperGraph(t)
+	n, err := Count(g, paperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Count = %d, want 5", n)
+	}
+	if _, err := Count(g, Query{S: 0, T: 0, K: 2}); err == nil {
+		t.Fatal("Count with invalid query: expected error")
+	}
+}
+
+func TestChoosePlanThreshold(t *testing.T) {
+	g := gen.Layered(6, 4) // 1296 walks
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 5})
+	// Huge tau: preliminary path, no full estimate.
+	cheap := ChoosePlan(ix, 1e12)
+	if cheap.Method != MethodDFS || cheap.Full != nil {
+		t.Fatalf("high tau: plan %+v, want DFS without full estimate", cheap)
+	}
+	// Tiny tau: full estimator must run.
+	expensive := ChoosePlan(ix, 1)
+	if expensive.Full == nil {
+		t.Fatal("low tau: full estimate must be computed")
+	}
+	// Zero tau falls back to the default.
+	def := ChoosePlan(ix, 0)
+	if def.Preliminary <= 0 {
+		t.Fatal("default tau plan must carry the preliminary estimate")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	cases := map[Method]string{
+		MethodAuto: "PathEnum",
+		MethodDFS:  "IDX-DFS",
+		MethodJoin: "IDX-JOIN",
+		Method(42): "Method(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{S: 1, T: 2, K: 6}
+	if got := q.String(); got != "q(1,2,6)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+// Adversarial-topology tests: graph shapes that stress specific paths of
+// the index and enumerators.
+
+// TestCompleteGraph: densest input; the number of s-t paths of length
+// <= k in K_n is sum over L=1..k of P(n-2, L-1) arrangements.
+func TestCompleteGraph(t *testing.T) {
+	n := 7
+	g := gen.Complete(n)
+	// Count via brute force once, then check every method agrees.
+	for k := 1; k <= 4; k++ {
+		q := Query{S: 0, T: 1, K: k}
+		want := uint64(len(brutePathsLocal(g, 0, 1, k)))
+		// Closed form: sum_{L=1}^{k} product_{i=0}^{L-2} (n-2-i).
+		var expect uint64 = 0
+		for L := 1; L <= k; L++ {
+			term := uint64(1)
+			for i := 0; i < L-1; i++ {
+				term *= uint64(n - 2 - i)
+			}
+			expect += term
+		}
+		if want != expect {
+			t.Fatalf("k=%d: brute %d != closed form %d", k, want, expect)
+		}
+		for _, m := range []Method{MethodDFS, MethodJoin, MethodAuto} {
+			res, err := Run(g, q, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counters.Results != want {
+				t.Fatalf("k=%d %v: %d, want %d", k, m, res.Counters.Results, want)
+			}
+		}
+	}
+}
+
+// TestStarGraph: s at the hub; every leaf at distance 1, but leaves have
+// no outgoing edges, so only the direct s->t edge survives.
+func TestStarGraph(t *testing.T) {
+	n := 50
+	var edges []graph.Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{From: 0, To: int32(i)})
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := Count(g, Query{S: 0, T: 7, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("star: %d paths, want 1", count)
+	}
+	// Leaf to leaf: unreachable.
+	count, err = Count(g, Query{S: 3, T: 7, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("leaf-to-leaf: %d paths, want 0", count)
+	}
+}
+
+// TestBipartiteParity: on a directed bipartite graph every s-t walk has a
+// fixed length parity; the index must not hallucinate odd-length paths.
+func TestBipartiteParity(t *testing.T) {
+	// Layers A = {0..4}, B = {5..9}; edges A->B and B->A.
+	var edges []graph.Edge
+	for a := 0; a < 5; a++ {
+		for b := 5; b < 10; b++ {
+			edges = append(edges, graph.Edge{From: int32(a), To: int32(b)})
+			edges = append(edges, graph.Edge{From: int32(b), To: int32(a)})
+		}
+	}
+	g, err := graph.NewGraph(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s and t both in A: all paths have even length.
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 5})
+	EnumerateDFS(ix, RunControl{Emit: func(p []graph.VertexID) bool {
+		if (len(p)-1)%2 != 0 {
+			t.Fatalf("odd-length path in bipartite graph: %v", p)
+		}
+		return true
+	}}, nil)
+	// Cross sides: all odd.
+	ix2 := mustIndex(t, g, Query{S: 0, T: 7, K: 5})
+	EnumerateDFS(ix2, RunControl{Emit: func(p []graph.VertexID) bool {
+		if (len(p)-1)%2 != 1 {
+			t.Fatalf("even-length cross path: %v", p)
+		}
+		return true
+	}}, nil)
+}
+
+// TestLongCycle: a single directed n-cycle has exactly one s-t path, of
+// length dist(s,t), visible only when k is large enough.
+func TestLongCycle(t *testing.T) {
+	n := 40
+	g := gen.Cycle(n)
+	for _, tc := range []struct {
+		t    graph.VertexID
+		k    int
+		want uint64
+	}{
+		{10, 9, 0},
+		{10, 10, 1},
+		{10, 39, 1},
+		{39, 38, 0},
+		{39, 39, 1},
+	} {
+		count, err := Count(g, Query{S: 0, T: tc.t, K: tc.k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != tc.want {
+			t.Fatalf("cycle q(0,%d,%d): %d paths, want %d", tc.t, tc.k, count, tc.want)
+		}
+	}
+}
+
+// TestGridCounts: 2x2 directed grid with both directions; cross-corner
+// paths are easy to enumerate by hand.
+func TestGridCounts(t *testing.T) {
+	g := gen.Grid(2, 2)
+	// Vertices: 0 1 / 2 3. Paths 0->3 with k=2: 0,1,3 and 0,2,3.
+	count, err := Count(g, Query{S: 0, T: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("grid k=2: %d, want 2", count)
+	}
+	// k=4 adds no simple path (any longer route revisits a vertex in 2x2).
+	count, err = Count(g, Query{S: 0, T: 3, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("grid k=4: %d, want 2", count)
+	}
+}
+
+// TestQuickMethodsAgree drives testing/quick over random seeds: DFS, JOIN
+// and the planner agree on path counts everywhere.
+func TestQuickMethodsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(24, 70, seed)
+		q := Query{S: 0, T: 12, K: 4}
+		a, err := Run(g, q, Options{Method: MethodDFS})
+		if err != nil {
+			return false
+		}
+		b, err := Run(g, q, Options{Method: MethodJoin})
+		if err != nil {
+			return false
+		}
+		c, err := Run(g, q, Options{Method: MethodAuto})
+		if err != nil {
+			return false
+		}
+		return a.Counters.Results == b.Counters.Results &&
+			b.Counters.Results == c.Counters.Results
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEstimatorBounds: walk count always >= path count; estimate is
+// symmetric across the two DPs.
+func TestQuickEstimatorBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(18, 54, seed)
+		q := Query{S: 1, T: 9, K: 4}
+		ix, err := BuildIndex(g, q)
+		if err != nil {
+			return false
+		}
+		est := FullEstimate(ix)
+		var ctr Counters
+		EnumerateDFS(ix, RunControl{}, &ctr)
+		if est.Walks < ctr.Results {
+			return false
+		}
+		return est.SumFromS[q.K] == est.SumToT[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIndexSubsetOfGraph: every index edge is a graph edge (or the
+// padding loop), under random inputs.
+func TestQuickIndexSubsetOfGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(20, 60, seed)
+		q := Query{S: 2, T: 15, K: 4}
+		ix, err := BuildIndex(g, q)
+		if err != nil || ix.Empty() {
+			return err == nil
+		}
+		ok := true
+		for i := 0; i <= q.K && ok; i++ {
+			ix.ForEachLevel(i, func(v graph.VertexID) {
+				for _, w := range ix.OutUpTo(v, q.K) {
+					if v == q.T && w == q.T {
+						continue // padding loop
+					}
+					if !g.HasEdge(v, w) {
+						ok = false
+					}
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIsolatedEndpoints: queries touching isolated vertices return zero
+// results without error.
+func TestIsolatedEndpoints(t *testing.T) {
+	g, err := graph.NewGraph(5, []graph.Edge{{From: 0, To: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Query{{S: 4, T: 0, K: 3}, {S: 0, T: 4, K: 3}, {S: 3, T: 4, K: 3}} {
+		count, err := Count(g, q)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		if count != 0 {
+			t.Fatalf("%v: %d paths from/to isolated vertex", q, count)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package gen provides deterministic synthetic graph generators and a
+// dataset registry that emulates, at laptop scale, the 15 real-world graphs
+// used in the PathEnum evaluation (§7.1, Table 2).
+//
+// The paper's datasets (SNAP / networkrepository) are not available offline,
+// so each is substituted by a generator from the same structural family
+// (power-law social/web graphs, dense biological/recommendation graphs,
+// sparse citation-like graphs) scaled down in |V| while preserving the
+// average degree. DESIGN.md §3 documents the substitution rationale.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pathenum/internal/graph"
+)
+
+// ErdosRenyi generates a directed G(n, m) graph: m edges sampled uniformly
+// at random (self-loops and duplicates are collapsed by graph.NewGraph, so
+// the result may have slightly fewer than m edges).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{
+			From: int32(rng.Intn(n)),
+			To:   int32(rng.Intn(n)),
+		})
+	}
+	return mustGraph(n, edges)
+}
+
+// BarabasiAlbert generates a directed preferential-attachment graph: each
+// new vertex adds outPerNode edges whose targets are chosen proportionally
+// to current degree, producing the power-law degree distribution typical of
+// the paper's social and web datasets. A fraction of the edges is reversed
+// so that the graph contains cycles (real social/web graphs are far from
+// acyclic, and HcPE workloads need paths in both directions).
+func BarabasiAlbert(n, outPerNode int, seed int64) *graph.Graph {
+	if n < 2 {
+		return mustGraph(n, nil)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if outPerNode < 1 {
+		outPerNode = 1
+	}
+	edges := make([]graph.Edge, 0, n*outPerNode)
+	// endpoints repeats each vertex once per incident edge; sampling a
+	// uniform element of it is degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*n*outPerNode)
+	endpoints = append(endpoints, 0, 1)
+	edges = append(edges, graph.Edge{From: 1, To: 0})
+
+	for v := 2; v < n; v++ {
+		deg := outPerNode
+		if deg > v {
+			deg = v
+		}
+		for i := 0; i < deg; i++ {
+			target := endpoints[rng.Intn(len(endpoints))]
+			if int(target) == v {
+				target = int32(rng.Intn(v))
+			}
+			e := graph.Edge{From: int32(v), To: target}
+			if rng.Intn(4) == 0 { // 25% reversed: creates cycles
+				e.From, e.To = e.To, e.From
+			}
+			edges = append(edges, e)
+			endpoints = append(endpoints, int32(v), target)
+		}
+	}
+	return mustGraph(n, edges)
+}
+
+// PowerLawConfig generates a directed graph whose out-degrees follow a
+// discrete power law with the given exponent (alpha > 1), scaled so the
+// average out-degree is approximately avgDeg. Targets are uniform. This is
+// the configuration-model stand-in for heavy-tailed web graphs.
+func PowerLawConfig(n int, avgDeg float64, alpha float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if alpha <= 1 {
+		alpha = 2.1
+	}
+	// Sample raw degrees from Pareto, then scale to the requested average.
+	raw := make([]float64, n)
+	var sum float64
+	for i := range raw {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		raw[i] = math.Pow(u, -1/(alpha-1)) // Pareto(1, alpha-1)
+		if raw[i] > float64(n) {
+			raw[i] = float64(n)
+		}
+		sum += raw[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	edges := make([]graph.Edge, 0, int(avgDeg*float64(n))+n)
+	for v := 0; v < n; v++ {
+		d := int(raw[v]*scale + 0.5)
+		for i := 0; i < d; i++ {
+			edges = append(edges, graph.Edge{From: int32(v), To: int32(rng.Intn(n))})
+		}
+	}
+	return mustGraph(n, edges)
+}
+
+// Layered generates a complete layered graph: `layers` layers of `width`
+// vertices each, plus a source feeding layer 0 and a sink fed by the last
+// layer, with every vertex of layer i connected to every vertex of layer
+// i+1. Queries from source (vertex 0) to sink (vertex 1) have exactly
+// width^layers paths of length layers+1: the worst-case walk/path explosion
+// used to stress enumerators.
+func Layered(width, layers int) *graph.Graph {
+	n := 2 + width*layers
+	at := func(layer, i int) int32 { return int32(2 + layer*width + i) }
+	var edges []graph.Edge
+	for i := 0; i < width; i++ {
+		edges = append(edges, graph.Edge{From: 0, To: at(0, i)})
+		edges = append(edges, graph.Edge{From: at(layers-1, i), To: 1})
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				edges = append(edges, graph.Edge{From: at(l, i), To: at(l+1, j)})
+			}
+		}
+	}
+	return mustGraph(n, edges)
+}
+
+// Grid generates a rows x cols directed grid with edges right and down,
+// plus the reverse edges, giving a predictable sparse planar topology.
+func Grid(rows, cols int) *graph.Graph {
+	at := func(r, c int) int32 { return int32(r*cols + c) }
+	var edges []graph.Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{From: at(r, c), To: at(r, c+1)})
+				edges = append(edges, graph.Edge{From: at(r, c+1), To: at(r, c)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{From: at(r, c), To: at(r+1, c)})
+				edges = append(edges, graph.Edge{From: at(r+1, c), To: at(r, c)})
+			}
+		}
+	}
+	return mustGraph(rows*cols, edges)
+}
+
+// Complete generates the complete directed graph on n vertices (every
+// ordered pair except self-loops), the densest possible input.
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{From: int32(i), To: int32(j)})
+			}
+		}
+	}
+	return mustGraph(n, edges)
+}
+
+// Cycle generates a single directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+func Cycle(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32((i + 1) % n)})
+	}
+	return mustGraph(n, edges)
+}
+
+func mustGraph(n int, edges []graph.Edge) *graph.Graph {
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("gen: internal generator bug: %v", err))
+	}
+	return g
+}

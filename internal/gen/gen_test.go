@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"testing"
+
+	"pathenum/internal/graph"
+)
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 500, 1)
+	b := ErdosRenyi(100, 500, 1)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge count: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("same seed, different edge %d: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	c := ErdosRenyi(100, 500, 2)
+	if c.NumEdges() == a.NumEdges() {
+		// Counts can coincide; require at least one differing edge.
+		ce := c.Edges()
+		same := true
+		for i := range ae {
+			if ae[i] != ce[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestErdosRenyiSize(t *testing.T) {
+	g := ErdosRenyi(200, 1000, 3)
+	if g.NumVertices() != 200 {
+		t.Fatalf("NumVertices = %d, want 200", g.NumVertices())
+	}
+	// Dedup and self-loop removal shrink the count slightly but never grow it.
+	if g.NumEdges() > 1000 || g.NumEdges() < 900 {
+		t.Fatalf("NumEdges = %d, want ~1000", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(500, 4, 7)
+	if g.NumVertices() != 500 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.AvgDegree() < 2 || g.AvgDegree() > 5 {
+		t.Fatalf("AvgDegree = %f, want ~4", g.AvgDegree())
+	}
+	// Preferential attachment must produce a heavy tail: the max degree
+	// should far exceed the average.
+	maxDeg := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 4*g.AvgDegree() {
+		t.Fatalf("max degree %d not heavy-tailed (avg %f)", maxDeg, g.AvgDegree())
+	}
+}
+
+func TestBarabasiAlbertTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		g := BarabasiAlbert(n, 3, 1)
+		if g.NumVertices() != n {
+			t.Fatalf("n=%d: NumVertices = %d", n, g.NumVertices())
+		}
+	}
+}
+
+func TestPowerLawConfigAvgDegree(t *testing.T) {
+	g := PowerLawConfig(1000, 10, 2.2, 11)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.AvgDegree() < 6 || g.AvgDegree() > 12 {
+		t.Fatalf("AvgDegree = %f, want ~10 (minus dedup losses)", g.AvgDegree())
+	}
+	// Degenerate alpha falls back to a sane default instead of exploding.
+	g2 := PowerLawConfig(100, 5, 0.5, 11)
+	if g2.NumVertices() != 100 {
+		t.Fatal("alpha fallback failed")
+	}
+}
+
+func TestLayeredPathCount(t *testing.T) {
+	// width=3, layers=2: source->3 ->3 ->sink = 9 paths of length 3.
+	g := Layered(3, 2)
+	if g.NumVertices() != 2+3*2 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	wantEdges := int64(3 + 3 + 3*3)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if len(g.OutNeighbors(0)) != 3 {
+		t.Fatalf("source out-degree = %d", len(g.OutNeighbors(0)))
+	}
+	if len(g.InNeighbors(1)) != 3 {
+		t.Fatalf("sink in-degree = %d", len(g.InNeighbors(1)))
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	// Horizontal: 3 rows x 3 gaps x 2 dirs; vertical: 2 gaps x 4 cols x 2.
+	want := int64(3*3*2 + 2*4*2)
+	if g.NumEdges() != want {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+}
+
+func TestCompleteAndCycle(t *testing.T) {
+	g := Complete(5)
+	if g.NumEdges() != 20 {
+		t.Fatalf("Complete(5) edges = %d, want 20", g.NumEdges())
+	}
+	c := Cycle(6)
+	if c.NumEdges() != 6 {
+		t.Fatalf("Cycle(6) edges = %d, want 6", c.NumEdges())
+	}
+	for v := int32(0); v < 6; v++ {
+		if !c.HasEdge(v, (v+1)%6) {
+			t.Fatalf("Cycle missing edge %d->%d", v, (v+1)%6)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Registry) != 15 {
+		t.Fatalf("Registry has %d entries, want 15 (Table 2)", len(Registry))
+	}
+	seen := map[string]bool{}
+	for _, d := range Registry {
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.N <= 0 || d.AvgDeg <= 0 {
+			t.Fatalf("dataset %q has invalid size", d.Name)
+		}
+	}
+	for _, name := range []string{"ep", "gg", "tm"} {
+		if !seen[name] {
+			t.Fatalf("registry missing key dataset %q", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d, err := Lookup("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "ep" || d.Type != "Social" {
+		t.Fatalf("Lookup(ep) = %+v", d)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup(nope): expected error")
+	}
+}
+
+func TestDatasetBuild(t *testing.T) {
+	// Build small-scaled versions of every dataset to exercise all families.
+	for _, d := range Registry {
+		small := d.Scale(0.05)
+		g := small.Build()
+		if g.NumVertices() != small.N {
+			t.Fatalf("%s: NumVertices = %d, want %d", d.Name, g.NumVertices(), small.N)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: generated empty graph", d.Name)
+		}
+		// Degree must land within a loose factor of the target, after dedup.
+		ratio := g.AvgDegree() / small.AvgDeg
+		if ratio < 0.3 || ratio > 1.6 {
+			t.Errorf("%s: AvgDegree = %.1f, target %.1f (ratio %.2f)", d.Name, g.AvgDegree(), small.AvgDeg, ratio)
+		}
+	}
+}
+
+func TestDatasetBuildDeterministic(t *testing.T) {
+	d, _ := Lookup("ep")
+	d = d.Scale(0.1)
+	a, b := d.Build(), d.Build()
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("dataset build not deterministic: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	d := Dataset{Name: "x", Family: FamilySparse, N: 100, AvgDeg: 3, Seed: 1}
+	if got := d.Scale(0.0001).N; got != 16 {
+		t.Fatalf("Scale floor = %d, want 16", got)
+	}
+}
+
+func TestSortedByDensity(t *testing.T) {
+	names := SortedByDensity()
+	if len(names) != len(Registry) {
+		t.Fatalf("got %d names", len(names))
+	}
+	prev := -1.0
+	for _, n := range names {
+		d, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.AvgDeg < prev {
+			t.Fatalf("not sorted: %s has avg %f after %f", n, d.AvgDeg, prev)
+		}
+		prev = d.AvgDeg
+	}
+}
+
+var _ = graph.Edge{} // keep the import meaningful if tests shrink

@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"pathenum/internal/graph"
+)
+
+// Family classifies a dataset's structural family, which selects the
+// generator used to emulate it.
+type Family string
+
+// Generator families. Social and Web map to preferential attachment /
+// power-law configuration models, Dense to Erdős–Rényi with high average
+// degree, Sparse to low-degree Erdős–Rényi.
+const (
+	FamilySocial Family = "social" // heavy-tailed, cyclic (BarabasiAlbert)
+	FamilyWeb    Family = "web"    // heavy-tailed (PowerLawConfig)
+	FamilyDense  Family = "dense"  // high davg (ErdosRenyi)
+	FamilySparse Family = "sparse" // low davg (ErdosRenyi)
+)
+
+// Dataset describes one synthetic emulation of a paper dataset.
+type Dataset struct {
+	Name   string  // paper's short name (Table 2)
+	PaperV string  // paper's |V|, for documentation
+	PaperE string  // paper's |E|, for documentation
+	Type   string  // paper's category column
+	Family Family  // generator family used here
+	N      int     // scaled vertex count
+	AvgDeg float64 // preserved average degree
+	Seed   int64
+}
+
+// Registry lists the 15 paper datasets (Table 2) in paper order, scaled
+// down for laptop-scale reproduction. "tm" is the scalability graph and is
+// the largest by a wide margin, mirroring its role in Figure 12.
+var Registry = []Dataset{
+	{Name: "up", PaperV: "4M", PaperE: "17M", Type: "Citation", Family: FamilySparse, N: 20000, AvgDeg: 8.8, Seed: 101},
+	{Name: "db", PaperV: "4M", PaperE: "14M", Type: "Miscellaneous", Family: FamilySparse, N: 20000, AvgDeg: 6.5, Seed: 102},
+	{Name: "gg", PaperV: "876K", PaperE: "5M", Type: "Web", Family: FamilyWeb, N: 9000, AvgDeg: 11.1, Seed: 103},
+	{Name: "st", PaperV: "282K", PaperE: "2.3M", Type: "Web", Family: FamilyWeb, N: 6000, AvgDeg: 16.4, Seed: 104},
+	{Name: "tw", PaperV: "465K", PaperE: "835K", Type: "Miscellaneous", Family: FamilySocial, N: 8000, AvgDeg: 3.6, Seed: 105},
+	{Name: "bk", PaperV: "416K", PaperE: "3M", Type: "Web", Family: FamilyWeb, N: 6000, AvgDeg: 15.8, Seed: 106},
+	{Name: "tr", PaperV: "139K", PaperE: "740K", Type: "Interaction", Family: FamilySocial, N: 5000, AvgDeg: 10.7, Seed: 107},
+	{Name: "ep", PaperV: "75K", PaperE: "508K", Type: "Social", Family: FamilySocial, N: 4000, AvgDeg: 13.4, Seed: 108},
+	{Name: "uk", PaperV: "121K", PaperE: "334K", Type: "Web", Family: FamilyWeb, N: 3000, AvgDeg: 5.5, Seed: 109},
+	{Name: "wt", PaperV: "2M", PaperE: "5M", Type: "Miscellaneous", Family: FamilySocial, N: 12000, AvgDeg: 4.2, Seed: 110},
+	{Name: "sl", PaperV: "82K", PaperE: "948K", Type: "Social", Family: FamilySocial, N: 4000, AvgDeg: 21.2, Seed: 111},
+	{Name: "lj", PaperV: "5M", PaperE: "69M", Type: "Social", Family: FamilySocial, N: 15000, AvgDeg: 14.0, Seed: 112},
+	{Name: "da", PaperV: "169K", PaperE: "17M", Type: "Recommendation", Family: FamilyDense, N: 2500, AvgDeg: 60.0, Seed: 113},
+	{Name: "ye", PaperV: "6K", PaperE: "314K", Type: "Biological", Family: FamilyDense, N: 1200, AvgDeg: 52.0, Seed: 114},
+	{Name: "tm", PaperV: "52M", PaperE: "1.96B", Type: "Miscellaneous", Family: FamilySocial, N: 120000, AvgDeg: 20.0, Seed: 115},
+}
+
+// Lookup returns the registry entry with the given name.
+func Lookup(name string) (Dataset, error) {
+	for _, d := range Registry {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q (known: %v)", name, Names())
+}
+
+// Names returns the registry dataset names in paper order.
+func Names() []string {
+	out := make([]string, len(Registry))
+	for i, d := range Registry {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Build generates the synthetic graph for the dataset.
+func (d Dataset) Build() *graph.Graph {
+	switch d.Family {
+	case FamilySocial:
+		m := int(d.AvgDeg + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		return BarabasiAlbert(d.N, m, d.Seed)
+	case FamilyWeb:
+		return PowerLawConfig(d.N, d.AvgDeg, 2.2, d.Seed)
+	case FamilyDense, FamilySparse:
+		return ErdosRenyi(d.N, int(float64(d.N)*d.AvgDeg), d.Seed)
+	default:
+		panic(fmt.Sprintf("gen: unknown family %q", d.Family))
+	}
+}
+
+// Scale returns a copy of the dataset with vertex count multiplied by f
+// (minimum 16 vertices), preserving the average degree. Benchmarks use this
+// to shrink registry entries to testing.B-friendly sizes.
+func (d Dataset) Scale(f float64) Dataset {
+	d2 := d
+	d2.N = int(float64(d.N) * f)
+	if d2.N < 16 {
+		d2.N = 16
+	}
+	return d2
+}
+
+// SortedByDensity returns registry names ordered by average degree
+// ascending; useful for pretty experiment reports.
+func SortedByDensity() []string {
+	ds := make([]Dataset, len(Registry))
+	copy(ds, Registry)
+	sort.Slice(ds, func(i, j int) bool { return ds[i].AvgDeg < ds[j].AvgDeg })
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDynamicInsert(t *testing.T) {
+	base := mustGraph(t, 4, []Edge{{0, 1}})
+	d := NewDynamic(base)
+
+	added, err := d.Insert(1, 2)
+	if err != nil || !added {
+		t.Fatalf("Insert(1,2) = %v, %v", added, err)
+	}
+	if !d.HasEdge(1, 2) {
+		t.Fatal("inserted edge missing")
+	}
+	if d.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", d.NumEdges())
+	}
+
+	// Duplicate of a base edge.
+	added, err = d.Insert(0, 1)
+	if err != nil || added {
+		t.Fatalf("duplicate base Insert = %v, %v", added, err)
+	}
+	// Duplicate of an overflow edge.
+	added, err = d.Insert(1, 2)
+	if err != nil || added {
+		t.Fatalf("duplicate overflow Insert = %v, %v", added, err)
+	}
+	// Self-loop.
+	added, err = d.Insert(3, 3)
+	if err != nil || added {
+		t.Fatalf("self-loop Insert = %v, %v", added, err)
+	}
+	// Out of range.
+	if _, err := d.Insert(0, 99); err == nil {
+		t.Fatal("out-of-range Insert: expected error")
+	}
+}
+
+func TestDynamicNeighbors(t *testing.T) {
+	base := mustGraph(t, 4, []Edge{{0, 1}, {0, 2}})
+	d := NewDynamic(base)
+	if _, err := d.Insert(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := d.OutNeighbors(0)
+	if len(out) != 3 {
+		t.Fatalf("OutNeighbors(0) = %v, want 3 entries", out)
+	}
+	in := d.InNeighbors(3)
+	if len(in) != 1 || in[0] != 0 {
+		t.Fatalf("InNeighbors(3) = %v, want [0]", in)
+	}
+	// Vertices without overflow alias base storage and stay correct.
+	if got := d.OutNeighbors(1); len(got) != 0 {
+		t.Fatalf("OutNeighbors(1) = %v, want empty", got)
+	}
+}
+
+func TestDynamicSnapshot(t *testing.T) {
+	base := mustGraph(t, 5, []Edge{{0, 1}, {1, 2}})
+	d := NewDynamic(base)
+	for _, e := range []Edge{{2, 3}, {3, 4}, {4, 0}} {
+		if _, err := d.Insert(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := d.Snapshot()
+	if snap.NumEdges() != 5 {
+		t.Fatalf("snapshot NumEdges = %d, want 5", snap.NumEdges())
+	}
+	for _, e := range []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		if !snap.HasEdge(e.From, e.To) {
+			t.Errorf("snapshot missing %v", e)
+		}
+	}
+	// The base graph must be untouched.
+	if base.NumEdges() != 2 {
+		t.Fatalf("snapshot mutated base: NumEdges = %d", base.NumEdges())
+	}
+}
+
+func TestDynamicMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(20)
+		var initial []Edge
+		for i := 0; i < n; i++ {
+			initial = append(initial, Edge{From: int32(rng.Intn(n)), To: int32(rng.Intn(n))})
+		}
+		base, err := NewGraph(n, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDynamic(base)
+		all := base.Edges()
+		for i := 0; i < n; i++ {
+			e := Edge{From: int32(rng.Intn(n)), To: int32(rng.Intn(n))}
+			if _, err := d.Insert(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, e)
+		}
+		want, err := NewGraph(n, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := d.Snapshot()
+		if snap.NumEdges() != want.NumEdges() {
+			t.Fatalf("trial %d: snapshot |E|=%d, rebuild |E|=%d", trial, snap.NumEdges(), want.NumEdges())
+		}
+		we, se := want.Edges(), snap.Edges()
+		for i := range we {
+			if we[i] != se[i] {
+				t.Fatalf("trial %d: edge %d differs: %v vs %v", trial, i, se[i], we[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package graph provides the directed-graph substrate used throughout the
+// repository: an immutable compressed-sparse-row (CSR) representation with
+// both out- and in-adjacency, construction from edge lists, text IO, and a
+// small dynamic wrapper for insertion workloads.
+//
+// Vertices are dense int32 identifiers in [0, NumVertices). Parallel edges
+// are collapsed and self-loops are dropped at construction time: the
+// hop-constrained s-t path enumeration (HcPE) problem is defined on simple
+// directed graphs, and neither parallel edges nor self-loops can appear in a
+// simple path result.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
+// exactly the IDs 0..n-1.
+type VertexID = int32
+
+// Edge is a directed edge From -> To.
+type Edge struct {
+	From VertexID
+	To   VertexID
+}
+
+// Graph is an immutable directed graph in CSR form. Both the out-adjacency
+// and the in-adjacency are materialized because the PathEnum index performs
+// breadth-first searches in both directions and builds a reverse index for
+// the backward dynamic program of the join-order optimizer.
+type Graph struct {
+	numVertices int32
+	numEdges    int64
+
+	outOffsets []int64 // len numVertices+1
+	outTargets []VertexID
+
+	inOffsets []int64 // len numVertices+1
+	inSources []VertexID
+}
+
+// ErrVertexRange reports an edge endpoint outside [0, n).
+var ErrVertexRange = errors.New("graph: vertex id out of range")
+
+// NewGraph builds a Graph with n vertices from the given edge list.
+// Self-loops are dropped and duplicate edges collapsed. Endpoints must lie
+// in [0, n).
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds limit", n)
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= int32(n) || e.To < 0 || e.To >= int32(n) {
+			return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", ErrVertexRange, e.From, e.To, n)
+		}
+	}
+	g := &Graph{numVertices: int32(n)}
+	g.build(edges)
+	return g, nil
+}
+
+// build populates the CSR arrays from a (possibly dirty) edge list.
+func (g *Graph) build(edges []Edge) {
+	n := int(g.numVertices)
+
+	cleaned := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.From == e.To {
+			continue // self-loop
+		}
+		cleaned = append(cleaned, e)
+	}
+	sort.Slice(cleaned, func(i, j int) bool {
+		if cleaned[i].From != cleaned[j].From {
+			return cleaned[i].From < cleaned[j].From
+		}
+		return cleaned[i].To < cleaned[j].To
+	})
+	// Deduplicate in place.
+	uniq := cleaned[:0]
+	for i, e := range cleaned {
+		if i > 0 && e == cleaned[i-1] {
+			continue
+		}
+		uniq = append(uniq, e)
+	}
+	m := len(uniq)
+	g.numEdges = int64(m)
+
+	g.outOffsets = make([]int64, n+1)
+	g.outTargets = make([]VertexID, m)
+	for _, e := range uniq {
+		g.outOffsets[e.From+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outOffsets[v+1] += g.outOffsets[v]
+	}
+	for i, e := range uniq {
+		g.outTargets[i] = e.To
+	}
+
+	g.inOffsets = make([]int64, n+1)
+	g.inSources = make([]VertexID, m)
+	for _, e := range uniq {
+		g.inOffsets[e.To+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inOffsets[v+1] += g.inOffsets[v]
+	}
+	cursor := make([]int64, n)
+	for v := 0; v < n; v++ {
+		cursor[v] = g.inOffsets[v]
+	}
+	// The From-major scan fills each in-bucket in ascending source order,
+	// so InNeighbors stays sorted without a second sort.
+	for _, e := range uniq {
+		g.inSources[cursor[e.To]] = e.From
+		cursor[e.To]++
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return int(g.numVertices) }
+
+// NumEdges returns the number of distinct directed edges.
+func (g *Graph) NumEdges() int64 { return g.numEdges }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outOffsets[v+1] - g.outOffsets[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.inOffsets[v+1] - g.inOffsets[v])
+}
+
+// Degree returns out-degree + in-degree of v, the degree notion used by the
+// paper's workload generator to pick high-degree endpoints.
+func (g *Graph) Degree(v VertexID) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// OutNeighbors returns the sorted out-neighbors of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outTargets[g.outOffsets[v]:g.outOffsets[v+1]]
+}
+
+// InNeighbors returns the sorted in-neighbors of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inSources[g.inOffsets[v]:g.inOffsets[v+1]]
+}
+
+// HasEdge reports whether the directed edge (from, to) exists.
+func (g *Graph) HasEdge(from, to VertexID) bool {
+	nbrs := g.OutNeighbors(from)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= to })
+	return i < len(nbrs) && nbrs[i] == to
+}
+
+// Edges returns a fresh slice of all edges in (From, To) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for v := int32(0); v < g.numVertices; v++ {
+		for _, w := range g.OutNeighbors(v) {
+			out = append(out, Edge{From: v, To: w})
+		}
+	}
+	return out
+}
+
+// AvgDegree returns the average out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.numVertices == 0 {
+		return 0
+	}
+	return float64(g.numEdges) / float64(g.numVertices)
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	edges := make([]Edge, 0, g.numEdges)
+	for v := int32(0); v < g.numVertices; v++ {
+		for _, w := range g.OutNeighbors(v) {
+			edges = append(edges, Edge{From: w, To: v})
+		}
+	}
+	r, err := NewGraph(int(g.numVertices), edges)
+	if err != nil {
+		// Cannot happen: endpoints come from a valid graph.
+		panic(err)
+	}
+	return r
+}
+
+// WithEdges returns a new graph containing all edges of g plus the given
+// extra edges (used by dynamic-graph workloads; construction is O(E log E)).
+func (g *Graph) WithEdges(extra []Edge) (*Graph, error) {
+	edges := g.Edges()
+	edges = append(edges, extra...)
+	return NewGraph(int(g.numVertices), edges)
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d davg=%.1f}", g.numVertices, g.numEdges, g.AvgDegree())
+}

@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		t.Fatalf("NewGraph(%d, %v): %v", n, edges, err)
+	}
+	return g
+}
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := mustGraph(t, 0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: got |V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestNewGraphNoEdges(t *testing.T) {
+	g := mustGraph(t, 5, nil)
+	for v := int32(0); v < 5; v++ {
+		if d := g.OutDegree(v); d != 0 {
+			t.Errorf("OutDegree(%d) = %d, want 0", v, d)
+		}
+		if d := g.InDegree(v); d != 0 {
+			t.Errorf("InDegree(%d) = %d, want 0", v, d)
+		}
+	}
+}
+
+func TestNewGraphBasic(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}})
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	wantOut := map[int32][]int32{0: {1, 2}, 1: {2}, 2: {3}, 3: {0}}
+	for v, want := range wantOut {
+		got := g.OutNeighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("OutNeighbors(%d) = %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("OutNeighbors(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+	wantIn := map[int32][]int32{0: {3}, 1: {0}, 2: {0, 1}, 3: {2}}
+	for v, want := range wantIn {
+		got := g.InNeighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("InNeighbors(%d) = %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("InNeighbors(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestNewGraphDropsSelfLoops(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 0}, {0, 1}, {1, 1}, {2, 2}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (self-loops dropped)", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("expected edge (0,1)")
+	}
+}
+
+func TestNewGraphDeduplicates(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1}, {0, 1}, {0, 1}, {1, 2}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestNewGraphRejectsOutOfRange(t *testing.T) {
+	cases := [][]Edge{
+		{{-1, 0}},
+		{{0, -1}},
+		{{0, 3}},
+		{{3, 0}},
+	}
+	for _, edges := range cases {
+		if _, err := NewGraph(3, edges); err == nil {
+			t.Errorf("NewGraph(3, %v): expected error", edges)
+		}
+	}
+	if _, err := NewGraph(-1, nil); err == nil {
+		t.Error("NewGraph(-1): expected error")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1}, {0, 3}, {2, 1}})
+	tests := []struct {
+		from, to int32
+		want     bool
+	}{
+		{0, 1, true}, {0, 3, true}, {2, 1, true},
+		{1, 0, false}, {0, 2, false}, {3, 0, false},
+	}
+	for _, tc := range tests {
+		if got := g.HasEdge(tc.from, tc.to); got != tc.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1}, {0, 2}, {1, 0}})
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", d)
+	}
+	if d := g.InDegree(0); d != 1 {
+		t.Errorf("InDegree(0) = %d, want 1", d)
+	}
+	if d := g.Degree(0); d != 3 {
+		t.Errorf("Degree(0) = %d, want 3", d)
+	}
+	if avg := g.AvgDegree(); avg != 1.0 {
+		t.Errorf("AvgDegree = %f, want 1.0", avg)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []Edge{{3, 0}, {0, 1}, {1, 2}, {0, 2}}
+	g := mustGraph(t, 4, in)
+	got := g.Edges()
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].From != in[j].From {
+			return in[i].From < in[j].From
+		}
+		return in[i].To < in[j].To
+	})
+	if len(got) != len(in) {
+		t.Fatalf("Edges() returned %d edges, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("Edges()[%d] = %v, want %v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	r := g.Reverse()
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatalf("Reverse edge count %d != %d", r.NumEdges(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !r.HasEdge(e.To, e.From) {
+			t.Errorf("reverse missing edge (%d,%d)", e.To, e.From)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		var edges []Edge
+		for i := 0; i < n*2; i++ {
+			edges = append(edges, Edge{From: int32(rng.Intn(n)), To: int32(rng.Intn(n))})
+		}
+		g, err := NewGraph(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := g.Reverse().Reverse()
+		ge, rre := g.Edges(), rr.Edges()
+		if len(ge) != len(rre) {
+			t.Fatalf("double reverse changed edge count: %d vs %d", len(ge), len(rre))
+		}
+		for i := range ge {
+			if ge[i] != rre[i] {
+				t.Fatalf("double reverse changed edges at %d: %v vs %v", i, ge[i], rre[i])
+			}
+		}
+	}
+}
+
+func TestWithEdges(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1}})
+	g2, err := g.WithEdges([]Edge{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Fatalf("WithEdges: NumEdges = %d, want 3", g2.NumEdges())
+	}
+	// Original is unchanged.
+	if g.NumEdges() != 1 {
+		t.Fatalf("WithEdges mutated original: NumEdges = %d", g.NumEdges())
+	}
+	if _, err := g.WithEdges([]Edge{{9, 0}}); err == nil {
+		t.Fatal("WithEdges with out-of-range endpoint: expected error")
+	}
+}
+
+// TestPropertyAdjacencyConsistency checks that out- and in-adjacency encode
+// the same edge set on random graphs.
+func TestPropertyAdjacencyConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		var edges []Edge
+		for i := 0; i < n*3; i++ {
+			edges = append(edges, Edge{From: int32(rng.Intn(n)), To: int32(rng.Intn(n))})
+		}
+		g, err := NewGraph(n, edges)
+		if err != nil {
+			return false
+		}
+		var outCount, inCount int64
+		for v := int32(0); v < int32(n); v++ {
+			outCount += int64(len(g.OutNeighbors(v)))
+			inCount += int64(len(g.InNeighbors(v)))
+			for _, w := range g.OutNeighbors(v) {
+				found := false
+				for _, u := range g.InNeighbors(w) {
+					if u == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return outCount == g.NumEdges() && inCount == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNeighborsSorted checks the sortedness invariant HasEdge and
+// the index construction rely on.
+func TestPropertyNeighborsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		var edges []Edge
+		for i := 0; i < n*4; i++ {
+			edges = append(edges, Edge{From: int32(rng.Intn(n)), To: int32(rng.Intn(n))})
+		}
+		g, err := NewGraph(n, edges)
+		if err != nil {
+			return false
+		}
+		for v := int32(0); v < int32(n); v++ {
+			out := g.OutNeighbors(v)
+			if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+				return false
+			}
+			in := g.InNeighbors(v)
+			if !sort.SliceIsSorted(in, func(i, j int) bool { return in[i] < in[j] }) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

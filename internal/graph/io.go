@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the whitespace-separated edge-list format used by
+// SNAP-style datasets:
+//
+//	# comment lines start with '#' or '%'
+//	<from> <to>
+//
+// Vertex ids may be sparse; they are remapped to a dense [0, n) range in
+// first-appearance order. The returned slice maps dense id -> original id.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+
+	remap := make(map[int64]VertexID)
+	var orig []int64
+	dense := func(raw int64) VertexID {
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := VertexID(len(orig))
+		remap[raw] = id
+		orig = append(orig, raw)
+		return id
+	}
+
+	var edges []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected 2 fields, got %d", lineNo, len(fields))
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineNo, fields[0], err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineNo, fields[1], err)
+		}
+		edges = append(edges, Edge{From: dense(from), To: dense(to)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	g, err := NewGraph(len(orig), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, orig, nil
+}
+
+// WriteEdgeList writes the graph in the edge-list format accepted by
+// ReadEdgeList, one "<from> <to>" pair per line.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+	buf := make([]byte, 0, 32)
+	for v := int32(0); v < g.numVertices; v++ {
+		for _, u := range g.OutNeighbors(v) {
+			buf = buf[:0]
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(u), 10)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads an edge-list graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, _, err := ReadEdgeList(f)
+	return g, err
+}
+
+// SaveFile writes g to path in edge-list format.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# a comment
+% another comment
+
+10 20
+20 30
+10 30
+`
+	g, orig, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	want := []int64{10, 20, 30}
+	for i, w := range want {
+		if orig[i] != w {
+			t.Errorf("orig[%d] = %d, want %d", i, orig[i], w)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Error("remapped edges missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",
+		"a b\n",
+		"1 b\n",
+	}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q): expected error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := mustGraph(t, 5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, orig, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	// ReadEdgeList remaps ids in first-appearance order; invert via orig.
+	toDense := make(map[int64]VertexID, len(orig))
+	for dense, raw := range orig {
+		toDense[raw] = VertexID(dense)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(toDense[int64(e.From)], toDense[int64(e.To)]) {
+			t.Errorf("round trip lost edge %v", e)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := mustGraph(t, 4, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("load mismatch: %v vs %v", g2, g)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1}, {1, 2}})
+	s := g.String()
+	if !strings.Contains(s, "|V|=4") || !strings.Contains(s, "|E|=2") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,169 @@
+// Package landmark implements the global offline index sketched as future
+// work in §7.5 of the paper: PathEnum's only per-query cost that grows with
+// the graph is the pair of BFS passes that seed the light-weight index
+// ("building the index from scratch on very large graphs can take a long
+// time... a promising approach is to build a global index in an offline
+// preprocessing step to reduce the cost of constructing the query-dependent
+// index").
+//
+// The oracle stores exact directed BFS distances between every vertex and a
+// small set of high-degree landmark vertices. By the directed triangle
+// inequality these yield LOWER bounds on any pairwise distance:
+//
+//	d(u,v) >= d(u,l) - d(v,l)   and   d(u,v) >= d(l,v) - d(l,u)
+//
+// plus two exact infinity certificates (if u cannot reach l but v can, then
+// u cannot reach v; if l reaches u but not v, then u cannot reach v).
+// Lower bounds cannot replace the exact labels the index needs, but they
+// soundly prune the per-query BFS: a vertex whose distance-so-far plus
+// lower-bound-to-target already exceeds k can never join the partition X,
+// and — because every vertex on a shortest path to an X member is itself in
+// X — not expanding it cannot corrupt any other label. The same bound
+// answers infeasible queries (LB(s,t) > k) with no BFS at all.
+//
+// The oracle is tied to the exact graph it was built on: edge insertions
+// shrink true distances, so stale lower bounds would over-prune. Rebuild it
+// after updates or fall back to the plain index.
+package landmark
+
+import (
+	"fmt"
+	"sort"
+
+	"pathenum/internal/graph"
+)
+
+// Infinite marks an unreachable landmark distance.
+const Infinite int32 = -1
+
+// Oracle is the offline landmark distance index.
+type Oracle struct {
+	numVertices int
+	landmarks   []graph.VertexID
+	// toL[l][v] = d(v, landmark_l), fromL[l][v] = d(landmark_l, v);
+	// Infinite when unreachable.
+	toL   [][]int32
+	fromL [][]int32
+}
+
+// DefaultLandmarks is the landmark count used when 0 is requested.
+const DefaultLandmarks = 8
+
+// Build constructs the oracle with the given number of landmarks, chosen
+// as the highest-degree vertices (ties by id). Construction runs 2L full
+// BFS passes: O(L * (|V| + |E|)).
+func Build(g *graph.Graph, numLandmarks int) (*Oracle, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("landmark: empty graph")
+	}
+	if numLandmarks <= 0 {
+		numLandmarks = DefaultLandmarks
+	}
+	if numLandmarks > n {
+		numLandmarks = n
+	}
+
+	ids := make([]graph.VertexID, n)
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+
+	o := &Oracle{numVertices: n}
+	o.landmarks = append(o.landmarks, ids[:numLandmarks]...)
+	o.toL = make([][]int32, numLandmarks)
+	o.fromL = make([][]int32, numLandmarks)
+	queue := make([]graph.VertexID, 0, n)
+	for i, l := range o.landmarks {
+		o.toL[i] = fullBFS(g, l, true, queue)
+		o.fromL[i] = fullBFS(g, l, false, queue)
+	}
+	return o, nil
+}
+
+// fullBFS computes distances to (reverse=true) or from (reverse=false) the
+// root over the whole graph.
+func fullBFS(g *graph.Graph, root graph.VertexID, reverse bool, queue []graph.VertexID) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = Infinite
+	}
+	dist[root] = 0
+	queue = queue[:0]
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		var nbrs []graph.VertexID
+		if reverse {
+			nbrs = g.InNeighbors(v)
+		} else {
+			nbrs = g.OutNeighbors(v)
+		}
+		for _, w := range nbrs {
+			if dist[w] == Infinite {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// NumLandmarks returns the landmark count.
+func (o *Oracle) NumLandmarks() int { return len(o.landmarks) }
+
+// Landmarks returns the landmark vertex ids (descending degree order).
+func (o *Oracle) Landmarks() []graph.VertexID {
+	return append([]graph.VertexID(nil), o.landmarks...)
+}
+
+// LowerBound returns a lower bound on the directed distance d(u,v), or
+// Infinite when the oracle proves v is unreachable from u. LowerBound(u,u)
+// is 0. O(L).
+func (o *Oracle) LowerBound(u, v graph.VertexID) int32 {
+	if u == v {
+		return 0
+	}
+	var best int32
+	for i := range o.landmarks {
+		du, dv := o.toL[i][u], o.toL[i][v] // distances TO the landmark
+		switch {
+		case du == Infinite && dv != Infinite:
+			// u cannot reach l but v can: u -> v would reach l via v.
+			return Infinite
+		case du != Infinite && dv != Infinite:
+			if d := du - dv; d > best {
+				best = d
+			}
+		}
+		fu, fv := o.fromL[i][u], o.fromL[i][v] // distances FROM the landmark
+		switch {
+		case fu != Infinite && fv == Infinite:
+			// l reaches u but not v: u -> v would extend l's reach to v.
+			return Infinite
+		case fu != Infinite && fv != Infinite:
+			if d := fv - fu; d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Reachable reports whether the oracle can prove v unreachable from u
+// (false means "provably unreachable"; true means "possibly reachable").
+func (o *Oracle) Reachable(u, v graph.VertexID) bool {
+	return o.LowerBound(u, v) != Infinite
+}
+
+// MemoryBytes estimates the oracle's resident size.
+func (o *Oracle) MemoryBytes() int64 {
+	return int64(len(o.landmarks)) * int64(o.numVertices) * 8 // two int32 tables
+}

@@ -1,0 +1,183 @@
+package landmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+// bfsDist computes the exact directed distance for the oracle tests.
+func bfsDist(g *graph.Graph, s, t graph.VertexID) int32 {
+	if s == t {
+		return 0
+	}
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []graph.VertexID{s}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.OutNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if w == t {
+					return dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+func TestBuildValidation(t *testing.T) {
+	empty, err := graph.NewGraph(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(empty, 4); err == nil {
+		t.Fatal("empty graph: expected error")
+	}
+	g := gen.Cycle(5)
+	o, err := Build(g, 100) // more landmarks than vertices
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumLandmarks() != 5 {
+		t.Fatalf("NumLandmarks = %d, want clamped 5", o.NumLandmarks())
+	}
+	o2, err := Build(g, 0) // default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.NumLandmarks() != 5 {
+		t.Fatalf("default landmarks = %d, want min(default, n) = 5", o2.NumLandmarks())
+	}
+}
+
+func TestLandmarksAreHighDegree(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 3)
+	o, err := Build(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms := o.Landmarks()
+	if len(lms) != 4 {
+		t.Fatalf("got %d landmarks", len(lms))
+	}
+	minLandmark := 1 << 30
+	for _, l := range lms {
+		if d := g.Degree(l); d < minLandmark {
+			minLandmark = d
+		}
+	}
+	isLm := map[graph.VertexID]bool{}
+	for _, l := range lms {
+		isLm[l] = true
+	}
+	for v := graph.VertexID(0); v < 200; v++ {
+		if !isLm[v] && g.Degree(v) > minLandmark {
+			t.Fatalf("vertex %d (degree %d) beats landmark minimum %d", v, g.Degree(v), minLandmark)
+		}
+	}
+}
+
+// TestLowerBoundSound is the core soundness property: LowerBound never
+// exceeds the true distance, and Infinite only appears for truly
+// unreachable pairs.
+func TestLowerBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(40)
+		g := gen.ErdosRenyi(n, n*2, rng.Int63())
+		o, err := Build(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := graph.VertexID(0); u < graph.VertexID(n); u++ {
+			for v := graph.VertexID(0); v < graph.VertexID(n); v++ {
+				lb := o.LowerBound(u, v)
+				actual := bfsDist(g, u, v)
+				if actual < 0 {
+					continue // unreachable: any bound (incl. Infinite) is fine
+				}
+				if lb == Infinite {
+					t.Fatalf("trial %d: LB(%d,%d) = Infinite but d = %d", trial, u, v, actual)
+				}
+				if lb > actual {
+					t.Fatalf("trial %d: LB(%d,%d) = %d > d = %d", trial, u, v, lb, actual)
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundDetectsUnreachable: across disconnected components the
+// infinity certificate must fire when a landmark lands in each component.
+func TestLowerBoundDetectsUnreachable(t *testing.T) {
+	// Two disjoint cycles 0-4 and 5-9.
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32((i + 1) % 5)})
+		edges = append(edges, graph.Edge{From: int32(5 + i), To: int32(5 + (i+1)%5)})
+	}
+	g, err := graph.NewGraph(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, 10) // all vertices as landmarks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Reachable(0, 7) {
+		t.Fatal("cross-component pair must be provably unreachable")
+	}
+	if !o.Reachable(0, 3) {
+		t.Fatal("same-cycle pair must stay possibly reachable")
+	}
+}
+
+func TestLowerBoundSelf(t *testing.T) {
+	g := gen.Cycle(6)
+	o, err := Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := o.LowerBound(3, 3); lb != 0 {
+		t.Fatalf("LB(v,v) = %d, want 0", lb)
+	}
+}
+
+// TestLowerBoundTightOnCycle: on a directed cycle with every vertex a
+// landmark, the bound is exact.
+func TestLowerBoundTightOnCycle(t *testing.T) {
+	n := 8
+	g := gen.Cycle(n)
+	o, err := Build(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := bfsDist(g, int32(u), int32(v))
+			if got := o.LowerBound(int32(u), int32(v)); got != want {
+				t.Fatalf("LB(%d,%d) = %d, want exact %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	g := gen.Cycle(100)
+	o, err := Build(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MemoryBytes() != 4*100*8 {
+		t.Fatalf("MemoryBytes = %d", o.MemoryBytes())
+	}
+}

@@ -1,0 +1,232 @@
+// Package relations implements the join-based model of §3.1: a HcPE query
+// q(s,t,k) expressed as a chain join Q = R1 ⋈ R2 ⋈ ... ⋈ Rk over binary
+// relations derived from the edge list, with the (t,t) padding tuple that
+// preserves paths shorter than k (Theorem 3.1), plus the classical full
+// reducer (Algorithm 2) that removes dangling tuples.
+//
+// PathEnum itself never materializes these relations — the light-weight
+// index provides the same pruning power at lower cost (§4.2, Appendix B) —
+// but they anchor the correctness argument, so this package exists to state
+// and test the model: the index's edge set is property-tested against the
+// full reducer's output, and the join evaluation against the walk oracle.
+package relations
+
+import (
+	"fmt"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// Relation is one join input: a set of directed tuples (v, v').
+type Relation struct {
+	Tuples []graph.Edge
+}
+
+// contains reports tuple membership (test helper; O(n)).
+func (r Relation) contains(e graph.Edge) bool {
+	for _, t := range r.Tuples {
+		if t == e {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildInitial constructs R1..Rk per the generation method of §3.1
+// (lines 1-4 of Algorithm 2):
+//
+//	R1 = {(s,v) : e(s,v) in E}
+//	Rk = {(v,t) : e(v,t) in E, v != s} ∪ {(t,t)}
+//	Ri = {(v,v') : e(v,v') in E(G-{s}), v != t} ∪ {(t,t)}   for 1 < i < k
+func BuildInitial(g *graph.Graph, q core.Query) ([]Relation, error) {
+	if err := q.Validate(g); err != nil {
+		return nil, err
+	}
+	k := q.K
+	rs := make([]Relation, k)
+	loop := graph.Edge{From: q.T, To: q.T}
+
+	for _, v := range g.OutNeighbors(q.S) {
+		rs[0].Tuples = append(rs[0].Tuples, graph.Edge{From: q.S, To: v})
+	}
+	if k == 1 {
+		// Degenerate single-relation chain: R1 doubles as Rk without the
+		// padding loop (a path of length exactly 1).
+		kept := rs[0].Tuples[:0]
+		for _, e := range rs[0].Tuples {
+			if e.To == q.T {
+				kept = append(kept, e)
+			}
+		}
+		rs[0].Tuples = kept
+		return rs, nil
+	}
+
+	for i := 1; i < k-1; i++ {
+		for v := graph.VertexID(0); v < graph.VertexID(g.NumVertices()); v++ {
+			if v == q.S || v == q.T {
+				continue
+			}
+			for _, w := range g.OutNeighbors(v) {
+				if w == q.S {
+					continue
+				}
+				rs[i].Tuples = append(rs[i].Tuples, graph.Edge{From: v, To: w})
+			}
+		}
+		rs[i].Tuples = append(rs[i].Tuples, loop)
+	}
+	for _, v := range g.InNeighbors(q.T) {
+		if v != q.S {
+			rs[k-1].Tuples = append(rs[k-1].Tuples, graph.Edge{From: v, To: q.T})
+		}
+	}
+	rs[k-1].Tuples = append(rs[k-1].Tuples, loop)
+	return rs, nil
+}
+
+// FullReduce removes dangling tuples (lines 5-12 of Algorithm 2): a forward
+// semi-join sweep keeps only tuples whose source appears as a target of the
+// previous relation, then a backward sweep symmetric to it. After the
+// sweeps every remaining tuple participates in at least one join result
+// (Proposition 4.2).
+func FullReduce(rs []Relation) []Relation {
+	out := make([]Relation, len(rs))
+	for i := range rs {
+		out[i].Tuples = append([]graph.Edge(nil), rs[i].Tuples...)
+	}
+	// Forward sweep: prune R_{i+1} by the targets of R_i.
+	for i := 0; i+1 < len(out); i++ {
+		c := make(map[graph.VertexID]bool, len(out[i].Tuples))
+		for _, e := range out[i].Tuples {
+			c[e.To] = true
+		}
+		kept := out[i+1].Tuples[:0]
+		for _, e := range out[i+1].Tuples {
+			if c[e.From] {
+				kept = append(kept, e)
+			}
+		}
+		out[i+1].Tuples = kept
+	}
+	// Backward sweep: prune R_i by the sources of R_{i+1}.
+	for i := len(out) - 2; i >= 0; i-- {
+		c := make(map[graph.VertexID]bool, len(out[i+1].Tuples))
+		for _, e := range out[i+1].Tuples {
+			c[e.From] = true
+		}
+		kept := out[i].Tuples[:0]
+		for _, e := range out[i].Tuples {
+			if c[e.To] {
+				kept = append(kept, e)
+			}
+		}
+		out[i].Tuples = kept
+	}
+	return out
+}
+
+// Build constructs the fully reduced relations for q on g.
+func Build(g *graph.Graph, q core.Query) ([]Relation, error) {
+	rs, err := BuildInitial(g, q)
+	if err != nil {
+		return nil, err
+	}
+	return FullReduce(rs), nil
+}
+
+// Evaluate materializes every tuple of the chain join Q (exponential; test
+// oracle only). Each result has k+1 vertices.
+func Evaluate(rs []Relation) [][]graph.VertexID {
+	if len(rs) == 0 {
+		return nil
+	}
+	adj := make([]map[graph.VertexID][]graph.VertexID, len(rs))
+	for i, r := range rs {
+		adj[i] = make(map[graph.VertexID][]graph.VertexID)
+		for _, e := range r.Tuples {
+			adj[i][e.From] = append(adj[i][e.From], e.To)
+		}
+	}
+	var out [][]graph.VertexID
+	tuple := make([]graph.VertexID, 0, len(rs)+1)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == len(rs) {
+			out = append(out, append([]graph.VertexID(nil), tuple...))
+			return
+		}
+		last := tuple[len(tuple)-1]
+		for _, w := range adj[pos][last] {
+			tuple = append(tuple, w)
+			rec(pos + 1)
+			tuple = tuple[:len(tuple)-1]
+		}
+	}
+	// All chains start at the sources of R1 (always s by construction).
+	starts := map[graph.VertexID]bool{}
+	for _, e := range rs[0].Tuples {
+		starts[e.From] = true
+	}
+	for v := range starts {
+		tuple = append(tuple[:0], v)
+		rec(0)
+	}
+	return out
+}
+
+// TuplesToPaths eliminates tuples with duplicate vertices (except the t
+// padding) and truncates the padding, yielding P(s,t,k,G) per Theorem 3.1.
+func TuplesToPaths(tuples [][]graph.VertexID, t graph.VertexID) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	for _, r := range tuples {
+		seen := make(map[graph.VertexID]bool, len(r))
+		valid := true
+		var path []graph.VertexID
+		for _, v := range r {
+			if v == t {
+				path = append(path, v)
+				break
+			}
+			if seen[v] {
+				valid = false
+				break
+			}
+			seen[v] = true
+			path = append(path, v)
+		}
+		if valid && len(path) > 0 && path[len(path)-1] == t {
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// Sizes returns |R_i| per position, the cost-model inputs of Equation 1.
+func Sizes(rs []Relation) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = len(r.Tuples)
+	}
+	return out
+}
+
+// Validate checks structural invariants of a relation chain and returns a
+// descriptive error on violation (used in failure-injection tests).
+func Validate(rs []Relation, q core.Query) error {
+	if len(rs) != q.K {
+		return fmt.Errorf("relations: got %d relations, want k=%d", len(rs), q.K)
+	}
+	for _, e := range rs[0].Tuples {
+		if e.From != q.S {
+			return fmt.Errorf("relations: R1 tuple %v does not start at s", e)
+		}
+	}
+	for _, e := range rs[len(rs)-1].Tuples {
+		if e.To != q.T {
+			return fmt.Errorf("relations: Rk tuple %v does not end at t", e)
+		}
+	}
+	return nil
+}

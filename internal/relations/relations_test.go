@@ -1,0 +1,300 @@
+package relations
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathenum/internal/baseline"
+	"pathenum/internal/core"
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+// paperGraph mirrors the Figure 1a fixture (s=0, t=1, v0..v7=2..9).
+func paperGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	edges := []graph.Edge{
+		{From: 0, To: 2}, {From: 0, To: 3}, {From: 0, To: 5},
+		{From: 2, To: 3}, {From: 2, To: 8}, {From: 2, To: 1},
+		{From: 3, To: 4}, {From: 3, To: 5},
+		{From: 4, To: 2}, {From: 4, To: 1},
+		{From: 5, To: 6},
+		{From: 6, To: 7},
+		{From: 7, To: 4}, {From: 7, To: 1},
+		{From: 8, To: 2},
+		{From: 1, To: 9},
+	}
+	g, err := graph.NewGraph(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildInitialShape(t *testing.T) {
+	g := paperGraph(t)
+	q := core.Query{S: 0, T: 1, K: 4}
+	rs, err := BuildInitial(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d relations, want 4", len(rs))
+	}
+	if err := Validate(rs, q); err != nil {
+		t.Fatal(err)
+	}
+	// R1 = the three out-edges of s (Figure 3a).
+	if len(rs[0].Tuples) != 3 {
+		t.Fatalf("|R1| = %d, want 3", len(rs[0].Tuples))
+	}
+	// R4 = in-edges of t except from s, plus the loop: v0, v2, v5, (t,t).
+	if len(rs[3].Tuples) != 4 {
+		t.Fatalf("|R4| = %d, want 4", len(rs[3].Tuples))
+	}
+	loop := graph.Edge{From: 1, To: 1}
+	if !rs[1].contains(loop) || !rs[2].contains(loop) || !rs[3].contains(loop) {
+		t.Fatal("interior relations must contain the (t,t) padding loop")
+	}
+	if rs[0].contains(loop) {
+		t.Fatal("R1 must not contain the padding loop")
+	}
+	// Interior relations exclude edges incident to s and out-edges of t:
+	for i := 1; i < 3; i++ {
+		for _, e := range rs[i].Tuples {
+			if e.From == q.S || e.To == q.S {
+				t.Fatalf("R%d contains edge incident to s: %v", i+1, e)
+			}
+			if e.From == q.T && e != loop {
+				t.Fatalf("R%d contains out-edge of t: %v", i+1, e)
+			}
+		}
+	}
+}
+
+// TestFullReducerExample follows Example 4.1: (v4,v5) is pruned from R2 by
+// the forward sweep, (v1,v3) from R3 by the backward sweep.
+func TestFullReducerExample(t *testing.T) {
+	g := paperGraph(t)
+	q := core.Query{S: 0, T: 1, K: 4}
+	initial, err := BuildInitial(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced := FullReduce(initial)
+
+	// v4=6, v5=7: (v4,v5) in R2 initially, gone after reduction.
+	v4v5 := graph.Edge{From: 6, To: 7}
+	if !initial[1].contains(v4v5) {
+		t.Fatal("initial R2 must contain (v4,v5)")
+	}
+	if reduced[1].contains(v4v5) {
+		t.Fatal("reduced R2 must not contain (v4,v5)")
+	}
+	// v1=3, v3=5: (v1,v3) in R3 initially, gone after reduction.
+	v1v3 := graph.Edge{From: 3, To: 5}
+	if !initial[2].contains(v1v3) {
+		t.Fatal("initial R3 must contain (v1,v3)")
+	}
+	if reduced[2].contains(v1v3) {
+		t.Fatal("reduced R3 must not contain (v1,v3)")
+	}
+	// The originals are untouched (FullReduce copies).
+	if !initial[1].contains(v4v5) {
+		t.Fatal("FullReduce mutated its input")
+	}
+}
+
+// TestTheorem31: evaluating Q and eliminating duplicate-vertex tuples
+// yields exactly P(s,t,k,G); the tuples themselves biject with walks.
+func TestTheorem31(t *testing.T) {
+	g := paperGraph(t)
+	q := core.Query{S: 0, T: 1, K: 4}
+	rs, err := Build(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := Evaluate(rs)
+	walks := baseline.BruteWalks(g, q.S, q.T, q.K)
+	if len(tuples) != len(walks) {
+		t.Fatalf("|Q| = %d, walk count = %d (Lemma A.1/A.2)", len(tuples), len(walks))
+	}
+	paths := TuplesToPaths(tuples, q.T)
+	want := baseline.BrutePaths(g, q.S, q.T, q.K)
+	if !baseline.SamePathSet(paths, want) {
+		t.Fatalf("join model produced %d paths, oracle %d", len(paths), len(want))
+	}
+}
+
+// TestTheorem31Random repeats the theorem check on random graphs, also
+// verifying that the full reducer does not change the join result.
+func TestTheorem31Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(7777))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(8)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 1 + rng.Intn(4)
+		q := core.Query{S: s, T: tt, K: k}
+		initial, err := BuildInitial(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduced := FullReduce(initial)
+
+		tInitial := Evaluate(initial)
+		tReduced := Evaluate(reduced)
+		if len(tInitial) != len(tReduced) {
+			t.Fatalf("trial %d: reducer changed result count %d -> %d",
+				trial, len(tInitial), len(tReduced))
+		}
+		walks := baseline.BruteWalks(g, s, tt, k)
+		if len(tReduced) != len(walks) {
+			t.Fatalf("trial %d %v: |Q| = %d, walks = %d", trial, q, len(tReduced), len(walks))
+		}
+		paths := TuplesToPaths(tReduced, tt)
+		want := baseline.BrutePaths(g, s, tt, k)
+		if !baseline.SamePathSet(paths, want) {
+			t.Fatalf("trial %d %v: %d paths, oracle %d", trial, q, len(paths), len(want))
+		}
+	}
+}
+
+// TestProposition42: after full reduction, every tuple of every relation
+// appears in at least one join result.
+func TestProposition42(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(6)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(3)
+		q := core.Query{S: s, T: tt, K: k}
+		rs, err := Build(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := Evaluate(rs)
+		used := make([]map[graph.Edge]bool, k)
+		for i := range used {
+			used[i] = map[graph.Edge]bool{}
+		}
+		for _, r := range results {
+			for i := 0; i+1 < len(r); i++ {
+				used[i][graph.Edge{From: r[i], To: r[i+1]}] = true
+			}
+		}
+		for i, rel := range rs {
+			for _, e := range rel.Tuples {
+				if !used[i][e] {
+					t.Fatalf("trial %d: dangling tuple %v in R%d after full reduction", trial, e, i+1)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexEquivalence is the Appendix-B property: for every source vertex
+// v that survives the full reducer in R_{i+1}, the index neighbor list
+// It(v, k-i-1) equals the reduced relation's neighbor list R_{i+1}(v), and
+// every reduced tuple appears in the index. (The index may additionally
+// keep sources the reducer drops — vertices whose distances fit C_i but
+// that no walk visits at position i exactly, e.g. for parity reasons; the
+// appendix proof is per surviving source, which is what "competitive
+// pruning power" means.)
+func TestIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(8)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(3)
+		q := core.Query{S: s, T: tt, K: k}
+
+		rs, err := Build(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := core.BuildIndex(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			// Group the reduced relation by source.
+			bySource := map[graph.VertexID]map[graph.VertexID]bool{}
+			for _, e := range rs[i].Tuples {
+				if bySource[e.From] == nil {
+					bySource[e.From] = map[graph.VertexID]bool{}
+				}
+				bySource[e.From][e.To] = true
+			}
+			for v, wantNbrs := range bySource {
+				if !ix.InX(v) {
+					t.Fatalf("trial %d level %d: reduced source %d not in X", trial, i, v)
+				}
+				got := ix.OutUpTo(v, k-i-1)
+				if len(got) != len(wantNbrs) {
+					t.Fatalf("trial %d level %d source %d: It has %d neighbors, relation %d",
+						trial, i, v, len(got), len(wantNbrs))
+				}
+				for _, w := range got {
+					if !wantNbrs[w] {
+						t.Fatalf("trial %d level %d source %d: index neighbor %d missing from relation",
+							trial, i, v, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := BuildInitial(g, core.Query{S: 0, T: 0, K: 3}); err == nil {
+		t.Error("s == t: expected error")
+	}
+	if _, err := Build(g, core.Query{S: 0, T: 1, K: 0}); err == nil {
+		t.Error("k = 0: expected error")
+	}
+}
+
+func TestKOne(t *testing.T) {
+	g := paperGraph(t)
+	// v0=2 has a direct edge to t=1.
+	rs, err := Build(g, core.Query{S: 2, T: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := Evaluate(rs)
+	if len(tuples) != 1 {
+		t.Fatalf("k=1: got %d tuples, want 1", len(tuples))
+	}
+	paths := TuplesToPaths(tuples, 1)
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Fatalf("k=1: paths = %v", paths)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	g := paperGraph(t)
+	rs, err := BuildInitial(g, core.Query{S: 0, T: 1, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := Sizes(rs)
+	if len(sz) != 4 || sz[0] != 3 {
+		t.Fatalf("Sizes = %v", sz)
+	}
+}

@@ -1,0 +1,182 @@
+// Package workload generates HcPE query sets following the paper's
+// methodology (§7.1): vertices are split by degree into a high-degree set V'
+// (top 10%) and the remainder V”, queries draw s and t from one of the four
+// {V',V”}x{V',V”} settings, and every query is guaranteed to have
+// dist(s,t) <= 3 so that enumeration is non-trivial.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pathenum/internal/graph"
+)
+
+// Setting selects which degree classes s and t are drawn from.
+type Setting int
+
+// The four query settings of §7.1. The paper reports HighHigh by default
+// because queries between high-degree endpoints have the largest search
+// spaces.
+const (
+	HighHigh Setting = iota // s in V', t in V'
+	HighLow                 // s in V', t in V''
+	LowHigh                 // s in V'', t in V'
+	LowLow                  // s in V'', t in V''
+)
+
+// String implements fmt.Stringer.
+func (s Setting) String() string {
+	switch s {
+	case HighHigh:
+		return "V'xV'"
+	case HighLow:
+		return "V'xV''"
+	case LowHigh:
+		return "V''xV'"
+	case LowLow:
+		return "V''xV''"
+	default:
+		return fmt.Sprintf("Setting(%d)", int(s))
+	}
+}
+
+// Query is a source/target pair; the hop constraint k is supplied at
+// execution time so one query set serves all k sweeps.
+type Query struct {
+	S, T graph.VertexID
+}
+
+// Options configures query generation.
+type Options struct {
+	Setting  Setting
+	Count    int     // number of queries to generate
+	MaxDist  int     // required upper bound on dist(s,t); paper uses 3
+	TopFrac  float64 // fraction of vertices in V'; paper uses 0.10
+	Seed     int64
+	MaxTries int // sampling attempts before giving up (default 200*Count)
+}
+
+// ErrNoQueries is returned when sampling cannot find enough (s,t) pairs
+// within MaxDist, e.g. on graphs with tiny reachable neighborhoods.
+var ErrNoQueries = errors.New("workload: could not sample enough queries within distance bound")
+
+// Split partitions vertex ids into (V', V”) by total degree: V' is the
+// topFrac fraction with the largest degrees (at least one vertex).
+func Split(g *graph.Graph, topFrac float64) (high, low []graph.VertexID) {
+	n := g.NumVertices()
+	ids := make([]graph.VertexID, n)
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j] // deterministic tie-break
+	})
+	cut := int(float64(n) * topFrac)
+	if cut < 1 && n > 0 {
+		cut = 1
+	}
+	return ids[:cut], ids[cut:]
+}
+
+// Generate samples a query set per Options. Each returned query satisfies
+// s != t and dist(s,t) <= MaxDist in g.
+func Generate(g *graph.Graph, opts Options) ([]Query, error) {
+	if opts.Count <= 0 {
+		return nil, fmt.Errorf("workload: non-positive count %d", opts.Count)
+	}
+	if g.NumVertices() < 2 {
+		return nil, fmt.Errorf("workload: graph too small (%d vertices)", g.NumVertices())
+	}
+	if opts.TopFrac <= 0 || opts.TopFrac >= 1 {
+		opts.TopFrac = 0.10
+	}
+	if opts.MaxDist <= 0 {
+		opts.MaxDist = 3
+	}
+	if opts.MaxTries <= 0 {
+		opts.MaxTries = 200 * opts.Count
+	}
+	high, low := Split(g, opts.TopFrac)
+	var sPool, tPool []graph.VertexID
+	switch opts.Setting {
+	case HighHigh:
+		sPool, tPool = high, high
+	case HighLow:
+		sPool, tPool = high, low
+	case LowHigh:
+		sPool, tPool = low, high
+	case LowLow:
+		sPool, tPool = low, low
+	default:
+		return nil, fmt.Errorf("workload: unknown setting %d", int(opts.Setting))
+	}
+	if len(sPool) == 0 || len(tPool) == 0 {
+		return nil, fmt.Errorf("workload: empty vertex pool for setting %v", opts.Setting)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dist := newBoundedBFS(g)
+	queries := make([]Query, 0, opts.Count)
+	for tries := 0; len(queries) < opts.Count && tries < opts.MaxTries; tries++ {
+		s := sPool[rng.Intn(len(sPool))]
+		t := tPool[rng.Intn(len(tPool))]
+		if s == t {
+			continue
+		}
+		if dist.within(s, t, opts.MaxDist) {
+			queries = append(queries, Query{S: s, T: t})
+		}
+	}
+	if len(queries) < opts.Count {
+		return queries, fmt.Errorf("%w: got %d of %d", ErrNoQueries, len(queries), opts.Count)
+	}
+	return queries, nil
+}
+
+// boundedBFS answers "is dist(s,t) <= bound" queries with reusable buffers.
+type boundedBFS struct {
+	g     *graph.Graph
+	seen  []int32 // epoch stamps
+	epoch int32
+	queue []graph.VertexID
+}
+
+func newBoundedBFS(g *graph.Graph) *boundedBFS {
+	return &boundedBFS{g: g, seen: make([]int32, g.NumVertices())}
+}
+
+func (b *boundedBFS) within(s, t graph.VertexID, bound int) bool {
+	if s == t {
+		return true
+	}
+	b.epoch++
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, s)
+	b.seen[s] = b.epoch
+	head := 0
+	for depth := 1; depth <= bound; depth++ {
+		tail := len(b.queue)
+		if head == tail {
+			return false
+		}
+		for ; head < tail; head++ {
+			for _, w := range b.g.OutNeighbors(b.queue[head]) {
+				if w == t {
+					return true
+				}
+				if b.seen[w] != b.epoch {
+					b.seen[w] = b.epoch
+					b.queue = append(b.queue, w)
+				}
+			}
+		}
+	}
+	return false
+}

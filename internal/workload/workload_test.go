@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32(i + 1)})
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func bfsDist(g *graph.Graph, s, t graph.VertexID) int {
+	if s == t {
+		return 0
+	}
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []graph.VertexID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.OutNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if w == t {
+					return dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+func TestSplitSizes(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 1)
+	high, low := Split(g, 0.10)
+	if len(high) != 20 {
+		t.Fatalf("|V'| = %d, want 20", len(high))
+	}
+	if len(high)+len(low) != 200 {
+		t.Fatalf("split loses vertices: %d + %d", len(high), len(low))
+	}
+	// Every high vertex has degree >= every low vertex.
+	minHigh := 1 << 30
+	for _, v := range high {
+		if d := g.Degree(v); d < minHigh {
+			minHigh = d
+		}
+	}
+	for _, v := range low {
+		if g.Degree(v) > minHigh {
+			t.Fatalf("low vertex %d has degree %d > min high degree %d", v, g.Degree(v), minHigh)
+		}
+	}
+}
+
+func TestSplitAtLeastOneHigh(t *testing.T) {
+	g := lineGraph(t, 5)
+	high, _ := Split(g, 0.001)
+	if len(high) != 1 {
+		t.Fatalf("|V'| = %d, want 1 (floor)", len(high))
+	}
+}
+
+func TestGenerateRespectsDistanceBound(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 5, 2)
+	qs, err := Generate(g, Options{Setting: HighHigh, Count: 50, MaxDist: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.S == q.T {
+			t.Fatalf("query with s == t: %v", q)
+		}
+		d := bfsDist(g, q.S, q.T)
+		if d < 0 || d > 3 {
+			t.Fatalf("query %v has dist %d, want <= 3", q, d)
+		}
+	}
+}
+
+func TestGenerateSettingsUsePools(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 5, 3)
+	high, _ := Split(g, 0.10)
+	inHigh := make(map[graph.VertexID]bool, len(high))
+	for _, v := range high {
+		inHigh[v] = true
+	}
+	cases := []struct {
+		setting      Setting
+		sHigh, tHigh bool
+	}{
+		{HighHigh, true, true},
+		{HighLow, true, false},
+		{LowHigh, false, true},
+		{LowLow, false, false},
+	}
+	for _, tc := range cases {
+		qs, err := Generate(g, Options{Setting: tc.setting, Count: 10, Seed: 11})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.setting, err)
+		}
+		for _, q := range qs {
+			if inHigh[q.S] != tc.sHigh {
+				t.Fatalf("%v: s=%d in V'=%v, want %v", tc.setting, q.S, inHigh[q.S], tc.sHigh)
+			}
+			if inHigh[q.T] != tc.tHigh {
+				t.Fatalf("%v: t=%d in V'=%v, want %v", tc.setting, q.T, inHigh[q.T], tc.tHigh)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 4)
+	a, err := Generate(g, Options{Setting: HighHigh, Count: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, Options{Setting: HighHigh, Count: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateUnreachable(t *testing.T) {
+	// Two disconnected cliques: HighLow queries across them cannot satisfy
+	// the distance bound if pools split across components... use a graph
+	// with no edges at all so no pair is within distance 3.
+	g, err := graph.NewGraph(20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Generate(g, Options{Setting: LowLow, Count: 5, Seed: 1, MaxTries: 500})
+	if !errors.Is(err, ErrNoQueries) {
+		t.Fatalf("err = %v, want ErrNoQueries", err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := lineGraph(t, 10)
+	if _, err := Generate(g, Options{Count: 0}); err == nil {
+		t.Error("Count=0: expected error")
+	}
+	if _, err := Generate(g, Options{Count: 1, Setting: Setting(99)}); err == nil {
+		t.Error("bad setting: expected error")
+	}
+	tiny := lineGraph(t, 1)
+	if _, err := Generate(tiny, Options{Count: 1}); err == nil {
+		t.Error("tiny graph: expected error")
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	for _, tc := range []struct {
+		s    Setting
+		want string
+	}{
+		{HighHigh, "V'xV'"}, {HighLow, "V'xV''"}, {LowHigh, "V''xV'"}, {LowLow, "V''xV''"}, {Setting(9), "Setting(9)"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int(tc.s), got, tc.want)
+		}
+	}
+}
+
+func TestBoundedBFSAgainstReference(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 9)
+	b := newBoundedBFS(g)
+	for s := int32(0); s < 20; s++ {
+		for tt := int32(0); tt < 20; tt++ {
+			want := bfsDist(g, s, tt)
+			for _, bound := range []int{1, 2, 3, 5} {
+				got := b.within(s, tt, bound)
+				wantWithin := want >= 0 && want <= bound
+				if got != wantWithin {
+					t.Fatalf("within(%d,%d,%d) = %v, want %v (dist %d)", s, tt, bound, got, wantWithin, want)
+				}
+			}
+		}
+	}
+}
