@@ -10,6 +10,7 @@
 package pathenum
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -296,6 +297,38 @@ func BenchmarkAblationCutPosition(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStopperOverhead quantifies the cancellation-check cost on one
+// fixed heavy enumeration. The unbounded run carries a nil ShouldStop hook
+// (no polling at all); the timeout and context runs pay the amortized
+// ctx.Err/time.Now check every ~1024 expansion events — the delta between
+// the three is the whole cost of the cancellation story.
+func BenchmarkStopperOverhead(b *testing.B) {
+	g, q := benchGraphAndQuery(b, 4)
+	b.Run("unbounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(g, q, core.Options{Method: core.MethodDFS}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("timeout", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(g, q, core.Options{Method: core.MethodDFS, Timeout: time.Hour}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("context", func(b *testing.B) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunContext(ctx, g, q, core.Options{Method: core.MethodDFS}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPublicAPI measures the end-to-end public entry point.

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"pathenum"
@@ -92,14 +94,18 @@ func run(graphPath string, srcID, dstID int64, k int, method string, limit uint6
 			return true
 		}
 	}
-	res, err := pathenum.Enumerate(g, pathenum.Query{S: s, T: t, K: k}, opts)
+	// Ctrl-C cancels a runaway enumeration but still reports the partial
+	// counts gathered so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := pathenum.EnumerateContext(ctx, g, pathenum.Query{S: s, T: t, K: k}, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%d paths from %d to %d within %d hops (%s)\n",
 		res.Counters.Results, srcID, dstID, k, res.Plan.Method)
 	if !res.Completed {
-		fmt.Println("note: enumeration stopped early (limit or timeout)")
+		fmt.Println("note: enumeration stopped early (limit, timeout or interrupt)")
 	}
 	if verbose {
 		fmt.Printf("graph: %v\n", g)

@@ -9,6 +9,12 @@
 //	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/query \
 //	     -d '{"s":3,"t":17,"k":6,"limit":10,"paths":true}'
+//	curl -s -X POST localhost:8080/batch \
+//	     -d '{"queries":[{"s":3,"t":17,"k":6},{"s":4,"t":9,"k":5}],"limit":100}'
+//
+// Every request runs through the engine's session pool (buffer reuse plus
+// the optional distance oracle) and observes the request context, so a
+// client disconnect cancels the enumeration mid-flight.
 package main
 
 import (

@@ -75,6 +75,7 @@ func (s *server) raw(dense pathenum.VertexID) int64 {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -94,24 +95,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	src, ok := s.dense(req.S)
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown source vertex %d", req.S)
-		return
-	}
-	dst, ok := s.dense(req.T)
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown target vertex %d", req.T)
-		return
-	}
-	opts := pathenum.Options{Limit: req.Limit}
-	switch req.Method {
+// parseOptions converts wire-level method/limit/timeout to per-call option
+// overrides (zero fields inherit the engine defaults at execution time).
+func parseOptions(method string, limit uint64, timeout string) (pathenum.Options, error) {
+	opts := pathenum.Options{Limit: limit}
+	switch method {
 	case "", "auto":
 		opts.Method = pathenum.Auto
 	case "dfs":
@@ -119,38 +107,83 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "join":
 		opts.Method = pathenum.Join
 	default:
-		httpError(w, http.StatusBadRequest, "unknown method %q", req.Method)
-		return
+		return pathenum.Options{}, fmt.Errorf("unknown method %q", method)
 	}
-	if req.Timeout != "" {
-		d, err := time.ParseDuration(req.Timeout)
+	if timeout != "" {
+		d, err := time.ParseDuration(timeout)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad timeout: %v", err)
-			return
+			return pathenum.Options{}, fmt.Errorf("bad timeout: %v", err)
 		}
 		opts.Timeout = d
+	}
+	return opts, nil
+}
+
+// resolveQuery maps wire-level (raw) endpoints to a dense query.
+func (s *server) resolveQuery(sRaw, tRaw int64, k int) (pathenum.Query, error) {
+	src, ok := s.dense(sRaw)
+	if !ok {
+		return pathenum.Query{}, fmt.Errorf("unknown source vertex %d", sRaw)
+	}
+	dst, ok := s.dense(tRaw)
+	if !ok {
+		return pathenum.Query{}, fmt.Errorf("unknown target vertex %d", tRaw)
+	}
+	return pathenum.Query{S: src, T: dst, K: k}, nil
+}
+
+// parseQuery converts the wire request to a dense query plus per-call
+// option overrides. Paths materialization is handled by the caller (it
+// needs a response-local Emit closure).
+func (s *server) parseQuery(req queryRequest) (pathenum.Query, pathenum.Options, error) {
+	q, err := s.resolveQuery(req.S, req.T, req.K)
+	if err != nil {
+		return pathenum.Query{}, pathenum.Options{}, err
+	}
+	opts, err := parseOptions(req.Method, req.Limit, req.Timeout)
+	if err != nil {
+		return pathenum.Query{}, pathenum.Options{}, err
+	}
+	return q, opts, nil
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	q, opts, err := s.parseQuery(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 
 	var paths [][]int64
 	if req.Paths {
-		cap := req.Limit
-		if cap == 0 || cap > s.maxPaths {
-			cap = s.maxPaths
+		// Clamp the enumeration itself, not just the stored slice: once the
+		// response cannot grow there is no point materializing further
+		// results, so the run stops (and reports Completed=false) at the cap.
+		pathCap := req.Limit
+		if pathCap == 0 || pathCap > s.maxPaths {
+			pathCap = s.maxPaths
 		}
+		opts.Limit = pathCap
 		opts.Emit = func(p []pathenum.VertexID) bool {
-			if uint64(len(paths)) < cap {
-				out := make([]int64, len(p))
-				for i, v := range p {
-					out[i] = s.raw(v)
-				}
-				paths = append(paths, out)
+			out := make([]int64, len(p))
+			for i, v := range p {
+				out[i] = s.raw(v)
 			}
+			paths = append(paths, out)
 			return true
 		}
 	}
 
+	// Running through the engine (rather than a bare Enumerate on the
+	// engine's graph) buys session buffer reuse, the engine oracle and
+	// cancellation when the client disconnects.
 	start := time.Now()
-	res, err := runQuery(s.engine, pathenum.Query{S: src, T: dst, K: req.K}, opts)
+	res, err := s.engine.ExecuteWith(r.Context(), q, opts)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "query failed: %v", err)
 		return
@@ -165,11 +198,84 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runQuery merges per-request options with the engine defaults. The engine
-// API takes defaults at construction; per-request emit/limit/method come
-// from the request, so issue the query directly against the engine graph.
-func runQuery(e *pathenum.Engine, q pathenum.Query, opts pathenum.Options) (*pathenum.Result, error) {
-	return pathenum.Enumerate(e.Graph(), q, opts)
+// batchRequest is the JSON body of POST /batch: a list of queries answered
+// against the shared engine, plus batch-wide option overrides. Responses
+// carry counts only (no path materialization).
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+	Method  string         `json:"method,omitempty"`
+	Limit   uint64         `json:"limit,omitempty"`
+	Timeout string         `json:"timeout,omitempty"`
+}
+
+// batchResult is one slot of the batch response; Error is set instead of
+// the result fields when that query failed.
+type batchResult struct {
+	Count     uint64 `json:"count"`
+	Completed bool   `json:"completed"`
+	Plan      string `json:"plan,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// maxBatchQueries bounds one POST /batch body.
+const maxBatchQueries = 10000
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "batch needs at least one query")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	opts, err := parseOptions(req.Method, req.Limit, req.Timeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	out := make([]batchResult, len(req.Queries))
+	queries := make([]pathenum.Query, 0, len(req.Queries))
+	slots := make([]int, 0, len(req.Queries))
+	for i, qr := range req.Queries {
+		// Options are batch-wide; reject per-query overrides loudly rather
+		// than dropping them.
+		if qr.Method != "" || qr.Limit != 0 || qr.Timeout != "" || qr.Paths {
+			out[i].Error = "per-query method/limit/timeout/paths are not supported in /batch; set them batch-wide"
+			continue
+		}
+		q, qerr := s.resolveQuery(qr.S, qr.T, qr.K)
+		if qerr != nil {
+			out[i].Error = qerr.Error()
+			continue
+		}
+		queries = append(queries, q)
+		slots = append(slots, i)
+	}
+
+	start := time.Now()
+	results, errs := s.engine.ExecuteAllContext(r.Context(), queries, opts)
+	for j, i := range slots {
+		if errs[j] != nil {
+			out[i].Error = errs[j].Error()
+			continue
+		}
+		out[i] = batchResult{
+			Count:     results[j].Counters.Results,
+			Completed: results[j].Completed,
+			Plan:      results[j].Plan.Method.String(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results": out,
+		"ms":      float64(time.Since(start)) / float64(time.Millisecond),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

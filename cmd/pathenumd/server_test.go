@@ -1,14 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pathenum"
+	"pathenum/internal/gen"
 )
 
 // testServer serves the diamond graph 0 -> {1,2} -> 3 plus 3 -> 0.
@@ -186,6 +189,166 @@ func TestQueryConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestQueryPathsCapStopsEnumeration: once the materialization cap is hit,
+// the run itself stops (Options.Limit is set coherently), so the response
+// reports exactly the cap and Completed=false instead of counting on.
+func TestQueryPathsCapStopsEnumeration(t *testing.T) {
+	g := gen.Layered(5, 3) // 125 paths 0 -> 1 within k=4
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(engine, nil)
+	srv.maxPaths = 3
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	resp, qr := postQuery(t, ts, `{"s":0,"t":1,"k":4,"paths":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if qr.Count != 3 || len(qr.Paths) != 3 || qr.Completed {
+		t.Fatalf("capped paths response: %+v", qr)
+	}
+	// An explicit limit below the cap still wins.
+	_, qr = postQuery(t, ts, `{"s":0,"t":1,"k":4,"paths":true,"limit":2}`)
+	if qr.Count != 2 || len(qr.Paths) != 2 {
+		t.Fatalf("explicit limit response: %+v", qr)
+	}
+}
+
+// TestQueryContextCancellation: cancelling the request context of an
+// in-flight POST /query (a client disconnect) stops enumeration before
+// natural completion — the handler returns promptly with completed=false.
+func TestQueryContextCancellation(t *testing.T) {
+	g := gen.Layered(30, 5) // 30^5 ~ 24M paths: far beyond the cancel window
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(engine, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"s":0,"t":1,"k":6,"method":"dfs"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	srv.handleQuery(rec, req)
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %s", rec.Code, rec.Body.String())
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(rec.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Completed {
+		t.Fatal("cancelled request must not run to completion")
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("handler took %v after cancellation", elapsed)
+	}
+}
+
+type testBatchResponse struct {
+	Results []batchResult `json:"results"`
+	Millis  float64       `json:"ms"`
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, testBatchResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var br testBatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, br
+}
+
+func TestBatchBasic(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3},{"s":1,"t":3,"k":3},{"s":3,"t":1,"k":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results = %v", br.Results)
+	}
+	wantCounts := []uint64{2, 1, 1} // 3->0->1 within 2 hops
+	for i, want := range wantCounts {
+		r := br.Results[i]
+		if r.Error != "" || r.Count != want || !r.Completed {
+			t.Fatalf("slot %d: %+v, want count %d", i, r, want)
+		}
+	}
+}
+
+// TestBatchPerQueryErrors: a bad query fills its slot without failing the
+// batch.
+func TestBatchPerQueryErrors(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3},{"s":99,"t":3,"k":3},{"s":0,"t":0,"k":3}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if br.Results[0].Error != "" || br.Results[0].Count != 2 {
+		t.Fatalf("valid slot: %+v", br.Results[0])
+	}
+	if br.Results[1].Error == "" {
+		t.Fatal("unknown vertex must error its slot")
+	}
+	if br.Results[2].Error == "" {
+		t.Fatal("s==t must error its slot")
+	}
+}
+
+// TestBatchRejectsPerQueryOptions: options are batch-wide; a per-query
+// override errors its slot loudly instead of being silently dropped.
+func TestBatchRejectsPerQueryOptions(t *testing.T) {
+	ts := testServer(t, nil)
+	_, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3,"limit":1},{"s":0,"t":3,"k":3}]}`)
+	if br.Results[0].Error == "" {
+		t.Fatal("per-query limit must error its slot")
+	}
+	if br.Results[1].Error != "" || br.Results[1].Count != 2 {
+		t.Fatalf("clean slot must still run: %+v", br.Results[1])
+	}
+}
+
+// TestBatchSharedOptions: batch-wide limit applies to every query.
+func TestBatchSharedOptions(t *testing.T) {
+	ts := testServer(t, nil)
+	_, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3},{"s":0,"t":3,"k":3}],"limit":1,"method":"dfs"}`)
+	for i, r := range br.Results {
+		if r.Count != 1 || r.Completed {
+			t.Fatalf("slot %d: %+v, want limited run", i, r)
+		}
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	ts := testServer(t, nil)
+	for _, body := range []string{
+		`not json`,
+		`{"queries":[]}`,
+		`{"queries":[{"s":0,"t":3,"k":3}],"method":"x"}`,
+		`{"queries":[{"s":0,"t":3,"k":3}],"timeout":"zzz"}`,
+	} {
+		resp, _ := postBatch(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
 	}
 }
 

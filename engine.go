@@ -1,6 +1,7 @@
 package pathenum
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -64,26 +65,91 @@ func (e *Engine) Graph() *Graph { return e.g }
 
 // Execute runs one query with the engine defaults (synchronously).
 func (e *Engine) Execute(q Query) (*Result, error) {
+	return e.ExecuteWith(context.Background(), q, Options{})
+}
+
+// ExecuteWith runs one query on a pooled session, merging per-call option
+// overrides with the engine defaults (see MergeOptions) and observing ctx:
+// cancellation or a context deadline stops enumeration early with
+// Result.Completed == false. This is the entry point services should use —
+// e.g. an HTTP handler passing the request context gets session buffer
+// reuse, the engine oracle and client-disconnect cancellation in one call.
+func (e *Engine) ExecuteWith(ctx context.Context, q Query, opts Options) (*Result, error) {
 	sess := e.sessions.Get().(*core.Session)
 	defer e.sessions.Put(sess)
-	return sess.Run(q, e.cfg.Options)
+	return sess.RunContext(ctx, q, e.MergeOptions(opts))
+}
+
+// MergeOptions overlays per-call overrides on the engine's default Options:
+// any zero-valued field of opts falls back to the corresponding
+// EngineConfig.Options field.
+//
+// The flip side: a zero value can never override a non-zero default. A
+// per-call Auto inherits the default Method (Auto is the zero value), a
+// per-call Limit/Timeout of 0 cannot lift a default limit/timeout, and a
+// nil Emit/Predicate/Oracle cannot clear a default one. Engines intended
+// to serve unrestricted per-call traffic should keep those defaults zero
+// and let callers opt in per call.
+func (e *Engine) MergeOptions(opts Options) Options {
+	def := e.cfg.Options
+	if opts.Method == Auto {
+		opts.Method = def.Method
+	}
+	if opts.Tau == 0 {
+		opts.Tau = def.Tau
+	}
+	if opts.Limit == 0 {
+		opts.Limit = def.Limit
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = def.Timeout
+	}
+	if opts.Emit == nil {
+		opts.Emit = def.Emit
+	}
+	if opts.Predicate == nil {
+		opts.Predicate = def.Predicate
+	}
+	if opts.Oracle == nil {
+		opts.Oracle = def.Oracle
+	}
+	return opts
 }
 
 // ExecuteAll runs the queries across the worker pool and returns results
 // in input order. The per-result error slot is set for invalid queries;
 // valid ones always produce a Result.
 func (e *Engine) ExecuteAll(queries []Query) ([]*Result, []error) {
+	return e.ExecuteAllContext(context.Background(), queries, Options{})
+}
+
+// ExecuteAllContext runs the queries across the worker pool with shared
+// per-call option overrides, observing ctx with fail-fast cancellation:
+// once ctx is done, queries not yet started return ctx.Err() immediately
+// and in-flight enumerations stop early. Results come back in input order;
+// per-query validation errors fill their slot without aborting the batch.
+//
+// opts.Emit, if set, may be invoked concurrently from multiple workers and
+// does not identify the originating query; batch callers normally leave it
+// nil and read counts from the Results.
+func (e *Engine) ExecuteAllContext(ctx context.Context, queries []Query, opts Options) ([]*Result, []error) {
 	results := make([]*Result, len(queries))
 	errs := make([]error, len(queries))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.workers)
 	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(queries); j++ {
+				errs[j] = err
+			}
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, q Query) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = e.Execute(q)
+			results[i], errs[i] = e.ExecuteWith(ctx, q, opts)
 		}(i, q)
 	}
 	wg.Wait()

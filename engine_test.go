@@ -1,8 +1,11 @@
 package pathenum
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"pathenum/internal/gen"
 )
@@ -129,6 +132,171 @@ func TestEngineInvalidQuery(t *testing.T) {
 	}
 	if _, err := e.CountAll(queries); err == nil {
 		t.Fatal("CountAll must surface the error")
+	}
+}
+
+// TestEngineExecuteWithMergesOptions: zero-valued per-call fields inherit
+// the engine defaults; non-zero fields override them.
+func TestEngineExecuteWithMergesOptions(t *testing.T) {
+	g := gen.Layered(5, 3) // 125 paths 0 -> 1 within k=4
+	q := Query{S: 0, T: 1, K: 4}
+	e, err := NewEngine(g, EngineConfig{Options: Options{Limit: 2, Method: DFS}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// No overrides: the engine default limit applies.
+	res, err := e.ExecuteWith(ctx, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Results != 2 || res.Completed {
+		t.Fatalf("default limit: %d results, completed=%v", res.Counters.Results, res.Completed)
+	}
+	if res.Plan.Method != DFS {
+		t.Fatalf("default method not applied: %v", res.Plan.Method)
+	}
+
+	// Per-call limit overrides the default.
+	res, err = e.ExecuteWith(ctx, q, Options{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Results != 5 {
+		t.Fatalf("override limit: %d results, want 5", res.Counters.Results)
+	}
+
+	// Per-call method overrides the default.
+	res, err = e.ExecuteWith(ctx, q, Options{Method: Join, Limit: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Method != Join {
+		t.Fatalf("override method not applied: %v", res.Plan.Method)
+	}
+	if res.Counters.Results != 125 || !res.Completed {
+		t.Fatalf("override run: %d results, completed=%v", res.Counters.Results, res.Completed)
+	}
+
+	// Per-call emit overrides a nil default and sees every path.
+	var seen int
+	if _, err = e.ExecuteWith(ctx, q, Options{Limit: 200, Emit: func([]VertexID) bool {
+		seen++
+		return true
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 125 {
+		t.Fatalf("emit override saw %d paths, want 125", seen)
+	}
+}
+
+// TestEngineExecuteWithCancel: cancelling the call context stops a heavy
+// query promptly with Completed=false.
+func TestEngineExecuteWithCancel(t *testing.T) {
+	g := gen.Layered(24, 5) // ~8M paths
+	e, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var emitted uint64
+	res, err := e.ExecuteWith(ctx, Query{S: 0, T: 1, K: 6}, Options{
+		Method: DFS,
+		Emit: func([]VertexID) bool {
+			emitted++
+			if emitted == 50 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("cancelled query must not complete")
+	}
+	if res.Counters.Results > 1_000_000 {
+		t.Fatalf("cancelled query ran too long: %d results", res.Counters.Results)
+	}
+}
+
+// TestEngineExecuteAllContextFailFast: a cancelled batch context marks the
+// unstarted queries with the context error instead of running them.
+func TestEngineExecuteAllContextFailFast(t *testing.T) {
+	g := engineGraph()
+	e, err := NewEngine(g, EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := engineQueries(8, 3, g.NumVertices())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, errs := e.ExecuteAllContext(ctx, queries, Options{})
+	for i := range queries {
+		if errs[i] == nil || results[i] != nil {
+			t.Fatalf("slot %d: err=%v result=%v, want fail-fast ctx error", i, errs[i], results[i])
+		}
+	}
+}
+
+// TestEngineExecuteAllContextOptions: batch-wide overrides reach every
+// query.
+func TestEngineExecuteAllContextOptions(t *testing.T) {
+	g := gen.Layered(5, 3)
+	e, err := NewEngine(g, EngineConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{S: 0, T: 1, K: 4} // 125 paths
+	results, errs := e.ExecuteAllContext(context.Background(), []Query{q, q, q}, Options{Limit: 7})
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Counters.Results != 7 {
+			t.Fatalf("slot %d: %d results, want 7", i, results[i].Counters.Results)
+		}
+	}
+}
+
+// TestEngineExecuteWithRace exercises pooled sessions concurrently through
+// the context entry point with mixed per-call options (run under -race in
+// CI).
+func TestEngineExecuteWithRace(t *testing.T) {
+	g := engineGraph()
+	e, err := NewEngine(g, EngineConfig{Workers: 16, Options: Options{Limit: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := engineQueries(64, 41, g.NumVertices())
+	var wg sync.WaitGroup
+	errc := make(chan error, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q Query) {
+			defer wg.Done()
+			opts := Options{}
+			switch i % 3 {
+			case 1:
+				opts.Method = DFS
+			case 2:
+				opts.Limit = 10
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			if _, err := e.ExecuteWith(ctx, q, opts); err != nil {
+				errc <- err
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
 	}
 }
 

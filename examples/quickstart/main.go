@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"pathenum"
 )
@@ -60,4 +62,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("materialized %d paths, e.g. %v\n", len(paths), paths[0])
+
+	// Services answering a query stream hold an Engine: pooled sessions
+	// amortize per-query allocations, and ExecuteWith merges per-call
+	// overrides with the engine defaults while observing a context.
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{
+		Workers: 2,
+		Options: pathenum.Options{Timeout: time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	er, err := engine.ExecuteWith(ctx, q, pathenum.Options{Limit: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine (limit 3): %d paths, completed=%v\n", er.Counters.Results, er.Completed)
 }

@@ -1,0 +1,3 @@
+module pathenum
+
+go 1.22

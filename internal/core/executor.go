@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"pathenum/internal/graph"
+)
+
+// executor owns the build → optimize → enumerate pipeline behind every
+// query entry point: core.Run/RunContext, Session.Run/RunContext and (via
+// sessions) the public Engine. Buffer reuse is pluggable — a long-lived
+// executor amortizes the O(|V|) BFS labelings, position map and visited
+// bitmap across queries, while one-shot runs simply use a throwaway
+// executor and pay the allocations once.
+//
+// An executor is NOT safe for concurrent use; Session inherits that
+// restriction and the Engine keeps one per worker.
+type executor struct {
+	g       *graph.Graph
+	scratch *bfsScratch
+	pos     []int32
+	onPath  []bool // allocated lazily by the first DFS enumeration
+	oracle  DistanceOracle
+}
+
+func newExecutor(g *graph.Graph, oracle DistanceOracle) *executor {
+	n := g.NumVertices()
+	return &executor{
+		g:       g,
+		scratch: newBFSScratch(n),
+		pos:     make([]int32, n),
+		oracle:  oracle,
+	}
+}
+
+// execute runs one query through the full pipeline: oracle feasibility
+// check, index construction (Algorithm 3), plan selection (§6) and
+// enumeration (Algorithm 4 or 6).
+//
+// Cancellation is observed at three points: a context already done on
+// entry returns its error before any work; a context done after the index
+// build returns the partial Result (Completed=false) without enumerating;
+// and during enumeration the amortized RunControl.ShouldStop hook stops
+// the run within ~stopCheckInterval expansion events. opts.Timeout flows
+// only through the hook — the build phase is O(|E|) bounded and was never
+// deadline-checked.
+func (e *executor) execute(ctx context.Context, q Query, opts Options) (*Result, error) {
+	if err := q.Validate(e.g); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q}
+	shouldStop := newStopper(ctx, opts.Timeout)
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = e.oracle
+	}
+
+	// Phase 1: index construction, with the BFS timed separately for the
+	// Figure 12/17 breakdowns. The oracle answers provably infeasible
+	// queries with no BFS at all (§7.5's response-time motivation).
+	start := time.Now()
+	if oracle != nil {
+		if lb := oracle.LowerBound(q.S, q.T); lb < 0 || int(lb) > q.K {
+			res.Completed = true
+			res.Timings.Build = time.Since(start)
+			res.Plan = Plan{Method: MethodDFS}
+			return res, nil
+		}
+	}
+	e.scratch.runPruned(e.g, q, opts.Predicate, oracle)
+	res.Timings.BFS = time.Since(start)
+	ix := buildIndexFromScratchPos(e.g, q, e.scratch, opts.Predicate, e.pos)
+	res.Timings.Build = time.Since(start)
+	res.IndexEdges = ix.Edges()
+	res.IndexVertices = ix.NumIndexed()
+	res.IndexBytes = ix.MemoryBytes()
+	if ctx.Err() != nil {
+		// Cancelled during the build: hand back what exists, enumerate
+		// nothing. Work already started reports a partial Result rather
+		// than an error, matching mid-enumeration cancellation.
+		res.Plan = Plan{Method: MethodDFS}
+		return res, nil
+	}
+
+	// Phase 2: plan selection (§6).
+	optStart := time.Now()
+	res.Plan = selectPlan(ix, opts)
+	res.Timings.Optimize = time.Since(optStart)
+
+	// Phase 3: enumeration.
+	ctl := RunControl{Emit: opts.Emit, Limit: opts.Limit, ShouldStop: shouldStop}
+	enumStart := time.Now()
+	switch res.Plan.Method {
+	case MethodJoin:
+		done, err := EnumerateJoin(ix, res.Plan.Cut, ctl, &res.Counters, &res.JoinStats)
+		if err != nil {
+			return nil, err
+		}
+		res.Completed = done
+	default:
+		res.Completed = e.enumerateDFS(ix, ctl, &res.Counters)
+	}
+	res.Timings.Enumerate = time.Since(enumStart)
+	return res, nil
+}
+
+// newStopper builds the RunControl.ShouldStop hook for one run, folding the
+// context's cancellation/deadline and the optional Options.Timeout into a
+// single check. It returns nil when the run is unbounded, so enumerators
+// skip the poll entirely. The enumerators invoke the hook on an amortized
+// event counter (every stopCheckInterval expansions), which keeps the
+// time.Now/ctx.Err cost off the per-node hot path.
+func newStopper(ctx context.Context, timeout time.Duration) func() bool {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	done := ctx.Done()
+	if deadline.IsZero() && done == nil {
+		return nil
+	}
+	return func() bool {
+		if done != nil && ctx.Err() != nil {
+			return true
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+}
+
+// selectPlan applies the method override or runs the two-phase optimizer.
+func selectPlan(ix *Index, opts Options) Plan {
+	switch opts.Method {
+	case MethodDFS:
+		return Plan{Method: MethodDFS, Preliminary: PreliminaryEstimate(ix)}
+	case MethodJoin:
+		est := FullEstimate(ix)
+		plan := Plan{Method: MethodJoin, Cut: est.Cut, Full: est, Preliminary: PreliminaryEstimate(ix)}
+		if est.Cut == 0 {
+			plan.Method = MethodDFS // k < 2 leaves no interior cut
+		}
+		return plan
+	default:
+		return ChoosePlan(ix, opts.Tau)
+	}
+}
+
+// enumerateDFS is EnumerateDFS with the executor's reusable visited bitmap.
+// The bitmap is clean on entry and restored to clean on exit (the search
+// unsets every bit it sets; early stops sweep the residual path).
+func (e *executor) enumerateDFS(ix *Index, ctl RunControl, ctr *Counters) bool {
+	if ix.Empty() {
+		return true
+	}
+	if e.onPath == nil {
+		e.onPath = make([]bool, e.g.NumVertices())
+	}
+	ds := &dfsSearcher{
+		ix:     ix,
+		ctl:    ctl,
+		ctr:    ctr,
+		path:   make([]graph.VertexID, 0, ix.k+1),
+		onPath: e.onPath,
+	}
+	ds.path = append(ds.path, ix.q.S)
+	ds.onPath[ix.q.S] = true
+	ds.search()
+	ds.onPath[ix.q.S] = false
+	// On early stop the recursion may leave bits set; sweep the path.
+	for _, v := range ds.path {
+		ds.onPath[v] = false
+	}
+	return !ds.stopped
+}
+
+// buildIndexFromScratchPos is buildIndexFrom with a caller-owned pos
+// buffer, so repeated builds avoid the O(|V|) allocation. The index
+// borrows the buffer: it is valid until the next build that reuses it.
+func buildIndexFromScratchPos(g *graph.Graph, q Query, scratch *bfsScratch, pred EdgePredicate, pos []int32) *Index {
+	n := g.NumVertices()
+	k := q.K
+	k32 := int32(k)
+	distS, distT := scratch.distS, scratch.distT
+
+	ix := &Index{g: g, q: q, k: k, pred: pred}
+	ix.pos = pos
+	for i := range ix.pos {
+		ix.pos[i] = -1
+	}
+
+	inX := func(v graph.VertexID) bool {
+		ds, dt := distS[v], distT[v]
+		return ds >= 0 && dt >= 0 && ds+dt <= k32
+	}
+	// The partition X (lines 2-4). If either endpoint is outside X there is
+	// no s-t path of length <= k and the index stays empty.
+	if !inX(q.S) || !inX(q.T) {
+		ix.empty = true
+		ix.cSize = make([]int64, k+1)
+		ix.sumIt = make([]uint64, k)
+		return ix
+	}
+	for v := 0; v < n; v++ {
+		if inX(graph.VertexID(v)) {
+			ix.pos[v] = int32(len(ix.verts))
+			ix.verts = append(ix.verts, graph.VertexID(v))
+		}
+	}
+	m := len(ix.verts)
+	ix.vs = make([]int32, m)
+	ix.vt = make([]int32, m)
+	for p, v := range ix.verts {
+		ix.vs[p] = distS[v]
+		ix.vt[p] = distT[v]
+	}
+	ix.buildForward(distT)
+	ix.buildReverse(distS)
+	ix.collectStats()
+	return ix
+}

@@ -99,48 +99,10 @@ func BuildIndexFiltered(g *graph.Graph, q Query, pred EdgePredicate) (*Index, er
 
 // buildIndexFrom assembles the index from completed BFS labelings. Split
 // out so the harness can time the BFS phase separately (Figure 12/17).
+// The assembly itself lives in buildIndexFromScratchPos (executor.go);
+// one-shot callers pay a fresh position buffer here.
 func buildIndexFrom(g *graph.Graph, q Query, scratch *bfsScratch, pred EdgePredicate) *Index {
-	n := g.NumVertices()
-	k := q.K
-	k32 := int32(k)
-	distS, distT := scratch.distS, scratch.distT
-
-	ix := &Index{g: g, q: q, k: k, pred: pred}
-	ix.pos = make([]int32, n)
-	for i := range ix.pos {
-		ix.pos[i] = -1
-	}
-
-	inX := func(v graph.VertexID) bool {
-		ds, dt := distS[v], distT[v]
-		return ds >= 0 && dt >= 0 && ds+dt <= k32
-	}
-	// The partition X (lines 2-4). If either endpoint is outside X there is
-	// no s-t path of length <= k and the index stays empty.
-	if !inX(q.S) || !inX(q.T) {
-		ix.empty = true
-		ix.cSize = make([]int64, k+1)
-		ix.sumIt = make([]uint64, k)
-		return ix
-	}
-	for v := 0; v < n; v++ {
-		if inX(graph.VertexID(v)) {
-			ix.pos[v] = int32(len(ix.verts))
-			ix.verts = append(ix.verts, graph.VertexID(v))
-		}
-	}
-	m := len(ix.verts)
-	ix.vs = make([]int32, m)
-	ix.vt = make([]int32, m)
-	for p, v := range ix.verts {
-		ix.vs[p] = distS[v]
-		ix.vt[p] = distT[v]
-	}
-
-	ix.buildForward(distT)
-	ix.buildReverse(distS)
-	ix.collectStats()
-	return ix
+	return buildIndexFromScratchPos(g, q, scratch, pred, make([]int32, g.NumVertices()))
 }
 
 // buildForward fills the neighbor lists sorted by w.t (lines 5-11).

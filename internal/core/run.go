@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"pathenum/internal/graph"
@@ -57,67 +58,19 @@ type Result struct {
 }
 
 // Run executes q on g per opts: build index, plan, enumerate. This is the
-// engine behind the public API and every experiment harness.
+// engine behind the public API and every experiment harness. It is a
+// one-shot wrapper over the shared executor pipeline; services answering a
+// query stream should hold a Session (or the public Engine) instead to
+// amortize the per-query buffer allocations.
 func Run(g *graph.Graph, q Query, opts Options) (*Result, error) {
-	if err := q.Validate(g); err != nil {
-		return nil, err
-	}
-	res := &Result{Query: q}
+	return RunContext(context.Background(), g, q, opts)
+}
 
-	var deadline time.Time
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
-	}
-	shouldStop := func() bool { return false }
-	if !deadline.IsZero() {
-		shouldStop = func() bool { return time.Now().After(deadline) }
-	}
-
-	// Phase 1: index construction (Algorithm 3), with the BFS timed
-	// separately for the Figure 12/17 breakdowns.
-	start := time.Now()
-	scratch := newBFSScratch(g.NumVertices())
-	scratch.runPruned(g, q, opts.Predicate, opts.Oracle)
-	res.Timings.BFS = time.Since(start)
-	ix := buildIndexFrom(g, q, scratch, opts.Predicate)
-	res.Timings.Build = time.Since(start)
-	res.IndexEdges = ix.Edges()
-	res.IndexVertices = ix.NumIndexed()
-	res.IndexBytes = ix.MemoryBytes()
-
-	// Phase 2: plan selection (§6).
-	optStart := time.Now()
-	var plan Plan
-	switch opts.Method {
-	case MethodDFS:
-		plan = Plan{Method: MethodDFS, Preliminary: PreliminaryEstimate(ix)}
-	case MethodJoin:
-		est := FullEstimate(ix)
-		plan = Plan{Method: MethodJoin, Cut: est.Cut, Full: est, Preliminary: PreliminaryEstimate(ix)}
-		if est.Cut == 0 {
-			plan.Method = MethodDFS // k < 2 leaves no interior cut
-		}
-	default:
-		plan = ChoosePlan(ix, opts.Tau)
-	}
-	res.Plan = plan
-	res.Timings.Optimize = time.Since(optStart)
-
-	// Phase 3: enumeration.
-	ctl := RunControl{Emit: opts.Emit, Limit: opts.Limit, ShouldStop: shouldStop}
-	enumStart := time.Now()
-	switch plan.Method {
-	case MethodJoin:
-		done, err := EnumerateJoin(ix, plan.Cut, ctl, &res.Counters, &res.JoinStats)
-		if err != nil {
-			return nil, err
-		}
-		res.Completed = done
-	default:
-		res.Completed = EnumerateDFS(ix, ctl, &res.Counters)
-	}
-	res.Timings.Enumerate = time.Since(enumStart)
-	return res, nil
+// RunContext is Run observing ctx: cancellation or a context deadline stops
+// the enumeration early (Result.Completed reports false), checked on an
+// amortized event counter alongside opts.Timeout.
+func RunContext(ctx context.Context, g *graph.Graph, q Query, opts Options) (*Result, error) {
+	return newExecutor(g, nil).execute(ctx, q, opts)
 }
 
 // Count returns the number of hop-constrained s-t paths, running the full

@@ -1,182 +1,48 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"pathenum/internal/graph"
 )
 
 // Session amortizes per-query allocations across repeated queries on the
-// same graph: the O(|V|) BFS labelings and the visited bitmap are allocated
-// once and reused. This targets the paper's online scenario, where a
-// service answers a stream of queries against one in-memory graph and
-// garbage-collector pressure matters (DESIGN.md notes GC overhead as the
-// main Go-specific risk).
+// same graph: the O(|V|) BFS labelings, the index position map and the
+// visited bitmap are allocated once and reused. This targets the paper's
+// online scenario, where a service answers a stream of queries against one
+// in-memory graph and garbage-collector pressure matters (DESIGN.md notes
+// GC overhead as the main Go-specific risk).
+//
+// A Session is a thin handle on the shared executor pipeline — the same
+// pipeline core.Run uses with throwaway buffers — so the two can never
+// diverge semantically.
 //
 // A Session is NOT safe for concurrent use; create one per worker (the
 // public Engine does). The Index produced by one Run is invalidated by the
 // next Run on the same session.
 type Session struct {
-	g       *graph.Graph
-	scratch *bfsScratch
-	pos     []int32
-	onPath  []bool
-	oracle  DistanceOracle
+	ex *executor
 }
 
-// NewSession creates a session over g. The oracle is optional.
+// NewSession creates a session over g. The oracle is optional and applies
+// to every run that does not override it via Options.Oracle.
 func NewSession(g *graph.Graph, oracle DistanceOracle) *Session {
-	n := g.NumVertices()
-	return &Session{
-		g:       g,
-		scratch: newBFSScratch(n),
-		pos:     make([]int32, n),
-		onPath:  make([]bool, n),
-		oracle:  oracle,
-	}
+	return &Session{ex: newExecutor(g, oracle)}
 }
 
 // Graph returns the session's graph.
-func (s *Session) Graph() *graph.Graph { return s.g }
+func (s *Session) Graph() *graph.Graph { return s.ex.g }
 
 // Run executes one query, reusing the session's buffers. Semantics match
 // core.Run; the returned Result does not retain references to session
 // buffers and stays valid after subsequent runs.
 func (s *Session) Run(q Query, opts Options) (*Result, error) {
-	if err := q.Validate(s.g); err != nil {
-		return nil, err
-	}
-	res := &Result{Query: q}
-
-	var deadline time.Time
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
-	}
-	shouldStop := func() bool { return false }
-	if !deadline.IsZero() {
-		shouldStop = func() bool { return time.Now().After(deadline) }
-	}
-	oracle := opts.Oracle
-	if oracle == nil {
-		oracle = s.oracle
-	}
-
-	start := time.Now()
-	if oracle != nil {
-		if lb := oracle.LowerBound(q.S, q.T); lb < 0 || int(lb) > q.K {
-			// Infeasible: report an empty completed run with no BFS.
-			res.Completed = true
-			res.Timings.Build = time.Since(start)
-			res.Plan = Plan{Method: MethodDFS}
-			return res, nil
-		}
-	}
-	s.scratch.runPruned(s.g, q, opts.Predicate, oracle)
-	res.Timings.BFS = time.Since(start)
-	ix := buildIndexFromScratchPos(s.g, q, s.scratch, opts.Predicate, s.pos)
-	res.Timings.Build = time.Since(start)
-	res.IndexEdges = ix.Edges()
-	res.IndexVertices = ix.NumIndexed()
-	res.IndexBytes = ix.MemoryBytes()
-
-	optStart := time.Now()
-	var plan Plan
-	switch opts.Method {
-	case MethodDFS:
-		plan = Plan{Method: MethodDFS, Preliminary: PreliminaryEstimate(ix)}
-	case MethodJoin:
-		est := FullEstimate(ix)
-		plan = Plan{Method: MethodJoin, Cut: est.Cut, Full: est, Preliminary: PreliminaryEstimate(ix)}
-		if est.Cut == 0 {
-			plan.Method = MethodDFS
-		}
-	default:
-		plan = ChoosePlan(ix, opts.Tau)
-	}
-	res.Plan = plan
-	res.Timings.Optimize = time.Since(optStart)
-
-	ctl := RunControl{Emit: opts.Emit, Limit: opts.Limit, ShouldStop: shouldStop}
-	enumStart := time.Now()
-	switch plan.Method {
-	case MethodJoin:
-		done, err := EnumerateJoin(ix, plan.Cut, ctl, &res.Counters, &res.JoinStats)
-		if err != nil {
-			return nil, err
-		}
-		res.Completed = done
-	default:
-		res.Completed = s.enumerateDFSReusing(ix, ctl, &res.Counters)
-	}
-	res.Timings.Enumerate = time.Since(enumStart)
-	return res, nil
+	return s.ex.execute(context.Background(), q, opts)
 }
 
-// enumerateDFSReusing is EnumerateDFS with the session's visited bitmap.
-// The bitmap is clean on entry and restored to clean on exit (the search
-// unsets every bit it sets).
-func (s *Session) enumerateDFSReusing(ix *Index, ctl RunControl, ctr *Counters) bool {
-	if ix.Empty() {
-		return true
-	}
-	ds := &dfsSearcher{
-		ix:     ix,
-		ctl:    ctl,
-		ctr:    ctr,
-		path:   make([]graph.VertexID, 0, ix.k+1),
-		onPath: s.onPath,
-	}
-	ds.path = append(ds.path, ix.q.S)
-	ds.onPath[ix.q.S] = true
-	ds.search()
-	ds.onPath[ix.q.S] = false
-	// On early stop the recursion may leave bits set; sweep the path.
-	for _, v := range ds.path {
-		ds.onPath[v] = false
-	}
-	return !ds.stopped
-}
-
-// buildIndexFromScratchPos is buildIndexFrom with a caller-owned pos
-// buffer, so repeated builds avoid the O(|V|) allocation. The index
-// borrows the buffer: it is valid until the next build that reuses it.
-func buildIndexFromScratchPos(g *graph.Graph, q Query, scratch *bfsScratch, pred EdgePredicate, pos []int32) *Index {
-	n := g.NumVertices()
-	k := q.K
-	k32 := int32(k)
-	distS, distT := scratch.distS, scratch.distT
-
-	ix := &Index{g: g, q: q, k: k, pred: pred}
-	ix.pos = pos
-	for i := range ix.pos {
-		ix.pos[i] = -1
-	}
-
-	inX := func(v graph.VertexID) bool {
-		ds, dt := distS[v], distT[v]
-		return ds >= 0 && dt >= 0 && ds+dt <= k32
-	}
-	if !inX(q.S) || !inX(q.T) {
-		ix.empty = true
-		ix.cSize = make([]int64, k+1)
-		ix.sumIt = make([]uint64, k)
-		return ix
-	}
-	for v := 0; v < n; v++ {
-		if inX(graph.VertexID(v)) {
-			ix.pos[v] = int32(len(ix.verts))
-			ix.verts = append(ix.verts, graph.VertexID(v))
-		}
-	}
-	m := len(ix.verts)
-	ix.vs = make([]int32, m)
-	ix.vt = make([]int32, m)
-	for p, v := range ix.verts {
-		ix.vs[p] = distS[v]
-		ix.vt[p] = distT[v]
-	}
-	ix.buildForward(distT)
-	ix.buildReverse(distS)
-	ix.collectStats()
-	return ix
+// RunContext is Run observing ctx: cancellation or a context deadline stops
+// the enumeration early (Result.Completed reports false), checked on an
+// amortized event counter alongside opts.Timeout.
+func (s *Session) RunContext(ctx context.Context, q Query, opts Options) (*Result, error) {
+	return s.ex.execute(ctx, q, opts)
 }

@@ -50,7 +50,7 @@ func TestSessionBitmapClean(t *testing.T) {
 	if _, err := sess.Run(q, Options{Limit: 3, Method: MethodDFS}); err != nil {
 		t.Fatal(err)
 	}
-	for v, set := range sess.onPath {
+	for v, set := range sess.ex.onPath {
 		if set {
 			t.Fatalf("onPath[%d] leaked after early stop", v)
 		}

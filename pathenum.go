@@ -25,6 +25,7 @@
 package pathenum
 
 import (
+	"context"
 	"io"
 
 	"pathenum/internal/automaton"
@@ -119,6 +120,16 @@ func NewDynamic(base *Graph) *Dynamic { return graph.NewDynamic(base) }
 // counts, the chosen plan, per-phase timings and index statistics.
 func Enumerate(g *Graph, q Query, opts Options) (*Result, error) {
 	return core.Run(g, q, opts)
+}
+
+// EnumerateContext is Enumerate observing ctx: cancelling the context (or
+// hitting its deadline) stops the enumeration early and the Result reports
+// Completed == false. The check is amortized over expansion events, so a
+// heavy query returns promptly after cancellation without paying a per-node
+// polling cost. Repeated queries against one graph should prefer
+// Engine.ExecuteWith, which adds session buffer reuse on top.
+func EnumerateContext(ctx context.Context, g *Graph, q Query, opts Options) (*Result, error) {
+	return core.RunContext(ctx, g, q, opts)
 }
 
 // Count returns |P(s,t,k,G)| using the full optimizer.
