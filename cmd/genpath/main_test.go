@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bufio"
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -9,7 +12,7 @@ import (
 
 func TestRunDataset(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ep.txt")
-	if err := run("ep", 0.05, "", 0, 0, 0, 1, out); err != nil {
+	if _, err := run("ep", 0.05, "", 0, 0, 0, 1, out); err != nil {
 		t.Fatal(err)
 	}
 	g, err := graph.LoadFile(out)
@@ -24,7 +27,7 @@ func TestRunDataset(t *testing.T) {
 func TestRunFamilies(t *testing.T) {
 	for _, family := range []string{"er", "ba", "power", "layered", "grid"} {
 		out := filepath.Join(t.TempDir(), family+".txt")
-		if err := run("", 1, family, 20, 4, 3, 7, out); err != nil {
+		if _, err := run("", 1, family, 20, 4, 3, 7, out); err != nil {
 			t.Fatalf("%s: %v", family, err)
 		}
 		g, err := graph.LoadFile(out)
@@ -43,15 +46,91 @@ func TestRunErrors(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"no output", func() error { return run("ep", 1, "", 0, 0, 0, 1, "") }},
-		{"no source", func() error { return run("", 1, "", 10, 4, 2, 1, filepath.Join(dir, "x.txt")) }},
-		{"bad dataset", func() error { return run("nope", 1, "", 0, 0, 0, 1, filepath.Join(dir, "x.txt")) }},
-		{"bad family", func() error { return run("", 1, "nope", 10, 4, 2, 1, filepath.Join(dir, "x.txt")) }},
-		{"unwritable", func() error { return run("ep", 0.05, "", 0, 0, 0, 1, "/nonexistent-dir/x.txt") }},
+		{"no output", func() error { _, err := run("ep", 1, "", 0, 0, 0, 1, ""); return err }},
+		{"no source", func() error { _, err := run("", 1, "", 10, 4, 2, 1, filepath.Join(dir, "x.txt")); return err }},
+		{"bad dataset", func() error { _, err := run("nope", 1, "", 0, 0, 0, 1, filepath.Join(dir, "x.txt")); return err }},
+		{"bad family", func() error { _, err := run("", 1, "nope", 10, 4, 2, 1, filepath.Join(dir, "x.txt")); return err }},
+		{"unwritable", func() error { _, err := run("ep", 0.05, "", 0, 0, 0, 1, "/nonexistent-dir/x.txt"); return err }},
 	}
 	for _, tc := range cases {
 		if err := tc.fn(); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
+	}
+}
+
+// TestRunBatch: the -batch mode writes a parseable "s t k" query set with
+// shared endpoints over the generated graph.
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	gOut := filepath.Join(dir, "g.txt")
+	qOut := filepath.Join(dir, "q.txt")
+	g, err := run("", 1, "ba", 300, 4, 0, 11, gOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runBatch(g, 32, 5, 6, 0.2, 11, qOut); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(qOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := graph.VertexID(g.NumVertices())
+	srcCount := make(map[graph.VertexID]int)
+	tgtCount := make(map[graph.VertexID]int)
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s, tt graph.VertexID
+		var k int
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d %d", &s, &tt, &k); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if s < 0 || s >= n || tt < 0 || tt >= n || s == tt || k != 5 {
+			t.Fatalf("invalid batch query %q", sc.Text())
+		}
+		srcCount[s]++
+		tgtCount[tt]++
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 32 {
+		t.Fatalf("got %d batch queries, want 32", lines)
+	}
+	shared := 0
+	for _, c := range srcCount {
+		if c >= 2 {
+			shared++
+		}
+	}
+	for _, c := range tgtCount {
+		if c >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("batch has no shared endpoints to plan for")
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	dir := t.TempDir()
+	g, err := run("", 1, "ba", 100, 4, 0, 3, filepath.Join(dir, "g.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runBatch(g, 8, 5, 4, 0, 3, ""); err == nil {
+		t.Error("missing -batchout: expected error")
+	}
+	if err := runBatch(g, 8, 0, 4, 0, 3, filepath.Join(dir, "q.txt")); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if err := runBatch(g, 8, 5, 4, 0, 3, "/nonexistent-dir/q.txt"); err == nil {
+		t.Error("unwritable: expected error")
 	}
 }

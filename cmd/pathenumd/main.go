@@ -14,7 +14,11 @@
 //
 // Every request runs through the engine's session pool (buffer reuse plus
 // the optional distance oracle) and observes the request context, so a
-// client disconnect cancels the enumeration mid-flight.
+// client disconnect cancels the enumeration mid-flight. POST /batch runs
+// the shared-computation batch subsystem — duplicate queries answered
+// once, BFS frontiers shared across queries with a common endpoint — and
+// reports what it saved in the response stats; add "naive":true to force
+// the independent per-query fan-out instead.
 package main
 
 import (

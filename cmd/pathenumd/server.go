@@ -200,12 +200,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // batchRequest is the JSON body of POST /batch: a list of queries answered
 // against the shared engine, plus batch-wide option overrides. Responses
-// carry counts only (no path materialization).
+// carry counts only (no path materialization). Naive opts out of the
+// shared-computation batch subsystem and fans the queries out
+// independently (the ExecuteAllContext baseline).
 type batchRequest struct {
 	Queries []queryRequest `json:"queries"`
 	Method  string         `json:"method,omitempty"`
 	Limit   uint64         `json:"limit,omitempty"`
 	Timeout string         `json:"timeout,omitempty"`
+	Naive   bool           `json:"naive,omitempty"`
+}
+
+// batchStats is the wire form of the batch subsystem's per-batch report.
+type batchStats struct {
+	Queries        int     `json:"queries"`
+	Invalid        int     `json:"invalid,omitempty"`
+	Unique         int     `json:"unique"`
+	Deduped        int     `json:"deduped"`
+	Groups         int     `json:"groups"`
+	SharedSource   int     `json:"sharedSource"`
+	SharedTarget   int     `json:"sharedTarget"`
+	Singletons     int     `json:"singletons"`
+	BFSPasses      int     `json:"bfsPasses"`
+	BFSPassesNaive int     `json:"bfsPassesNaive"`
+	BFSPassesSaved int     `json:"bfsPassesSaved"`
+	SharedBFSMs    float64 `json:"sharedBfsMs"`
 }
 
 // batchResult is one slot of the batch response; Error is set instead of
@@ -259,8 +278,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		slots = append(slots, i)
 	}
 
+	// The shared-computation batch subsystem is the default path: it
+	// dedups identical queries and shares BFS frontiers across queries
+	// with a common endpoint, reporting what it saved in the response
+	// stats. "naive":true keeps the independent fan-out for comparison.
 	start := time.Now()
-	results, errs := s.engine.ExecuteAllContext(r.Context(), queries, opts)
+	var (
+		results []*pathenum.Result
+		errs    []error
+		stats   *pathenum.BatchStats
+	)
+	if req.Naive {
+		results, errs = s.engine.ExecuteAllContext(r.Context(), queries, opts)
+	} else {
+		results, errs, stats = s.engine.ExecuteBatch(r.Context(), queries, opts)
+	}
 	for j, i := range slots {
 		if errs[j] != nil {
 			out[i].Error = errs[j].Error()
@@ -272,10 +304,31 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Plan:      results[j].Plan.Method.String(),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"results": out,
 		"ms":      float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	}
+	if stats != nil {
+		// The planner only saw the queries that survived wire-level
+		// resolution; report request-level totals so the stats reconcile
+		// with the client's batch (rejected slots count as invalid).
+		rejected := len(req.Queries) - len(queries)
+		resp["stats"] = batchStats{
+			Queries:        len(req.Queries),
+			Invalid:        stats.Invalid + rejected,
+			Unique:         stats.Unique,
+			Deduped:        stats.Deduped,
+			Groups:         stats.Groups,
+			SharedSource:   stats.SharedSourceGroups,
+			SharedTarget:   stats.SharedTargetGroups,
+			Singletons:     stats.Singletons,
+			BFSPasses:      stats.BFSPasses,
+			BFSPassesNaive: stats.BFSPassesNaive,
+			BFSPassesSaved: stats.BFSPassesSaved,
+			SharedBFSMs:    float64(stats.SharedBFS) / float64(time.Millisecond),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

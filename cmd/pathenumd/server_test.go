@@ -258,6 +258,7 @@ func TestQueryContextCancellation(t *testing.T) {
 type testBatchResponse struct {
 	Results []batchResult `json:"results"`
 	Millis  float64       `json:"ms"`
+	Stats   *batchStats   `json:"stats"`
 }
 
 func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, testBatchResponse) {
@@ -294,6 +295,47 @@ func TestBatchBasic(t *testing.T) {
 	}
 }
 
+// TestBatchStats: the default /batch path runs the shared-computation
+// subsystem and reports its planning stats — duplicates folded, shared
+// groups formed, BFS passes saved.
+func TestBatchStats(t *testing.T) {
+	ts := testServer(t, nil)
+	// Two duplicates of (0,3,3) plus a third query sharing source 0.
+	resp, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3},{"s":0,"t":3,"k":3},{"s":0,"t":1,"k":3}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if br.Stats == nil {
+		t.Fatal("default batch must report stats")
+	}
+	if br.Stats.Queries != 3 || br.Stats.Deduped != 1 || br.Stats.Unique != 2 {
+		t.Fatalf("stats = %+v, want Queries=3 Deduped=1 Unique=2", br.Stats)
+	}
+	if br.Stats.SharedSource != 1 || br.Stats.BFSPassesSaved < 1 {
+		t.Fatalf("stats = %+v, want one shared-source group with saved passes", br.Stats)
+	}
+	// Duplicate slots both answer.
+	if br.Results[0].Count != br.Results[1].Count || br.Results[0].Count == 0 {
+		t.Fatalf("duplicate slots disagree: %+v", br.Results)
+	}
+}
+
+// TestBatchNaiveFallback: "naive":true keeps the independent fan-out and
+// omits the stats block.
+func TestBatchNaiveFallback(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3},{"s":1,"t":3,"k":3}],"naive":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if br.Stats != nil {
+		t.Fatalf("naive batch must not report planner stats, got %+v", br.Stats)
+	}
+	if br.Results[0].Count != 2 || br.Results[1].Count != 1 {
+		t.Fatalf("naive counts wrong: %+v", br.Results)
+	}
+}
+
 // TestBatchPerQueryErrors: a bad query fills its slot without failing the
 // batch.
 func TestBatchPerQueryErrors(t *testing.T) {
@@ -310,6 +352,11 @@ func TestBatchPerQueryErrors(t *testing.T) {
 	}
 	if br.Results[2].Error == "" {
 		t.Fatal("s==t must error its slot")
+	}
+	// Stats reconcile with the request: all 3 slots counted, the two
+	// rejected ones as invalid.
+	if br.Stats == nil || br.Stats.Queries != 3 || br.Stats.Invalid != 2 {
+		t.Fatalf("stats = %+v, want Queries=3 Invalid=2", br.Stats)
 	}
 }
 

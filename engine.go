@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pathenum/internal/batch"
 	"pathenum/internal/core"
 	"pathenum/internal/landmark"
 )
@@ -137,15 +138,21 @@ func (e *Engine) ExecuteAllContext(ctx context.Context, queries []Query, opts Op
 	errs := make([]error, len(queries))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.workers)
+dispatch:
 	for i, q := range queries {
-		if err := ctx.Err(); err != nil {
+		// The acquire must observe ctx alongside the semaphore: with the
+		// pool full, a bare channel send would block cancellation behind a
+		// slow in-flight query instead of failing the rest of the batch
+		// fast.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
 			for j := i; j < len(queries); j++ {
-				errs[j] = err
+				errs[j] = ctx.Err()
 			}
-			break
+			break dispatch
 		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, q Query) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -154,6 +161,37 @@ func (e *Engine) ExecuteAllContext(ctx context.Context, queries []Query, opts Op
 	}
 	wg.Wait()
 	return results, errs
+}
+
+// BatchStats reports what the batch planner found to share and what the
+// scheduler did with it: queries deduped, BFS passes saved vs the naive
+// fan-out, and per-group timings. See internal/batch.Stats.
+type BatchStats = batch.Stats
+
+// ExecuteBatch runs the queries through the shared-computation batch
+// subsystem (internal/batch): exact-duplicate queries are answered once
+// and fanned back out, queries sharing a source or target reuse one
+// shared BFS frontier for that side of their index build, and the
+// resulting groups execute across the worker pool in estimated-cost
+// order. Results come back in input order with ExecuteAllContext's
+// fail-fast cancellation semantics; the naive independent fan-out remains
+// available as ExecuteAllContext.
+//
+// Two semantic differences from ExecuteAllContext follow from sharing:
+// duplicate queries receive the same *Result pointer (treat Results as
+// read-only), and opts.Emit — already concurrent and unattributed in
+// batch execution — fires once per unique query, not once per duplicate.
+func (e *Engine) ExecuteBatch(ctx context.Context, queries []Query, opts Options) ([]*Result, []error, *BatchStats) {
+	merged := e.MergeOptions(opts)
+	plan := batch.NewPlanner(e.g).Plan(queries)
+	sch := &batch.Scheduler{
+		Workers: e.workers,
+		Acquire: func() *core.Session { return e.sessions.Get().(*core.Session) },
+		Release: func(s *core.Session) { e.sessions.Put(s) },
+	}
+	uniqRes, uniqErrs, stats := sch.Execute(ctx, e.g, plan, merged)
+	results, errs := plan.Scatter(uniqRes, uniqErrs)
+	return results, errs, stats
 }
 
 // CountAll returns per-query path counts in input order; the first query

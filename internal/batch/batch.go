@@ -1,0 +1,115 @@
+// Package batch is the shared-computation batch query subsystem: it plans
+// and executes a set of HcPE queries against one graph so that work common
+// to several queries is paid once instead of once per query.
+//
+// PathEnum's per-query index construction is dominated by two bounded BFS
+// distance passes — forward from s and backward from t (§4.2, Algorithm 3
+// line 1). A batch of queries sharing a source or a target therefore
+// repeats identical BFS work, which is exactly the redundancy that batch
+// HcPE processing eliminates via common-computation detection (Yuan et
+// al., "Batch Hop-Constrained s-t Simple Path Query Processing in Large
+// Graphs", 2023). This package implements that idea on top of the core
+// executor pipeline:
+//
+//	Planner    canonicalizes the batch — exact-duplicate queries (same
+//	           s, t and k) are answered once and fanned back out — and
+//	           groups the remainder by shared source and shared target.
+//	Frontier   (internal/core) one shared bounded BFS labeling per group,
+//	           reused across every member's index build.
+//	Scheduler  orders groups by estimated cost and executes them across
+//	           a worker pool, recording per-batch Stats (queries deduped,
+//	           BFS passes saved, per-group timings).
+//
+// The public surface is Engine.ExecuteBatch in the root package;
+// Engine.ExecuteAllContext remains the naive independent fan-out and is
+// the baseline the batch benchmarks compare against.
+package batch
+
+import (
+	"time"
+
+	"pathenum/internal/graph"
+)
+
+// GroupKind classifies how a planned group shares computation.
+type GroupKind uint8
+
+const (
+	// KindSingleton is a group of one query with nothing to share; both
+	// BFS passes run per query, exactly like the naive fan-out.
+	KindSingleton GroupKind = iota
+	// KindSharedSource groups queries with a common source: one shared
+	// forward frontier from the hub, one backward pass per member.
+	KindSharedSource
+	// KindSharedTarget groups queries with a common target: one shared
+	// backward frontier to the hub, one forward pass per member.
+	KindSharedTarget
+)
+
+// String implements fmt.Stringer.
+func (k GroupKind) String() string {
+	switch k {
+	case KindSingleton:
+		return "singleton"
+	case KindSharedSource:
+		return "shared-source"
+	case KindSharedTarget:
+		return "shared-target"
+	default:
+		return "unknown"
+	}
+}
+
+// GroupTiming reports how one scheduled group spent its time.
+type GroupTiming struct {
+	Kind GroupKind
+	// Hub is the shared endpoint (source or target); for a singleton it
+	// is the query's source.
+	Hub graph.VertexID
+	// Size is the number of member queries.
+	Size int
+	// SharedBFS is the time spent building the group's shared frontier
+	// (zero for singletons).
+	SharedBFS time.Duration
+	// Elapsed is the wall time from group start to the last member done.
+	Elapsed time.Duration
+}
+
+// Stats summarizes one batch execution: what the planner found to share
+// and what the scheduler did with it. BFS pass counts are the planner's
+// nominal accounting (an oracle infeasibility certificate can still skip
+// a counted pass at execution time).
+type Stats struct {
+	// Queries is the original batch size, duplicates and invalid queries
+	// included.
+	Queries int
+	// Invalid counts queries rejected by validation.
+	Invalid int
+	// Unique is the number of deduplicated valid queries executed.
+	Unique int
+	// Deduped counts duplicate queries folded into an already-planned
+	// execution (valid - unique).
+	Deduped int
+	// Groups is the number of scheduled groups, singletons included.
+	Groups int
+	// SharedSourceGroups / SharedTargetGroups / Singletons break Groups
+	// down by kind.
+	SharedSourceGroups int
+	SharedTargetGroups int
+	Singletons         int
+	// BFSPassesNaive is what the naive fan-out would run: two passes per
+	// valid query, duplicates included.
+	BFSPassesNaive int
+	// BFSPasses is what the plan runs: per shared group one frontier pass
+	// plus one per member; two per singleton.
+	BFSPasses int
+	// BFSPassesSaved = BFSPassesNaive - BFSPasses.
+	BFSPassesSaved int
+	// SharedBFS is the total time spent building shared frontiers.
+	SharedBFS time.Duration
+	// Elapsed is the wall time of the whole batch execution.
+	Elapsed time.Duration
+	// GroupTimings has one entry per scheduled group, in scheduling
+	// (estimated-cost) order.
+	GroupTimings []GroupTiming
+}

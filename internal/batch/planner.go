@@ -1,0 +1,234 @@
+package batch
+
+import (
+	"math"
+	"sort"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// Group is one unit of scheduled work: a set of unique queries that share
+// a frontier (or a singleton with nothing to share).
+type Group struct {
+	Kind GroupKind
+	// Hub is the shared endpoint: the common source (KindSharedSource),
+	// the common target (KindSharedTarget), or the query's source for a
+	// singleton.
+	Hub graph.VertexID
+	// MaxK is the largest hop constraint among the members; the shared
+	// frontier is built to this bound so every member can reuse it.
+	MaxK int
+	// Members indexes into Plan.Unique.
+	Members []int
+	// Cost is the planner's scheduling estimate — a proxy for the group's
+	// enumeration work, not a time prediction: members × maxK, scaled by
+	// the hub's degree (log-damped). The scheduler runs expensive groups
+	// first so a heavy group is not left to straggle on one worker at the
+	// end of the batch (LPT-style makespan heuristic).
+	Cost float64
+}
+
+// Plan is the output of the Planner: the deduplicated query list, the
+// fan-out map back to original batch positions, and the shared-computation
+// groups.
+type Plan struct {
+	// Queries is the original batch size.
+	Queries int
+	// Unique holds the deduplicated valid queries, in first-seen order.
+	Unique []core.Query
+	// Slots maps each unique query to the original batch positions it
+	// answers (always at least one).
+	Slots [][]int
+	// Groups covers every unique query exactly once, sorted by descending
+	// Cost (the scheduling order).
+	Groups []Group
+
+	invalid []error // per original position; nil when the query is valid
+}
+
+// Planner canonicalizes and groups query batches for one graph.
+type Planner struct {
+	g *graph.Graph
+}
+
+// NewPlanner creates a planner over g.
+func NewPlanner(g *graph.Graph) *Planner { return &Planner{g: g} }
+
+// Plan canonicalizes the batch: invalid queries are rejected into per-slot
+// errors, exact duplicates (same s, t, k) collapse onto one execution, and
+// the surviving unique queries are grouped for shared-BFS execution.
+//
+// Grouping is the common-computation detection heuristic: every unique
+// query joins its source group or its target group, whichever has more
+// potential members (ties prefer the source side), and any group left with
+// fewer than two members degenerates to singletons. A query can share only
+// one endpoint's BFS — the other side still runs per query — so the
+// heuristic maximizes members of large groups rather than solving the
+// (NP-hard) optimal cover.
+func (p *Planner) Plan(queries []core.Query) *Plan {
+	plan := &Plan{
+		Queries: len(queries),
+		invalid: make([]error, len(queries)),
+	}
+
+	// Pass 1: validate + dedup.
+	type key struct {
+		s, t graph.VertexID
+		k    int
+	}
+	uniq := make(map[key]int, len(queries))
+	for i, q := range queries {
+		if err := q.Validate(p.g); err != nil {
+			plan.invalid[i] = err
+			continue
+		}
+		ck := key{q.S, q.T, q.K}
+		u, ok := uniq[ck]
+		if !ok {
+			u = len(plan.Unique)
+			uniq[ck] = u
+			plan.Unique = append(plan.Unique, q)
+			plan.Slots = append(plan.Slots, nil)
+		}
+		plan.Slots[u] = append(plan.Slots[u], i)
+	}
+
+	// Pass 2: count sharing potential per endpoint over unique queries.
+	srcCount := make(map[graph.VertexID]int)
+	tgtCount := make(map[graph.VertexID]int)
+	for _, q := range plan.Unique {
+		srcCount[q.S]++
+		tgtCount[q.T]++
+	}
+
+	// Pass 3: assign each query to the more promising side.
+	srcGroups := make(map[graph.VertexID][]int)
+	tgtGroups := make(map[graph.VertexID][]int)
+	for u, q := range plan.Unique {
+		switch {
+		case srcCount[q.S] >= 2 && srcCount[q.S] >= tgtCount[q.T]:
+			srcGroups[q.S] = append(srcGroups[q.S], u)
+		case tgtCount[q.T] >= 2:
+			tgtGroups[q.T] = append(tgtGroups[q.T], u)
+		default:
+			plan.Groups = append(plan.Groups, p.singleton(u, q))
+		}
+	}
+
+	// Pass 4: materialize shared groups; assignment can leave a bucket
+	// with a single member (its peers chose the other endpoint), which
+	// degenerates to a singleton.
+	for hub, members := range srcGroups {
+		plan.Groups = append(plan.Groups, p.shared(KindSharedSource, hub, members, plan.Unique))
+	}
+	for hub, members := range tgtGroups {
+		plan.Groups = append(plan.Groups, p.shared(KindSharedTarget, hub, members, plan.Unique))
+	}
+
+	// Scheduling order: most expensive first, with a deterministic
+	// tie-break so plans are reproducible.
+	sort.SliceStable(plan.Groups, func(i, j int) bool {
+		gi, gj := plan.Groups[i], plan.Groups[j]
+		if gi.Cost != gj.Cost {
+			return gi.Cost > gj.Cost
+		}
+		if gi.Kind != gj.Kind {
+			return gi.Kind > gj.Kind
+		}
+		return gi.Hub < gj.Hub
+	})
+	return plan
+}
+
+func (p *Planner) singleton(u int, q core.Query) Group {
+	return Group{
+		Kind:    KindSingleton,
+		Hub:     q.S,
+		MaxK:    q.K,
+		Members: []int{u},
+		Cost:    groupCost(p.g, q.S, q.K, 1),
+	}
+}
+
+func (p *Planner) shared(kind GroupKind, hub graph.VertexID, members []int, unique []core.Query) Group {
+	if len(members) == 1 {
+		return p.singleton(members[0], unique[members[0]])
+	}
+	maxK := 0
+	for _, u := range members {
+		if unique[u].K > maxK {
+			maxK = unique[u].K
+		}
+	}
+	return Group{
+		Kind:    kind,
+		Hub:     hub,
+		MaxK:    maxK,
+		Members: members,
+		Cost:    groupCost(p.g, hub, maxK, len(members)),
+	}
+}
+
+// groupCost is the scheduling proxy documented on Group.Cost.
+func groupCost(g *graph.Graph, hub graph.VertexID, maxK, size int) float64 {
+	return float64(size*maxK) * (1 + math.Log1p(float64(g.Degree(hub))))
+}
+
+// Err returns the validation error recorded for original batch position i
+// (nil when the query at i is valid).
+func (p *Plan) Err(i int) error { return p.invalid[i] }
+
+// Scatter fans per-unique results back out to original batch positions:
+// duplicate queries share the same *core.Result pointer (results must be
+// treated as read-only), and invalid positions carry their validation
+// error. results and errs must be len(p.Unique), as produced by the
+// Scheduler.
+func (p *Plan) Scatter(results []*core.Result, errs []error) ([]*core.Result, []error) {
+	outRes := make([]*core.Result, p.Queries)
+	outErr := make([]error, p.Queries)
+	copy(outErr, p.invalid)
+	for u, slots := range p.Slots {
+		for _, i := range slots {
+			outRes[i] = results[u]
+			outErr[i] = errs[u]
+		}
+	}
+	return outRes, outErr
+}
+
+// Stats seeds the batch Stats with the planner-level accounting: dedup
+// counts and the nominal BFS pass arithmetic. The scheduler fills in the
+// timing fields.
+func (p *Plan) Stats() *Stats {
+	st := &Stats{
+		Queries: p.Queries,
+		Unique:  len(p.Unique),
+		Groups:  len(p.Groups),
+	}
+	valid := 0
+	for _, err := range p.invalid {
+		if err == nil {
+			valid++
+		} else {
+			st.Invalid++
+		}
+	}
+	st.Deduped = valid - st.Unique
+	st.BFSPassesNaive = 2 * valid
+	for _, g := range p.Groups {
+		switch g.Kind {
+		case KindSingleton:
+			st.Singletons++
+			st.BFSPasses += 2
+		case KindSharedSource:
+			st.SharedSourceGroups++
+			st.BFSPasses += 1 + len(g.Members)
+		case KindSharedTarget:
+			st.SharedTargetGroups++
+			st.BFSPasses += 1 + len(g.Members)
+		}
+	}
+	st.BFSPassesSaved = st.BFSPassesNaive - st.BFSPasses
+	return st
+}

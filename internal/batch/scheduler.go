@@ -1,0 +1,144 @@
+package batch
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// Scheduler executes a Plan across a bounded worker pool. Sessions come
+// from the caller (the engine's pool) via Acquire/Release, so batch
+// execution shares the same amortized per-worker buffers as the rest of
+// the stack.
+type Scheduler struct {
+	// Workers bounds concurrent query executions (default 4).
+	Workers int
+	// Acquire/Release check a session in and out of the caller's pool.
+	// Both must be safe for concurrent use.
+	Acquire func() *core.Session
+	Release func(*core.Session)
+}
+
+// Execute runs the plan's groups in their scheduling order (descending
+// estimated cost) with fail-fast cancellation mirroring
+// Engine.ExecuteAllContext: once ctx is done, members not yet started
+// return ctx.Err() immediately and in-flight enumerations stop early.
+//
+// A shared group first builds its frontier on a worker slot, then fans its
+// members out across the pool, each member reusing the frontier for one
+// side of its index build. Results and errors come back indexed by
+// plan.Unique (use Plan.Scatter to fan them out to original batch
+// positions); the returned Stats carry the planner accounting plus wall
+// timings.
+func (sch *Scheduler) Execute(ctx context.Context, g *graph.Graph, plan *Plan, opts core.Options) ([]*core.Result, []error, *Stats) {
+	workers := sch.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	results := make([]*core.Result, len(plan.Unique))
+	errs := make([]error, len(plan.Unique))
+	stats := plan.Stats()
+	stats.GroupTimings = make([]GroupTiming, len(plan.Groups))
+
+	start := time.Now()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+dispatch:
+	for gi := range plan.Groups {
+		grp := &plan.Groups[gi]
+		timing := &stats.GroupTimings[gi]
+		*timing = GroupTiming{Kind: grp.Kind, Hub: grp.Hub, Size: len(grp.Members)}
+		// The acquire observes ctx so cancellation cannot block behind a
+		// slow in-flight group.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			err := ctx.Err()
+			for j := gi; j < len(plan.Groups); j++ {
+				for _, u := range plan.Groups[j].Members {
+					errs[u] = err
+				}
+			}
+			break dispatch
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sch.runGroup(ctx, g, plan, grp, timing, opts, sem, results, errs)
+		}()
+	}
+	wg.Wait()
+
+	stats.Elapsed = time.Since(start)
+	for _, gt := range stats.GroupTimings {
+		stats.SharedBFS += gt.SharedBFS
+	}
+	return results, errs, stats
+}
+
+// runGroup executes one group. It is entered holding one sem slot; the
+// slot is released before members fan out (each member acquires its own),
+// so a group never occupies more than its fair share of the pool.
+func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, grp *Group, timing *GroupTiming, opts core.Options, sem chan struct{}, results []*core.Result, errs []error) {
+	groupStart := time.Now()
+	defer func() { timing.Elapsed = time.Since(groupStart) }()
+
+	if grp.Kind == KindSingleton {
+		// Nothing to share: run the query on the slot already held.
+		u := grp.Members[0]
+		results[u], errs[u] = sch.runOne(ctx, plan.Unique[u], opts, nil, nil)
+		<-sem
+		return
+	}
+
+	// Build the shared frontier on the held slot, then release it.
+	var fwd, bwd *core.Frontier
+	var err error
+	bfsStart := time.Now()
+	if grp.Kind == KindSharedSource {
+		fwd, err = core.NewForwardFrontier(g, grp.Hub, grp.MaxK, opts.Predicate)
+	} else {
+		bwd, err = core.NewBackwardFrontier(g, grp.Hub, grp.MaxK, opts.Predicate)
+	}
+	timing.SharedBFS = time.Since(bfsStart)
+	<-sem
+	if err != nil {
+		for _, u := range grp.Members {
+			errs[u] = err
+		}
+		return
+	}
+
+	// Fan the members out across the pool; the frontier is immutable and
+	// read concurrently by every member.
+	var mwg sync.WaitGroup
+	for idx, u := range grp.Members {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			cerr := ctx.Err()
+			for _, v := range grp.Members[idx:] {
+				errs[v] = cerr
+			}
+			mwg.Wait()
+			return
+		}
+		mwg.Add(1)
+		go func(u int) {
+			defer mwg.Done()
+			defer func() { <-sem }()
+			results[u], errs[u] = sch.runOne(ctx, plan.Unique[u], opts, fwd, bwd)
+		}(u)
+	}
+	mwg.Wait()
+}
+
+// runOne executes a single query on a pooled session.
+func (sch *Scheduler) runOne(ctx context.Context, q core.Query, opts core.Options, fwd, bwd *core.Frontier) (*core.Result, error) {
+	sess := sch.Acquire()
+	defer sch.Release(sess)
+	return sess.RunShared(ctx, q, opts, fwd, bwd)
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"pathenum/internal/batch"
+	"pathenum/internal/core"
+	"pathenum/internal/workload"
+)
+
+// batchWorkers is the pool width both batch variants run at, so the
+// comparison isolates shared computation from parallelism.
+const batchWorkers = 4
+
+// BatchRow is the per-dataset comparison of the naive independent fan-out
+// against the shared-computation batch subsystem on one generated
+// shared-endpoint batch.
+type BatchRow struct {
+	Dataset string
+	Queries int
+	Unique  int
+	Deduped int
+	Groups  int
+
+	BFSNaive int
+	BFSPlan  int
+	BFSSaved int
+
+	NaiveMs  float64
+	SharedMs float64
+	Speedup  float64
+}
+
+// BatchResult is the batch-mode experiment report.
+type BatchResult struct {
+	K         int
+	BatchSize int
+	Rows      []BatchRow
+}
+
+// Batch compares ExecuteAllContext-style naive fan-out with the batch
+// subsystem (planner + shared frontiers + scheduler) on shared-endpoint
+// workloads generated per §7.1-style sampling (workload.GenerateBatch),
+// one batch per dataset. Both variants run on batchWorkers sessions; the
+// shared side additionally reports the planner's accounting.
+func Batch(cfg Config) (*BatchResult, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"up", "db", "ep", "wt"}
+	}
+	res := &BatchResult{K: cfg.K, BatchSize: cfg.Queries}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		bqs, err := workload.GenerateBatch(g, workload.BatchOptions{
+			Count:     cfg.Queries,
+			K:         cfg.K,
+			GroupSize: 8,
+			DupFrac:   0.1,
+			Seed:      cfg.Seed,
+		})
+		if err != nil && len(bqs) == 0 {
+			continue // dataset yields no in-range batch at this scale
+		}
+		queries := make([]core.Query, len(bqs))
+		for i, q := range bqs {
+			queries[i] = core.Query{S: q.S, T: q.T, K: q.K}
+		}
+		opts := core.Options{Timeout: cfg.TimeLimit}
+
+		pool := &sync.Pool{New: func() any { return core.NewSession(g, nil) }}
+		acquire := func() *core.Session { return pool.Get().(*core.Session) }
+		release := func(s *core.Session) { pool.Put(s) }
+		// Warm the pool so neither variant pays the session allocations
+		// (whichever runs first would otherwise eat them for both).
+		warm := make([]*core.Session, batchWorkers)
+		for i := range warm {
+			warm[i] = acquire()
+		}
+		for _, s := range warm {
+			release(s)
+		}
+
+		// Naive: every query independent, fanned across the same pool.
+		naiveStart := time.Now()
+		runNaive(queries, opts, acquire, release)
+		naiveMs := ms(time.Since(naiveStart))
+
+		// Shared: plan + schedule with frontier reuse, timed end to end
+		// so the planner's cost counts against the speedup it buys.
+		sch := &batch.Scheduler{Workers: batchWorkers, Acquire: acquire, Release: release}
+		sharedStart := time.Now()
+		plan := batch.NewPlanner(g).Plan(queries)
+		_, _, stats := sch.Execute(context.Background(), g, plan, opts)
+		sharedMs := ms(time.Since(sharedStart))
+
+		row := BatchRow{
+			Dataset:  name,
+			Queries:  stats.Queries,
+			Unique:   stats.Unique,
+			Deduped:  stats.Deduped,
+			Groups:   stats.Groups,
+			BFSNaive: stats.BFSPassesNaive,
+			BFSPlan:  stats.BFSPasses,
+			BFSSaved: stats.BFSPassesSaved,
+			NaiveMs:  naiveMs,
+			SharedMs: sharedMs,
+		}
+		if sharedMs > 0 {
+			row.Speedup = naiveMs / sharedMs
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runNaive executes every query independently across batchWorkers
+// sessions — the ExecuteAllContext baseline, reproduced here so the bench
+// layer stays below the public engine.
+func runNaive(queries []core.Query, opts core.Options, acquire func() *core.Session, release func(*core.Session)) {
+	sem := make(chan struct{}, batchWorkers)
+	var wg sync.WaitGroup
+	for _, q := range queries {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(q core.Query) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sess := acquire()
+			defer release(sess)
+			_, _ = sess.Run(q, opts)
+		}(q)
+	}
+	wg.Wait()
+}
+
+// Render formats the batch comparison report.
+func (r *BatchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batch subsystem: shared-computation planning vs naive fan-out (%d-query batches, k=%d, %d workers)\n",
+		r.BatchSize, r.K, batchWorkers)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tqueries\tunique\tdeduped\tgroups\tBFS naive\tBFS plan\tsaved\tnaive ms\tshared ms\tspeedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3g\t%.3g\t%.2fx\n",
+			row.Dataset, row.Queries, row.Unique, row.Deduped, row.Groups,
+			row.BFSNaive, row.BFSPlan, row.BFSSaved, row.NaiveMs, row.SharedMs, row.Speedup)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -407,3 +407,27 @@ func TestExtensionsSmall(t *testing.T) {
 		t.Fatal("HPI stats missing despite successful build")
 	}
 }
+
+func TestBatchSmall(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 16
+	res, err := Batch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no datasets produced a batch row")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Batch subsystem") || !strings.Contains(out, "speedup") {
+		t.Fatalf("render:\n%s", out)
+	}
+	for _, row := range res.Rows {
+		if row.BFSPlan > row.BFSNaive {
+			t.Fatalf("%s: plan runs more BFS passes (%d) than naive (%d)", row.Dataset, row.BFSPlan, row.BFSNaive)
+		}
+		if row.NaiveMs <= 0 || row.SharedMs <= 0 {
+			t.Fatalf("%s: timings missing: %+v", row.Dataset, row)
+		}
+	}
+}

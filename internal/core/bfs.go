@@ -39,13 +39,21 @@ type EdgePredicate func(from, to graph.VertexID) bool
 // how predicate constraints integrate without materializing the filtered
 // subgraph (Appendix E).
 func (b *bfsScratch) run(g *graph.Graph, q Query, pred EdgePredicate) {
+	b.runForward(g, q, pred, nil)
+	b.runBackward(g, q, pred, nil)
+}
+
+// runForward fills distS only: a bounded BFS from q.S along out-edges that
+// never expands q.T. A non-nil oracle prunes expansion of any vertex whose
+// distance-so-far plus the oracle's lower bound to q.T already exceeds k
+// (the goal-directed pruning of §7.5; see runPruned for the soundness
+// argument). The batch subsystem calls the halves separately when one side
+// of the labeling comes from a shared Frontier.
+func (b *bfsScratch) runForward(g *graph.Graph, q Query, pred EdgePredicate, oracle DistanceOracle) {
 	for i := range b.distS {
 		b.distS[i] = distUnreachable
-		b.distT[i] = distUnreachable
 	}
 	bound := int32(q.K)
-
-	// Forward BFS from s, skipping expansion of t.
 	b.queue = b.queue[:0]
 	b.queue = append(b.queue, q.S)
 	b.distS[q.S] = 0
@@ -54,6 +62,11 @@ func (b *bfsScratch) run(g *graph.Graph, q Query, pred EdgePredicate) {
 		d := b.distS[v]
 		if d >= bound {
 			break // BFS visits in distance order; all remaining are at bound
+		}
+		if oracle != nil {
+			if lb := oracle.LowerBound(v, q.T); lb < 0 || d+lb > bound {
+				continue // v cannot be in X; skip expansion, keep its label
+			}
 		}
 		for _, w := range g.OutNeighbors(v) {
 			if b.distS[w] != distUnreachable {
@@ -68,8 +81,15 @@ func (b *bfsScratch) run(g *graph.Graph, q Query, pred EdgePredicate) {
 			}
 		}
 	}
+}
 
-	// Backward BFS from t along in-edges, skipping expansion of s.
+// runBackward fills distT only: a bounded BFS from q.T along in-edges that
+// never expands q.S, with the symmetric oracle pruning toward q.S.
+func (b *bfsScratch) runBackward(g *graph.Graph, q Query, pred EdgePredicate, oracle DistanceOracle) {
+	for i := range b.distT {
+		b.distT[i] = distUnreachable
+	}
+	bound := int32(q.K)
 	b.queue = b.queue[:0]
 	b.queue = append(b.queue, q.T)
 	b.distT[q.T] = 0
@@ -78,6 +98,11 @@ func (b *bfsScratch) run(g *graph.Graph, q Query, pred EdgePredicate) {
 		d := b.distT[v]
 		if d >= bound {
 			break
+		}
+		if oracle != nil {
+			if lb := oracle.LowerBound(q.S, v); lb < 0 || d+lb > bound {
+				continue
+			}
 		}
 		for _, w := range g.InNeighbors(v) {
 			if b.distT[w] != distUnreachable {

@@ -46,8 +46,30 @@ func newExecutor(g *graph.Graph, oracle DistanceOracle) *executor {
 // only through the hook — the build phase is O(|E|) bounded and was never
 // deadline-checked.
 func (e *executor) execute(ctx context.Context, q Query, opts Options) (*Result, error) {
+	return e.executeShared(ctx, q, opts, nil, nil)
+}
+
+// executeShared is execute with optionally precomputed distance labelings:
+// a non-nil fwd replaces the forward BFS from q.S and a non-nil bwd the
+// backward BFS from q.T. This is the batch subsystem's entry point — a
+// shared-source group passes one forward Frontier to every member, so each
+// member pays a single per-query BFS pass instead of two. Frontier labels
+// are a sound relaxation of the per-query ones (see the Frontier doc);
+// Result.Timings.BFS covers only the per-query passes actually run, and
+// index statistics may report a slightly larger (superset) index.
+func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd, bwd *Frontier) (*Result, error) {
 	if err := q.Validate(e.g); err != nil {
 		return nil, err
+	}
+	if fwd != nil {
+		if err := fwd.compatible(e.g, q, true, opts.Predicate); err != nil {
+			return nil, err
+		}
+	}
+	if bwd != nil {
+		if err := bwd.compatible(e.g, q, false, opts.Predicate); err != nil {
+			return nil, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -71,9 +93,19 @@ func (e *executor) execute(ctx context.Context, q Query, opts Options) (*Result,
 			return res, nil
 		}
 	}
-	e.scratch.runPruned(e.g, q, opts.Predicate, oracle)
+	distS, distT := e.scratch.distS, e.scratch.distT
+	if fwd != nil {
+		distS = fwd.dist
+	} else {
+		e.scratch.runForward(e.g, q, opts.Predicate, oracle)
+	}
+	if bwd != nil {
+		distT = bwd.dist
+	} else {
+		e.scratch.runBackward(e.g, q, opts.Predicate, oracle)
+	}
 	res.Timings.BFS = time.Since(start)
-	ix := buildIndexFromScratchPos(e.g, q, e.scratch, opts.Predicate, e.pos)
+	ix := buildIndexFromDists(e.g, q, distS, distT, opts.Predicate, e.pos)
 	res.Timings.Build = time.Since(start)
 	res.IndexEdges = ix.Edges()
 	res.IndexVertices = ix.NumIndexed()
@@ -179,14 +211,15 @@ func (e *executor) enumerateDFS(ix *Index, ctl RunControl, ctr *Counters) bool {
 	return !ds.stopped
 }
 
-// buildIndexFromScratchPos is buildIndexFrom with a caller-owned pos
-// buffer, so repeated builds avoid the O(|V|) allocation. The index
-// borrows the buffer: it is valid until the next build that reuses it.
-func buildIndexFromScratchPos(g *graph.Graph, q Query, scratch *bfsScratch, pred EdgePredicate, pos []int32) *Index {
+// buildIndexFromDists is buildIndexFrom with caller-owned distance arrays
+// and pos buffer, so repeated builds avoid the O(|V|) allocations and the
+// batch subsystem can substitute shared Frontier labelings for either
+// side. The index borrows the pos buffer: it is valid until the next build
+// that reuses it. The distance arrays are only read.
+func buildIndexFromDists(g *graph.Graph, q Query, distS, distT []int32, pred EdgePredicate, pos []int32) *Index {
 	n := g.NumVertices()
 	k := q.K
 	k32 := int32(k)
-	distS, distT := scratch.distS, scratch.distT
 
 	ix := &Index{g: g, q: q, k: k, pred: pred}
 	ix.pos = pos

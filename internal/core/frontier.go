@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"pathenum/internal/graph"
+)
+
+// Frontier is a precomputed bounded BFS distance labeling from one
+// endpoint, shareable across every query of a batch group that has that
+// endpoint in common. It is the index-construction entry point the batch
+// subsystem (internal/batch) builds on: a shared-source group computes one
+// forward frontier from s and reuses it for every member's index build,
+// paying one BFS pass instead of |group|.
+//
+// Relaxation vs the per-query labeling. A per-query forward BFS computes
+// S(s,v | G-{t}) — the opposite endpoint is never expanded — and stops at
+// depth q.K. A shared frontier cannot exclude a per-query endpoint or use a
+// per-query bound, so it runs in the full graph to depth max K of the
+// group. Both differences only *lower* labels (G-{t} distances are >= G
+// distances) or label extra vertices (depth k..maxK), so the partition X
+// built from a frontier is a superset of the exact one and every exact
+// index edge survives. That is sound: completeness only needs X to cover
+// the exact partition, and neither enumerator can emit an invalid result
+// from extra index entries — the DFS (Algorithm 4) checks simplicity and
+// the hop budget on the path itself, and the join (Algorithm 6) validates
+// every joined tuple with validatePath. The extra entries cost only wasted
+// exploration, which the batch planner trades against the saved BFS
+// passes. TestRunSharedMatchesRun cross-checks the emitted path sets.
+//
+// A Frontier is immutable after construction and safe for concurrent use
+// by any number of readers.
+type Frontier struct {
+	g       *graph.Graph
+	origin  graph.VertexID
+	bound   int
+	forward bool
+	pred    EdgePredicate
+	dist    []int32
+}
+
+// NewForwardFrontier runs one bounded BFS from s along out-edges in the
+// full graph (no excluded endpoint) and returns the labeling, valid for any
+// query with source s and K <= bound. A non-nil pred restricts the search
+// to edges satisfying it; queries sharing the frontier must carry the same
+// predicate.
+func NewForwardFrontier(g *graph.Graph, s graph.VertexID, bound int, pred EdgePredicate) (*Frontier, error) {
+	if err := checkFrontierArgs(g, s, bound); err != nil {
+		return nil, err
+	}
+	f := &Frontier{g: g, origin: s, bound: bound, forward: true, pred: pred, dist: make([]int32, g.NumVertices())}
+	frontierBFS(f.dist, bound, s, func(v graph.VertexID, visit func(graph.VertexID)) {
+		for _, w := range g.OutNeighbors(v) {
+			if pred == nil || pred(v, w) {
+				visit(w)
+			}
+		}
+	})
+	return f, nil
+}
+
+// NewBackwardFrontier is the mirrored construction: one bounded BFS from t
+// along in-edges, valid for any query with target t and K <= bound.
+func NewBackwardFrontier(g *graph.Graph, t graph.VertexID, bound int, pred EdgePredicate) (*Frontier, error) {
+	if err := checkFrontierArgs(g, t, bound); err != nil {
+		return nil, err
+	}
+	f := &Frontier{g: g, origin: t, bound: bound, forward: false, pred: pred, dist: make([]int32, g.NumVertices())}
+	frontierBFS(f.dist, bound, t, func(v graph.VertexID, visit func(graph.VertexID)) {
+		for _, w := range g.InNeighbors(v) {
+			if pred == nil || pred(w, v) {
+				visit(w)
+			}
+		}
+	})
+	return f, nil
+}
+
+func checkFrontierArgs(g *graph.Graph, origin graph.VertexID, bound int) error {
+	if origin < 0 || origin >= graph.VertexID(g.NumVertices()) {
+		return fmt.Errorf("core: frontier origin %d out of range [0,%d)", origin, g.NumVertices())
+	}
+	if bound < 1 {
+		return fmt.Errorf("core: frontier bound %d must be >= 1", bound)
+	}
+	return nil
+}
+
+// frontierBFS is the direction-agnostic bounded BFS behind both frontier
+// constructors: neighbors abstracts the edge direction.
+func frontierBFS(dist []int32, bound int, origin graph.VertexID, neighbors func(v graph.VertexID, visit func(graph.VertexID))) {
+	for i := range dist {
+		dist[i] = distUnreachable
+	}
+	queue := make([]graph.VertexID, 0, 64)
+	queue = append(queue, origin)
+	dist[origin] = 0
+	b32 := int32(bound)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if d >= b32 {
+			break
+		}
+		neighbors(v, func(w graph.VertexID) {
+			if dist[w] == distUnreachable {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		})
+	}
+}
+
+// Origin returns the endpoint the frontier was grown from.
+func (f *Frontier) Origin() graph.VertexID { return f.origin }
+
+// Bound returns the BFS depth bound; queries with K <= Bound may share it.
+func (f *Frontier) Bound() int { return f.bound }
+
+// IsForward reports the direction: true for distances *from* the origin
+// along out-edges, false for distances *to* the origin along in-edges.
+func (f *Frontier) IsForward() bool { return f.forward }
+
+// Dist returns the labeled distance of v, or -1 if v was not reached
+// within the bound.
+func (f *Frontier) Dist(v graph.VertexID) int32 { return f.dist[v] }
+
+// compatible reports whether the frontier can serve query q on g for the
+// given direction, with a descriptive error when it cannot.
+//
+// The predicate check is best-effort: a nil/non-nil mismatch and two
+// distinct predicate functions are rejected, but two closures of the same
+// function capturing different state share a code pointer and cannot be
+// told apart — behavioral consistency there stays the caller's
+// responsibility.
+func (f *Frontier) compatible(g *graph.Graph, q Query, forward bool, pred EdgePredicate) error {
+	if f.g != g {
+		return fmt.Errorf("core: frontier was built on a different graph")
+	}
+	if f.forward != forward {
+		return fmt.Errorf("core: frontier direction mismatch (forward=%v, need forward=%v)", f.forward, forward)
+	}
+	want := q.S
+	if !forward {
+		want = q.T
+	}
+	if f.origin != want {
+		return fmt.Errorf("core: frontier origin %d does not match query endpoint %d", f.origin, want)
+	}
+	if q.K > f.bound {
+		return fmt.Errorf("core: frontier bound %d too small for k=%d", f.bound, q.K)
+	}
+	if (f.pred == nil) != (pred == nil) {
+		return fmt.Errorf("core: frontier predicate mismatch (frontier has predicate: %v, query has predicate: %v)", f.pred != nil, pred != nil)
+	}
+	if f.pred != nil && reflect.ValueOf(f.pred).Pointer() != reflect.ValueOf(pred).Pointer() {
+		return fmt.Errorf("core: frontier was built under a different edge predicate")
+	}
+	return nil
+}

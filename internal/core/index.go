@@ -99,10 +99,10 @@ func BuildIndexFiltered(g *graph.Graph, q Query, pred EdgePredicate) (*Index, er
 
 // buildIndexFrom assembles the index from completed BFS labelings. Split
 // out so the harness can time the BFS phase separately (Figure 12/17).
-// The assembly itself lives in buildIndexFromScratchPos (executor.go);
+// The assembly itself lives in buildIndexFromDists (executor.go);
 // one-shot callers pay a fresh position buffer here.
 func buildIndexFrom(g *graph.Graph, q Query, scratch *bfsScratch, pred EdgePredicate) *Index {
-	return buildIndexFromScratchPos(g, q, scratch, pred, make([]int32, g.NumVertices()))
+	return buildIndexFromDists(g, q, scratch.distS, scratch.distT, pred, make([]int32, g.NumVertices()))
 }
 
 // buildForward fills the neighbor lists sorted by w.t (lines 5-11).

@@ -22,69 +22,8 @@ type DistanceOracle interface {
 // resulting index is identical to the unpruned one; the tests verify this
 // property on randomized inputs.
 func (b *bfsScratch) runPruned(g *graph.Graph, q Query, pred EdgePredicate, oracle DistanceOracle) {
-	if oracle == nil {
-		b.run(g, q, pred)
-		return
-	}
-	for i := range b.distS {
-		b.distS[i] = distUnreachable
-		b.distT[i] = distUnreachable
-	}
-	bound := int32(q.K)
-
-	// Forward BFS from s with goal-directed pruning toward t.
-	b.queue = b.queue[:0]
-	b.queue = append(b.queue, q.S)
-	b.distS[q.S] = 0
-	for head := 0; head < len(b.queue); head++ {
-		v := b.queue[head]
-		d := b.distS[v]
-		if d >= bound {
-			break
-		}
-		if lb := oracle.LowerBound(v, q.T); lb < 0 || d+lb > bound {
-			continue // v cannot be in X; skip expansion, keep its label
-		}
-		for _, w := range g.OutNeighbors(v) {
-			if b.distS[w] != distUnreachable {
-				continue
-			}
-			if pred != nil && !pred(v, w) {
-				continue
-			}
-			b.distS[w] = d + 1
-			if w != q.T {
-				b.queue = append(b.queue, w)
-			}
-		}
-	}
-
-	// Backward BFS from t with pruning toward s.
-	b.queue = b.queue[:0]
-	b.queue = append(b.queue, q.T)
-	b.distT[q.T] = 0
-	for head := 0; head < len(b.queue); head++ {
-		v := b.queue[head]
-		d := b.distT[v]
-		if d >= bound {
-			break
-		}
-		if lb := oracle.LowerBound(q.S, v); lb < 0 || d+lb > bound {
-			continue
-		}
-		for _, w := range g.InNeighbors(v) {
-			if b.distT[w] != distUnreachable {
-				continue
-			}
-			if pred != nil && !pred(w, v) {
-				continue
-			}
-			b.distT[w] = d + 1
-			if w != q.S {
-				b.queue = append(b.queue, w)
-			}
-		}
-	}
+	b.runForward(g, q, pred, oracle)
+	b.runBackward(g, q, pred, oracle)
 }
 
 // BuildIndexOracle constructs the light-weight index with oracle-pruned

@@ -46,3 +46,18 @@ func (s *Session) Run(q Query, opts Options) (*Result, error) {
 func (s *Session) RunContext(ctx context.Context, q Query, opts Options) (*Result, error) {
 	return s.ex.execute(ctx, q, opts)
 }
+
+// RunShared is RunContext with precomputed distance labelings substituted
+// for either BFS pass: a non-nil fwd must be a forward Frontier from q.S,
+// a non-nil bwd a backward Frontier from q.T, both built on the session's
+// graph with bound >= q.K and the same edge predicate as opts.Predicate
+// (mismatched frontiers return an error; the predicate comparison is
+// best-effort — see Frontier.compatible). A nil side is computed per query
+// as usual. This is the shared-computation entry point of the batch
+// subsystem (internal/batch): each member of a shared-source or
+// shared-target group pays one per-query BFS pass instead of two. Results
+// are identical to RunContext's — frontier labels relax the per-query
+// ones soundly (see Frontier).
+func (s *Session) RunShared(ctx context.Context, q Query, opts Options, fwd, bwd *Frontier) (*Result, error) {
+	return s.ex.executeShared(ctx, q, opts, fwd, bwd)
+}

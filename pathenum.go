@@ -17,6 +17,13 @@
 //		Emit: func(p []pathenum.VertexID) bool { fmt.Println(p); return true },
 //	})
 //
+// Query batches should run through the Engine: ExecuteAllContext fans
+// queries out independently across a worker pool, and ExecuteBatch routes
+// them through the shared-computation batch subsystem (internal/batch),
+// which deduplicates identical queries and reuses one BFS distance
+// frontier across all queries sharing a source or target — the dominant
+// index-construction cost on batch workloads.
+//
 // The package also implements the paper's constraint extensions (edge
 // predicates, accumulative values, label-sequence automata), dynamic-graph
 // workflows, every baseline from the paper's evaluation and a benchmark
