@@ -18,7 +18,11 @@
 // the shared-computation batch subsystem — duplicate queries answered
 // once, BFS frontiers shared across queries with a common endpoint — and
 // reports what it saved in the response stats; add "naive":true to force
-// the independent per-query fan-out instead.
+// the independent per-query fan-out instead. Frontiers survive the batch
+// in the engine's cross-batch cache (size it with -frontier-cache), so a
+// repeat hub is served with zero BFS passes — watch bfsPassesRun and
+// cacheHits in the /batch stats, and hit GET /stats for the cache
+// counters and the graph epoch.
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "scale for -dataset")
 		addr      = flag.String("addr", ":8080", "listen address")
 		landmarks = flag.Int("landmarks", 8, "distance-oracle landmarks (0 disables)")
+		fcache    = flag.Int("frontier-cache", 0, "frontier-cache entries (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -68,7 +73,7 @@ func main() {
 		log.Fatal("pathenumd: ", err)
 	}
 
-	cfg := pathenum.EngineConfig{Workers: 8}
+	cfg := pathenum.EngineConfig{Workers: 8, FrontierCache: *fcache}
 	if *landmarks > 0 {
 		oracle, oerr := pathenum.BuildOracle(g, *landmarks)
 		if oerr != nil {

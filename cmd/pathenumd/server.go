@@ -86,12 +86,37 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// cacheStats is the wire form of the engine's frontier-cache counters.
+type cacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+	Bytes         int64  `json:"bytes"`
+}
+
+func toCacheStats(cs pathenum.FrontierCacheStats) cacheStats {
+	return cacheStats{
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Evictions:     cs.Evictions,
+		Invalidations: cs.Invalidations,
+		Entries:       cs.Entries,
+		Capacity:      cs.Capacity,
+		Bytes:         cs.Bytes,
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	g := s.engine.Graph()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"vertices":  g.NumVertices(),
-		"edges":     g.NumEdges(),
-		"avgDegree": g.AvgDegree(),
+		"vertices":      g.NumVertices(),
+		"edges":         g.NumEdges(),
+		"avgDegree":     g.AvgDegree(),
+		"epoch":         s.engine.Epoch(),
+		"frontierCache": toCacheStats(s.engine.CacheStats()),
 	})
 }
 
@@ -212,6 +237,9 @@ type batchRequest struct {
 }
 
 // batchStats is the wire form of the batch subsystem's per-batch report.
+// BFSPassesRun is the count actually executed after frontier-cache hits
+// (0 on a fully warm repeat batch); Epoch identifies the graph version
+// the batch ran on.
 type batchStats struct {
 	Queries        int     `json:"queries"`
 	Invalid        int     `json:"invalid,omitempty"`
@@ -224,7 +252,11 @@ type batchStats struct {
 	BFSPasses      int     `json:"bfsPasses"`
 	BFSPassesNaive int     `json:"bfsPassesNaive"`
 	BFSPassesSaved int     `json:"bfsPassesSaved"`
+	BFSPassesRun   int     `json:"bfsPassesRun"`
+	CacheHits      int     `json:"cacheHits"`
+	CacheMisses    int     `json:"cacheMisses"`
 	SharedBFSMs    float64 `json:"sharedBfsMs"`
+	Epoch          uint64  `json:"epoch"`
 }
 
 // batchResult is one slot of the batch response; Error is set instead of
@@ -325,7 +357,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			BFSPasses:      stats.BFSPasses,
 			BFSPassesNaive: stats.BFSPassesNaive,
 			BFSPassesSaved: stats.BFSPassesSaved,
+			BFSPassesRun:   stats.BFSPassesRun,
+			CacheHits:      stats.FrontierCacheHits,
+			CacheMisses:    stats.FrontierCacheMisses,
 			SharedBFSMs:    float64(stats.SharedBFS) / float64(time.Millisecond),
+			Epoch:          s.engine.Epoch(),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

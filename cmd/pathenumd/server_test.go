@@ -410,3 +410,51 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatal("GET /query must not succeed")
 	}
 }
+
+// TestStatsReportsEpochAndCache: /stats exposes the graph epoch and the
+// frontier-cache counters services watch for hit-rate and invalidations.
+func TestStatsReportsEpochAndCache(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Epoch         *uint64     `json:"epoch"`
+		FrontierCache *cacheStats `json:"frontierCache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch == nil || *stats.Epoch != 0 {
+		t.Fatalf("epoch = %v, want 0", stats.Epoch)
+	}
+	if stats.FrontierCache == nil || stats.FrontierCache.Capacity <= 0 {
+		t.Fatalf("frontierCache = %+v", stats.FrontierCache)
+	}
+}
+
+// TestBatchRepeatServedFromCache: the second POST of an identical batch is
+// the repeat-hub scenario — the response stats must show every BFS side
+// served from the frontier cache (bfsPassesRun == 0).
+func TestBatchRepeatServedFromCache(t *testing.T) {
+	ts := testServer(t, nil)
+	body := `{"queries":[{"s":0,"t":3,"k":3},{"s":1,"t":3,"k":3},{"s":2,"t":3,"k":3}]}`
+	_, cold := postBatch(t, ts, body)
+	if cold.Stats == nil || cold.Stats.BFSPassesRun == 0 {
+		t.Fatalf("cold stats = %+v, want BFS passes run", cold.Stats)
+	}
+	_, warm := postBatch(t, ts, body)
+	if warm.Stats == nil {
+		t.Fatal("warm batch must report stats")
+	}
+	if warm.Stats.BFSPassesRun != 0 || warm.Stats.CacheHits == 0 {
+		t.Fatalf("warm stats = %+v, want bfsPassesRun=0 with cache hits", warm.Stats)
+	}
+	for i := range cold.Results {
+		if warm.Results[i].Count != cold.Results[i].Count {
+			t.Fatalf("slot %d: warm count %d != cold %d", i, warm.Results[i].Count, cold.Results[i].Count)
+		}
+	}
+}

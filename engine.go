@@ -6,45 +6,86 @@ import (
 	"sync"
 
 	"pathenum/internal/batch"
+	"pathenum/internal/cache"
 	"pathenum/internal/core"
+	"pathenum/internal/graph"
 	"pathenum/internal/landmark"
 )
 
 // DistanceOracle is the global offline index of §7.5: lower bounds on
 // directed distances that prune per-query index construction and answer
-// infeasible queries without any BFS. Build it once per (static) graph
+// infeasible queries without any BFS. Build it once per graph version
 // with BuildOracle and pass it via Options.Oracle or EngineConfig.
 type DistanceOracle = core.DistanceOracle
 
 // BuildOracle constructs a landmark distance oracle over g with the given
 // number of landmarks (0 picks a default). Construction costs two full BFS
-// passes per landmark. The oracle is only valid for the exact graph it was
-// built on: rebuild after edge insertions.
+// passes per landmark. The oracle captures g's version and is enforced to
+// it: after edge insertions (a later-epoch snapshot), execution rejects it
+// with ErrStaleEpoch instead of silently over-pruning — rebuild it and
+// re-install with Engine.SetOracle.
 func BuildOracle(g *Graph, numLandmarks int) (DistanceOracle, error) {
 	return landmark.Build(g, numLandmarks)
 }
+
+// DefaultFrontierCacheSize is the frontier-cache entry bound used when
+// EngineConfig.FrontierCache is 0. Each entry holds one O(|V|) distance
+// labeling (4 bytes per vertex); size the cache explicitly on very large
+// graphs.
+const DefaultFrontierCacheSize = cache.DefaultCapacity
+
+// FrontierCacheStats snapshots the engine's frontier-cache counters:
+// hits, misses, capacity evictions, lazy epoch invalidations, occupancy
+// and resident bytes.
+type FrontierCacheStats = cache.Stats
 
 // EngineConfig configures a concurrent query engine.
 type EngineConfig struct {
 	// Workers is the number of concurrent query executors (default 4).
 	Workers int
-	// Oracle optionally accelerates every query (see BuildOracle).
+	// Oracle optionally accelerates every query (see BuildOracle). A
+	// version-aware oracle must match the engine's graph.
 	Oracle DistanceOracle
 	// Options are the per-query defaults (Method, Tau, Limit, Timeout).
 	Options Options
+	// FrontierCache bounds the cross-batch frontier cache in entries:
+	// 0 uses DefaultFrontierCacheSize, negative disables caching. The
+	// cache serves repeat endpoints — a hot fraud hub queried in every
+	// batch — with zero BFS passes; see internal/cache.
+	FrontierCache int
 }
 
-// Engine executes HcPE queries concurrently against one immutable graph.
-// PathEnum's state is per query (the index is built per query), so queries
-// parallelize without coordination — the online scenario of §1. Each worker
-// reuses a core.Session, so the O(|V|) per-query buffers are allocated once
-// per worker rather than once per query. The zero Engine is not usable;
-// create one with NewEngine.
+// Engine executes HcPE queries concurrently against one immutable graph
+// version at a time. PathEnum's state is per query (the index is built per
+// query), so queries parallelize without coordination — the online
+// scenario of §1. Each worker reuses a core.Session, so the O(|V|)
+// per-query buffers are allocated once per worker rather than once per
+// query.
+//
+// The engine owns two cross-query structures keyed by graph version: the
+// optional distance oracle and the frontier cache (an LRU of shared BFS
+// labelings consulted by single queries and deposited into by
+// ExecuteBatch). Dynamic workloads advance the engine with UpdateGraph:
+// epoch bumps invalidate cached frontiers lazily on lookup — no sweep —
+// and a stale oracle is dropped rather than consulted.
+//
+// The zero Engine is not usable; create one with NewEngine.
 type Engine struct {
+	cfg     EngineConfig
+	workers int
+	cache   *cache.FrontierCache // nil when disabled
+
+	// mu guards the mutable graph view: the current graph, the oracles
+	// valid for it (the engine-level one and the per-query default in
+	// defaults.Oracle), and the session pool bound to them. UpdateGraph
+	// and SetOracle swap the pieces together; queries capture a
+	// consistent view under RLock and finish on it even if the engine
+	// advances mid-flight.
+	mu       sync.RWMutex
 	g        *Graph
-	cfg      EngineConfig
-	workers  int
-	sessions sync.Pool
+	oracle   DistanceOracle
+	defaults Options
+	sessions *sync.Pool
 }
 
 // NewEngine creates an engine over g.
@@ -52,17 +93,116 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("pathenum: engine needs a graph")
 	}
+	if err := validateOracleFor(cfg.Oracle, g); err != nil {
+		return nil, err
+	}
+	if err := validateOracleFor(cfg.Options.Oracle, g); err != nil {
+		return nil, err
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 4
 	}
-	e := &Engine{g: g, cfg: cfg, workers: workers}
-	e.sessions.New = func() any { return core.NewSession(g, cfg.Oracle) }
+	e := &Engine{
+		cfg:      cfg,
+		workers:  workers,
+		g:        g,
+		oracle:   cfg.Oracle,
+		defaults: cfg.Options,
+		sessions: newSessionPool(g, cfg.Oracle),
+	}
+	if cfg.FrontierCache >= 0 {
+		e.cache = cache.New(cfg.FrontierCache)
+	}
 	return e, nil
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *Graph { return e.g }
+func newSessionPool(g *Graph, oracle DistanceOracle) *sync.Pool {
+	return &sync.Pool{New: func() any { return core.NewSession(g, oracle) }}
+}
+
+// validateOracleFor rejects a version-aware oracle that does not match g.
+func validateOracleFor(oracle DistanceOracle, g *Graph) error {
+	if v, ok := oracle.(core.GraphValidator); ok {
+		if err := v.ValidFor(g); err != nil {
+			return fmt.Errorf("pathenum: oracle does not match engine graph: %w", err)
+		}
+	}
+	return nil
+}
+
+// view captures a consistent (graph, oracle, session pool) triple.
+func (e *Engine) view() (*Graph, *sync.Pool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.g, e.sessions
+}
+
+// Graph returns the engine's current graph.
+func (e *Engine) Graph() *Graph {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.g
+}
+
+// Epoch returns the epoch of the engine's current graph — the mutation
+// count of its lineage (see graph.Versioned).
+func (e *Engine) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.g.Epoch()
+}
+
+// UpdateGraph swaps the engine to g — typically a fresh Dynamic snapshot
+// after insertions. Sessions rebind to the new graph (in-flight queries
+// finish on the view they captured); cached frontiers are not swept —
+// they invalidate lazily, by version, on their next lookup. An installed
+// oracle that is version-aware and no longer valid for g — the
+// engine-level one or the per-query default in EngineConfig.Options —
+// is dropped: queries keep working without pruning, and SetOracle
+// re-installs a rebuilt one. Safe for concurrent use with queries;
+// UpdateGraph calls themselves should come from one writer (the owner
+// of the Dynamic).
+func (e *Engine) UpdateGraph(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("pathenum: UpdateGraph needs a graph")
+	}
+	dropStale := func(o DistanceOracle) DistanceOracle {
+		if v, ok := o.(core.GraphValidator); ok && v.ValidFor(g) != nil {
+			return nil
+		}
+		return o
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.g = g
+	e.oracle = dropStale(e.oracle)
+	e.defaults.Oracle = dropStale(e.defaults.Oracle)
+	e.sessions = newSessionPool(g, e.oracle)
+	return nil
+}
+
+// SetOracle installs (or, with nil, removes) the engine's distance
+// oracle. A version-aware oracle must match the engine's current graph.
+func (e *Engine) SetOracle(oracle DistanceOracle) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := validateOracleFor(oracle, e.g); err != nil {
+		return err
+	}
+	e.oracle = oracle
+	e.sessions = newSessionPool(e.g, oracle)
+	return nil
+}
+
+// CacheStats snapshots the frontier-cache counters (the zero value when
+// caching is disabled).
+func (e *Engine) CacheStats() FrontierCacheStats {
+	if e.cache == nil {
+		return FrontierCacheStats{}
+	}
+	return e.cache.Stats()
+}
 
 // Execute runs one query with the engine defaults (synchronously).
 func (e *Engine) Execute(q Query) (*Result, error) {
@@ -72,18 +212,43 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 // ExecuteWith runs one query on a pooled session, merging per-call option
 // overrides with the engine defaults (see MergeOptions) and observing ctx:
 // cancellation or a context deadline stops enumeration early with
-// Result.Completed == false. This is the entry point services should use —
-// e.g. an HTTP handler passing the request context gets session buffer
-// reuse, the engine oracle and client-disconnect cancellation in one call.
+// Result.Completed == false. Single queries are served from the frontier
+// cache when it already holds a matching labeling (a hub warmed by an
+// earlier batch costs one BFS pass instead of two) but do not deposit on a
+// miss — the per-query scratch buffers stay allocation-free. This is the
+// entry point services should use — e.g. an HTTP handler passing the
+// request context gets session buffer reuse, the engine oracle and
+// client-disconnect cancellation in one call.
 func (e *Engine) ExecuteWith(ctx context.Context, q Query, opts Options) (*Result, error) {
-	sess := e.sessions.Get().(*core.Session)
-	defer e.sessions.Put(sess)
-	return sess.RunContext(ctx, q, e.MergeOptions(opts))
+	g, pool := e.view()
+	merged := e.MergeOptions(opts)
+	fwd, bwd := e.cachedFrontiers(g, q, merged)
+	sess := pool.Get().(*core.Session)
+	defer pool.Put(sess)
+	return sess.RunShared(ctx, q, merged, fwd, bwd)
+}
+
+// cachedFrontiers consults (but never fills) the frontier cache for both
+// sides of a single query. Opaque predicates (non-nil with a zero token)
+// and invalid queries skip the cache.
+func (e *Engine) cachedFrontiers(g *Graph, q Query, opts Options) (fwd, bwd *core.Frontier) {
+	if e.cache == nil || (opts.Predicate != nil && opts.PredicateToken == core.PredicateNone) {
+		return nil, nil
+	}
+	if q.Validate(g) != nil {
+		return nil, nil // let the session report the error
+	}
+	ver := g.Version()
+	fwd = e.cache.Get(cache.Key{Origin: q.S, Forward: true, Pred: opts.PredicateToken}, q.K, ver)
+	bwd = e.cache.Get(cache.Key{Origin: q.T, Forward: false, Pred: opts.PredicateToken}, q.K, ver)
+	return fwd, bwd
 }
 
 // MergeOptions overlays per-call overrides on the engine's default Options:
 // any zero-valued field of opts falls back to the corresponding
-// EngineConfig.Options field.
+// EngineConfig.Options field. Predicate and PredicateToken travel as a
+// pair: a per-call Predicate keeps its own token (possibly zero = opaque),
+// a nil per-call Predicate inherits both from the defaults.
 //
 // The flip side: a zero value can never override a non-zero default. A
 // per-call Auto inherits the default Method (Auto is the zero value), a
@@ -92,7 +257,9 @@ func (e *Engine) ExecuteWith(ctx context.Context, q Query, opts Options) (*Resul
 // to serve unrestricted per-call traffic should keep those defaults zero
 // and let callers opt in per call.
 func (e *Engine) MergeOptions(opts Options) Options {
-	def := e.cfg.Options
+	e.mu.RLock()
+	def := e.defaults
+	e.mu.RUnlock()
 	if opts.Method == Auto {
 		opts.Method = def.Method
 	}
@@ -110,6 +277,7 @@ func (e *Engine) MergeOptions(opts Options) Options {
 	}
 	if opts.Predicate == nil {
 		opts.Predicate = def.Predicate
+		opts.PredicateToken = def.PredicateToken
 	}
 	if opts.Oracle == nil {
 		opts.Oracle = def.Oracle
@@ -165,31 +333,55 @@ dispatch:
 
 // BatchStats reports what the batch planner found to share and what the
 // scheduler did with it: queries deduped, BFS passes saved vs the naive
-// fan-out, and per-group timings. See internal/batch.Stats.
+// fan-out, frontier-cache hits and per-group timings. See
+// internal/batch.Stats.
 type BatchStats = batch.Stats
+
+// frontierCacheProvider adapts the engine cache to the batch scheduler's
+// FrontierProvider seam, pinning the graph version and predicate token of
+// one batch execution.
+type frontierCacheProvider struct {
+	c   *cache.FrontierCache
+	ver graph.Version
+	tok core.PredicateToken
+}
+
+func (p *frontierCacheProvider) Lookup(origin VertexID, forward bool, k int) *core.Frontier {
+	return p.c.Get(cache.Key{Origin: origin, Forward: forward, Pred: p.tok}, k, p.ver)
+}
+
+func (p *frontierCacheProvider) Store(f *core.Frontier) { p.c.Put(f) }
 
 // ExecuteBatch runs the queries through the shared-computation batch
 // subsystem (internal/batch): exact-duplicate queries are answered once
 // and fanned back out, queries sharing a source or target reuse one
 // shared BFS frontier for that side of their index build, and the
 // resulting groups execute across the worker pool in estimated-cost
-// order. Results come back in input order with ExecuteAllContext's
-// fail-fast cancellation semantics; the naive independent fan-out remains
-// available as ExecuteAllContext.
+// order. With the frontier cache enabled the scheduler consults it before
+// building any frontier and deposits what it builds, so a repeat batch
+// over the same hubs executes with zero BFS passes
+// (BatchStats.BFSPassesRun and the cache hit counters make this visible).
+// Results come back in input order with ExecuteAllContext's fail-fast
+// cancellation semantics; the naive independent fan-out remains available
+// as ExecuteAllContext.
 //
 // Two semantic differences from ExecuteAllContext follow from sharing:
 // duplicate queries receive the same *Result pointer (treat Results as
 // read-only), and opts.Emit — already concurrent and unattributed in
 // batch execution — fires once per unique query, not once per duplicate.
 func (e *Engine) ExecuteBatch(ctx context.Context, queries []Query, opts Options) ([]*Result, []error, *BatchStats) {
+	g, pool := e.view()
 	merged := e.MergeOptions(opts)
-	plan := batch.NewPlanner(e.g).Plan(queries)
 	sch := &batch.Scheduler{
 		Workers: e.workers,
-		Acquire: func() *core.Session { return e.sessions.Get().(*core.Session) },
-		Release: func(s *core.Session) { e.sessions.Put(s) },
+		Acquire: func() *core.Session { return pool.Get().(*core.Session) },
+		Release: func(s *core.Session) { pool.Put(s) },
 	}
-	uniqRes, uniqErrs, stats := sch.Execute(ctx, e.g, plan, merged)
+	if e.cache != nil && (merged.Predicate == nil || merged.PredicateToken != core.PredicateNone) {
+		sch.Frontiers = &frontierCacheProvider{c: e.cache, ver: g.Version(), tok: merged.PredicateToken}
+	}
+	plan := batch.NewPlanner(g).Plan(queries)
+	uniqRes, uniqErrs, stats := sch.Execute(ctx, g, plan, merged)
 	results, errs := plan.Scatter(uniqRes, uniqErrs)
 	return results, errs, stats
 }

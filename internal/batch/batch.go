@@ -28,6 +28,7 @@ package batch
 import (
 	"time"
 
+	"pathenum/internal/core"
 	"pathenum/internal/graph"
 )
 
@@ -60,6 +61,21 @@ func (k GroupKind) String() string {
 	}
 }
 
+// FrontierProvider serves prebuilt distance frontiers to the scheduler
+// and collects the ones it builds — the seam the engine's cross-batch
+// frontier cache plugs into. Lookup returns a frontier valid for the
+// current graph version with the given origin, direction and bound >= k,
+// or nil on a miss; Store deposits a freshly built frontier for later
+// batches. Implementations must be safe for concurrent use (the scheduler
+// calls from every worker) and are responsible for version invalidation —
+// a frontier returned by Lookup is still re-validated by the core
+// executor, so a misbehaving provider fails queries rather than
+// corrupting them.
+type FrontierProvider interface {
+	Lookup(origin graph.VertexID, forward bool, k int) *core.Frontier
+	Store(f *core.Frontier)
+}
+
 // GroupTiming reports how one scheduled group spent its time.
 type GroupTiming struct {
 	Kind GroupKind
@@ -69,8 +85,11 @@ type GroupTiming struct {
 	// Size is the number of member queries.
 	Size int
 	// SharedBFS is the time spent building the group's shared frontier
-	// (zero for singletons).
+	// (zero for singletons and for cache hits).
 	SharedBFS time.Duration
+	// CacheHit reports that the group's shared frontier came from the
+	// FrontierProvider instead of a BFS pass.
+	CacheHit bool
 	// Elapsed is the wall time from group start to the last member done.
 	Elapsed time.Duration
 }
@@ -100,11 +119,24 @@ type Stats struct {
 	// BFSPassesNaive is what the naive fan-out would run: two passes per
 	// valid query, duplicates included.
 	BFSPassesNaive int
-	// BFSPasses is what the plan runs: per shared group one frontier pass
-	// plus one per member; two per singleton.
+	// BFSPasses is the plan's nominal pass count: per shared group one
+	// frontier pass plus one per member; two per singleton.
 	BFSPasses int
 	// BFSPassesSaved = BFSPassesNaive - BFSPasses.
 	BFSPassesSaved int
+	// BFSPassesRun counts the BFS passes actually executed: frontier
+	// builds plus per-member session passes. Equal to BFSPasses with no
+	// FrontierProvider; drops toward zero as the provider's cache warms
+	// (a fully warm repeat batch runs none), and exceeds BFSPasses only
+	// when an opaque predicate (non-nil Options.Predicate with a zero
+	// PredicateToken) disables sharing. Session-side passes an oracle
+	// infeasibility certificate skips are still counted.
+	BFSPassesRun int
+	// FrontierCacheHits / FrontierCacheMisses count FrontierProvider
+	// lookups during this batch (shared-group and per-member sides);
+	// both stay zero without a provider.
+	FrontierCacheHits   int
+	FrontierCacheMisses int
 	// SharedBFS is the total time spent building shared frontiers.
 	SharedBFS time.Duration
 	// Elapsed is the wall time of the whole batch execution.

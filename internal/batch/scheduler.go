@@ -3,6 +3,7 @@ package batch
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathenum/internal/core"
@@ -20,6 +21,20 @@ type Scheduler struct {
 	// Both must be safe for concurrent use.
 	Acquire func() *core.Session
 	Release func(*core.Session)
+	// Frontiers, when non-nil, serves cached frontiers for shared-group
+	// and per-member BFS sides and collects the ones the scheduler builds
+	// (the engine's cross-batch cache). With a provider every BFS side is
+	// materialized as a core.Frontier — a deposit-on-miss cache — so a
+	// repeat batch executes with zero BFS passes.
+	Frontiers FrontierProvider
+}
+
+// passCounters tracks what the batch actually ran, aggregated across all
+// group and member goroutines.
+type passCounters struct {
+	run    atomic.Int64 // BFS passes executed (frontier builds + session passes)
+	hits   atomic.Int64 // FrontierProvider lookups served
+	misses atomic.Int64 // FrontierProvider lookups missed
 }
 
 // Execute runs the plan's groups in their scheduling order (descending
@@ -27,12 +42,16 @@ type Scheduler struct {
 // Engine.ExecuteAllContext: once ctx is done, members not yet started
 // return ctx.Err() immediately and in-flight enumerations stop early.
 //
-// A shared group first builds its frontier on a worker slot, then fans its
-// members out across the pool, each member reusing the frontier for one
-// side of its index build. Results and errors come back indexed by
-// plan.Unique (use Plan.Scatter to fan them out to original batch
-// positions); the returned Stats carry the planner accounting plus wall
-// timings.
+// A shared group obtains its frontier — from the FrontierProvider when one
+// is configured and warm, otherwise by building it on a worker slot — then
+// fans its members out across the pool, each member reusing the frontier
+// for one side of its index build (and consulting the provider for the
+// other). Sharing requires an identifiable predicate: when opts.Predicate
+// is non-nil with a zero PredicateToken, groups degrade to independent
+// per-member execution (correct, no reuse). Results and errors come back
+// indexed by plan.Unique (use Plan.Scatter to fan them out to original
+// batch positions); the returned Stats carry the planner accounting plus
+// wall timings, actual pass counts and cache hit/miss counters.
 func (sch *Scheduler) Execute(ctx context.Context, g *graph.Graph, plan *Plan, opts core.Options) ([]*core.Result, []error, *Stats) {
 	workers := sch.Workers
 	if workers <= 0 {
@@ -42,6 +61,7 @@ func (sch *Scheduler) Execute(ctx context.Context, g *graph.Graph, plan *Plan, o
 	errs := make([]error, len(plan.Unique))
 	stats := plan.Stats()
 	stats.GroupTimings = make([]GroupTiming, len(plan.Groups))
+	var passes passCounters
 
 	start := time.Now()
 	sem := make(chan struct{}, workers)
@@ -67,50 +87,80 @@ dispatch:
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sch.runGroup(ctx, g, plan, grp, timing, opts, sem, results, errs)
+			sch.runGroup(ctx, g, plan, grp, timing, opts, sem, results, errs, &passes)
 		}()
 	}
 	wg.Wait()
 
 	stats.Elapsed = time.Since(start)
+	stats.BFSPassesRun = int(passes.run.Load())
+	stats.FrontierCacheHits = int(passes.hits.Load())
+	stats.FrontierCacheMisses = int(passes.misses.Load())
 	for _, gt := range stats.GroupTimings {
 		stats.SharedBFS += gt.SharedBFS
 	}
 	return results, errs, stats
 }
 
+// shareable reports whether frontiers may be built and cached under opts:
+// an opaque predicate (non-nil function, zero token) has no identity to
+// key sharing on. See core.PredicateToken.
+func shareable(opts core.Options) bool {
+	return opts.Predicate == nil || opts.PredicateToken != core.PredicateNone
+}
+
 // runGroup executes one group. It is entered holding one sem slot; the
 // slot is released before members fan out (each member acquires its own),
 // so a group never occupies more than its fair share of the pool.
-func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, grp *Group, timing *GroupTiming, opts core.Options, sem chan struct{}, results []*core.Result, errs []error) {
+func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, grp *Group, timing *GroupTiming, opts core.Options, sem chan struct{}, results []*core.Result, errs []error, passes *passCounters) {
 	groupStart := time.Now()
 	defer func() { timing.Elapsed = time.Since(groupStart) }()
 
 	if grp.Kind == KindSingleton {
-		// Nothing to share: run the query on the slot already held.
+		// Nothing group-shared: run the query on the slot already held
+		// (the provider can still serve either side).
 		u := grp.Members[0]
-		results[u], errs[u] = sch.runOne(ctx, plan.Unique[u], opts, nil, nil)
+		results[u], errs[u] = sch.runOne(ctx, g, plan.Unique[u], opts, nil, nil, passes)
 		<-sem
 		return
 	}
 
-	// Build the shared frontier on the held slot, then release it.
+	// Obtain the shared frontier — cache, then BFS — on the held slot,
+	// then release it.
 	var fwd, bwd *core.Frontier
-	var err error
-	bfsStart := time.Now()
-	if grp.Kind == KindSharedSource {
-		fwd, err = core.NewForwardFrontier(g, grp.Hub, grp.MaxK, opts.Predicate)
-	} else {
-		bwd, err = core.NewBackwardFrontier(g, grp.Hub, grp.MaxK, opts.Predicate)
-	}
-	timing.SharedBFS = time.Since(bfsStart)
-	<-sem
-	if err != nil {
-		for _, u := range grp.Members {
-			errs[u] = err
+	if shareable(opts) {
+		forward := grp.Kind == KindSharedSource
+		f := sch.lookup(grp.Hub, forward, grp.MaxK, passes)
+		if f != nil {
+			timing.CacheHit = true
+		} else {
+			var err error
+			bfsStart := time.Now()
+			if forward {
+				f, err = core.NewForwardFrontier(g, grp.Hub, grp.MaxK, opts.Predicate, opts.PredicateToken)
+			} else {
+				f, err = core.NewBackwardFrontier(g, grp.Hub, grp.MaxK, opts.Predicate, opts.PredicateToken)
+			}
+			timing.SharedBFS = time.Since(bfsStart)
+			if err != nil {
+				<-sem
+				for _, u := range grp.Members {
+					errs[u] = err
+				}
+				return
+			}
+			passes.run.Add(1)
+			if sch.Frontiers != nil {
+				sch.Frontiers.Store(f)
+			}
 		}
-		return
+		if forward {
+			fwd = f
+		} else {
+			bwd = f
+		}
 	}
+	<-sem
 
 	// Fan the members out across the pool; the frontier is immutable and
 	// read concurrently by every member.
@@ -130,15 +180,69 @@ func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, 
 		go func(u int) {
 			defer mwg.Done()
 			defer func() { <-sem }()
-			results[u], errs[u] = sch.runOne(ctx, plan.Unique[u], opts, fwd, bwd)
+			results[u], errs[u] = sch.runOne(ctx, g, plan.Unique[u], opts, fwd, bwd, passes)
 		}(u)
 	}
 	mwg.Wait()
 }
 
-// runOne executes a single query on a pooled session.
-func (sch *Scheduler) runOne(ctx context.Context, q core.Query, opts core.Options, fwd, bwd *core.Frontier) (*core.Result, error) {
+// lookup consults the FrontierProvider, maintaining the hit/miss
+// counters. Nil-provider lookups are free and uncounted.
+func (sch *Scheduler) lookup(origin graph.VertexID, forward bool, k int, passes *passCounters) *core.Frontier {
+	if sch.Frontiers == nil {
+		return nil
+	}
+	if f := sch.Frontiers.Lookup(origin, forward, k); f != nil {
+		passes.hits.Add(1)
+		return f
+	}
+	passes.misses.Add(1)
+	return nil
+}
+
+// runOne executes a single query on a pooled session. Sides not covered
+// by a group frontier are served from the provider when possible,
+// materialized as frontiers (and deposited) on a provider miss, and left
+// to the session's scratch BFS otherwise.
+func (sch *Scheduler) runOne(ctx context.Context, g *graph.Graph, q core.Query, opts core.Options, fwd, bwd *core.Frontier, passes *passCounters) (*core.Result, error) {
+	if sch.Frontiers != nil && shareable(opts) {
+		if fwd == nil {
+			fwd = sch.memberFrontier(g, q.S, true, q.K, opts, passes)
+		}
+		if bwd == nil {
+			bwd = sch.memberFrontier(g, q.T, false, q.K, opts, passes)
+		}
+	}
+	// Sides still nil run as scratch BFS passes inside the session.
+	if fwd == nil {
+		passes.run.Add(1)
+	}
+	if bwd == nil {
+		passes.run.Add(1)
+	}
 	sess := sch.Acquire()
 	defer sch.Release(sess)
 	return sess.RunShared(ctx, q, opts, fwd, bwd)
+}
+
+// memberFrontier resolves one per-member BFS side through the provider:
+// cache hit, or build + deposit. Construction errors (e.g. an endpoint
+// out of range) return nil so the session's own validation reports them.
+func (sch *Scheduler) memberFrontier(g *graph.Graph, origin graph.VertexID, forward bool, k int, opts core.Options, passes *passCounters) *core.Frontier {
+	if f := sch.lookup(origin, forward, k, passes); f != nil {
+		return f
+	}
+	var f *core.Frontier
+	var err error
+	if forward {
+		f, err = core.NewForwardFrontier(g, origin, k, opts.Predicate, opts.PredicateToken)
+	} else {
+		f, err = core.NewBackwardFrontier(g, origin, k, opts.Predicate, opts.PredicateToken)
+	}
+	if err != nil {
+		return nil
+	}
+	passes.run.Add(1)
+	sch.Frontiers.Store(f)
+	return f
 }

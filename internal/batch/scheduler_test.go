@@ -105,8 +105,14 @@ func TestExecutePredicateBatch(t *testing.T) {
 	}
 	plan := NewPlanner(g).Plan(queries)
 	sch := newTestScheduler(g, 2)
+	// No PredicateToken: the predicate is opaque, so the scheduler must
+	// degrade to unshared per-member execution rather than share a
+	// frontier whose predicate identity it cannot name.
 	opts := core.Options{Predicate: pred}
-	uniqRes, uniqErrs, _ := sch.Execute(context.Background(), g, plan, opts)
+	uniqRes, uniqErrs, stats := sch.Execute(context.Background(), g, plan, opts)
+	if stats.BFSPassesRun != 2*stats.Unique {
+		t.Fatalf("opaque predicate must run 2 passes per unique query, ran %d for %d", stats.BFSPassesRun, stats.Unique)
+	}
 	results, errs := plan.Scatter(uniqRes, uniqErrs)
 	for i, q := range queries {
 		if errs[i] != nil {
@@ -195,5 +201,13 @@ func TestExecuteStatsTimings(t *testing.T) {
 	}
 	if stats.BFSPassesSaved != 2 {
 		t.Fatalf("BFSPassesSaved = %d, want 2 (group of 3 saves 2)", stats.BFSPassesSaved)
+	}
+	// Without a FrontierProvider the actual passes match the plan's
+	// nominal accounting and no cache counters move.
+	if stats.BFSPassesRun != stats.BFSPasses {
+		t.Fatalf("BFSPassesRun = %d, want nominal %d", stats.BFSPassesRun, stats.BFSPasses)
+	}
+	if stats.FrontierCacheHits != 0 || stats.FrontierCacheMisses != 0 {
+		t.Fatalf("cache counters moved without a provider: %+v", stats)
 	}
 }

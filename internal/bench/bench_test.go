@@ -431,3 +431,32 @@ func TestBatchSmall(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheSmall: the cache experiment's warm call must run zero BFS
+// passes — the cross-batch reuse claim the experiment exists to show.
+func TestCacheSmall(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 16
+	res, err := Cache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no datasets produced a cache row")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Frontier cache") || !strings.Contains(out, "BFS warm") {
+		t.Fatalf("render:\n%s", out)
+	}
+	for _, row := range res.Rows {
+		if row.ColdBFS == 0 {
+			t.Fatalf("%s: cold call reported zero BFS passes", row.Dataset)
+		}
+		if row.WarmBFS != 0 {
+			t.Fatalf("%s: warm call ran %d BFS passes, want 0", row.Dataset, row.WarmBFS)
+		}
+		if row.WarmHits == 0 {
+			t.Fatalf("%s: warm call recorded no cache hits", row.Dataset)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package cache provides the engine's cross-batch frontier cache: a
+// size-bounded, concurrency-safe LRU of core.Frontier labelings keyed by
+// (endpoint, direction, predicate identity), validated by graph version.
+//
+// PathEnum's per-query index rebuild is what makes it real-time, but a
+// repeat hub — a popular account queried in every fraud batch, the
+// dynamic e-commerce scenario of §7.2 — pays the same BFS labeling on
+// every call. The batch subsystem (internal/batch) removes that
+// redundancy within one batch; this cache removes it *across* batches and
+// across single queries: a frontier built once is served to every later
+// query with the same endpoint, direction, compatible bound (bound >= k —
+// frontier labels are a sound relaxation, see core.Frontier) and the same
+// predicate identity (core.PredicateToken).
+//
+// Caching across calls is only safe because every frontier carries the
+// graph.Version it was built on: lookups validate the cached version
+// against the caller's graph and remove entries that no longer match
+// (counted as invalidations). Invalidation is lazy — a Dynamic.Insert
+// epoch bump costs nothing until a stale entry is actually touched; there
+// is no global sweep. Even a cache bug cannot corrupt results: the core
+// executor re-validates every frontier against the execution graph and
+// fails the query with graph.ErrStaleEpoch instead of using stale labels.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// DefaultCapacity is the entry bound used when New is given 0. Each entry
+// holds one O(|V|) labeling (4 bytes per vertex), so the worst-case
+// resident size is DefaultCapacity * 4 * |V| bytes; services on very
+// large graphs should size the cache explicitly.
+const DefaultCapacity = 64
+
+// Key identifies a cached frontier up to graph version: the BFS origin,
+// the direction, and the identity of the edge predicate it was built
+// under (core.PredicateNone for unfiltered frontiers). The graph version
+// is deliberately not part of the key — one entry per key exists at a
+// time, and lookups validate its version lazily, so an epoch bump
+// invalidates exactly the entries that are touched again.
+type Key struct {
+	Origin  graph.VertexID
+	Forward bool
+	Pred    core.PredicateToken
+}
+
+// keyOf derives the cache key a frontier self-describes.
+func keyOf(f *core.Frontier) Key {
+	return Key{Origin: f.Origin(), Forward: f.IsForward(), Pred: f.PredToken()}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits / Misses count Get outcomes. A Get that finds a stale or
+	// too-small entry is a miss.
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries dropped by the capacity bound.
+	Evictions uint64
+	// Invalidations counts entries removed because their graph version no
+	// longer matched the caller's (lazy epoch invalidation).
+	Invalidations uint64
+	// Entries and Capacity describe the current occupancy.
+	Entries  int
+	Capacity int
+	// Bytes is the resident size of all cached labelings.
+	Bytes int64
+}
+
+// entry is one LRU node.
+type entry struct {
+	key Key
+	f   *core.Frontier
+}
+
+// FrontierCache is the invalidation-aware LRU. The zero value is not
+// usable; create one with New. All methods are safe for concurrent use.
+type FrontierCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *entry
+	byKey    map[Key]*list.Element
+	bytes    int64
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// New creates a cache bounded to capacity entries (0 = DefaultCapacity).
+func New(capacity int) *FrontierCache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &FrontierCache{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Capacity returns the entry bound.
+func (c *FrontierCache) Capacity() int { return c.capacity }
+
+// Get returns a cached frontier for key that can serve hop bound k on a
+// graph at version ver, or nil. An entry whose version does not match ver
+// is removed on the spot (lazy invalidation); an entry with a bound < k
+// stays — a later Put with a larger bound will replace it — but reports a
+// miss, since the caller must build the larger labeling.
+func (c *FrontierCache) Get(key Key, k int, ver graph.Version) *core.Frontier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	ent := el.Value.(*entry)
+	if ev := ent.f.GraphVersion(); ev.ValidFor(ver) != nil {
+		// A reader pinned to an older epoch (an in-flight batch that
+		// captured its view before an UpdateGraph) must not delete an
+		// entry newer than itself — current-epoch readers still want it.
+		// Only entries at or below the caller's epoch (or of an
+		// unrelated lineage) are truly dead.
+		if ev.SameLineage(ver) && ev.Epoch() > ver.Epoch() {
+			c.misses++
+			return nil
+		}
+		c.removeLocked(el)
+		c.invalidations++
+		c.misses++
+		return nil
+	}
+	if ent.f.Bound() < k {
+		c.misses++
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return ent.f
+}
+
+// Put deposits f, keyed by its own (origin, direction, predicate
+// identity). Within one lineage the higher epoch always wins — a deposit
+// from an in-flight batch pinned to a pre-update view must not clobber a
+// fresh entry — and at equal versions the wider labeling is kept (it
+// serves a superset of queries). An unrelated lineage replaces the entry
+// outright (epochs are incomparable; the depositor is the more recent
+// user). Inserting beyond capacity evicts from the least-recently-used
+// end. Nil frontiers are ignored.
+func (c *FrontierCache) Put(f *core.Frontier) {
+	if f == nil {
+		return
+	}
+	key := keyOf(f)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*entry)
+		have, dep := ent.f.GraphVersion(), f.GraphVersion()
+		if have == dep && ent.f.Bound() >= f.Bound() {
+			c.lru.MoveToFront(el)
+			return
+		}
+		if have.SameLineage(dep) && have.Epoch() > dep.Epoch() {
+			return // stale deposit; keep the newer entry untouched
+		}
+		c.bytes += f.MemoryBytes() - ent.f.MemoryBytes()
+		ent.f = f
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, f: f})
+	c.bytes += f.MemoryBytes()
+	for c.lru.Len() > c.capacity {
+		c.removeLocked(c.lru.Back())
+		c.evictions++
+	}
+}
+
+// removeLocked unlinks an element; the caller holds c.mu and attributes
+// the removal to the right counter.
+func (c *FrontierCache) removeLocked(el *list.Element) {
+	ent := c.lru.Remove(el).(*entry)
+	delete(c.byKey, ent.key)
+	c.bytes -= ent.f.MemoryBytes()
+}
+
+// Len returns the current entry count.
+func (c *FrontierCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats snapshots the counters.
+func (c *FrontierCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.lru.Len(),
+		Capacity:      c.capacity,
+		Bytes:         c.bytes,
+	}
+}

@@ -1,0 +1,200 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"pathenum/internal/core"
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+func fwdFrontier(t *testing.T, g *graph.Graph, origin graph.VertexID, bound int) *core.Frontier {
+	t.Helper()
+	f, err := core.NewForwardFrontier(g, origin, bound, nil, core.PredicateNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGetPutHitMiss(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 2, 1)
+	c := New(4)
+	key := Key{Origin: 3, Forward: true}
+
+	if c.Get(key, 4, g.Version()) != nil {
+		t.Fatal("empty cache must miss")
+	}
+	f := fwdFrontier(t, g, 3, 4)
+	c.Put(f)
+	if got := c.Get(key, 4, g.Version()); got != f {
+		t.Fatal("expected the deposited frontier")
+	}
+	// bound >= k reuse: a smaller k is served, a larger k misses.
+	if got := c.Get(key, 2, g.Version()); got != f {
+		t.Fatal("k below the bound must hit")
+	}
+	if c.Get(key, 5, g.Version()) != nil {
+		t.Fatal("k above the bound must miss")
+	}
+	// A wider labeling replaces the narrow one under the same key.
+	wide := fwdFrontier(t, g, 3, 6)
+	c.Put(wide)
+	if got := c.Get(key, 5, g.Version()); got != wide {
+		t.Fatal("expected the widened frontier")
+	}
+	// A narrower same-version deposit must not clobber the wide one.
+	c.Put(f)
+	if got := c.Get(key, 5, g.Version()); got != wide {
+		t.Fatal("narrow re-deposit clobbered the wide frontier")
+	}
+	// Direction and predicate token are part of the key.
+	if c.Get(Key{Origin: 3, Forward: false}, 2, g.Version()) != nil {
+		t.Fatal("backward lookup must not see a forward frontier")
+	}
+	if c.Get(Key{Origin: 3, Forward: true, Pred: 9}, 2, g.Version()) != nil {
+		t.Fatal("predicate lookup must not see an unfiltered frontier")
+	}
+
+	st := c.Stats()
+	if st.Hits != 4 || st.Entries != 1 || st.Bytes != wide.MemoryBytes() {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLazyEpochInvalidation(t *testing.T) {
+	d := graph.NewDynamic(gen.BarabasiAlbert(40, 2, 2))
+	snap0 := d.Snapshot()
+	c := New(4)
+	c.Put(fwdFrontier(t, snap0, 1, 4))
+	c.Put(fwdFrontier(t, snap0, 2, 4))
+
+	if ok, err := d.Insert(1, 30); err != nil || !ok {
+		// Edge may exist in the generated graph; find another.
+		if ok2, err2 := d.Insert(1, 31); err2 != nil || !ok2 {
+			t.Fatalf("could not insert a fresh edge: %v %v / %v %v", ok, err, ok2, err2)
+		}
+	}
+	snap1 := d.Snapshot()
+
+	// The bump costs nothing until touched: both entries still resident.
+	if got := c.Len(); got != 2 {
+		t.Fatalf("entries after epoch bump = %d, want 2 (lazy invalidation)", got)
+	}
+	// Touching one entry with the new version invalidates exactly it.
+	if c.Get(Key{Origin: 1, Forward: true}, 4, snap1.Version()) != nil {
+		t.Fatal("stale entry served")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Entries != 1 {
+		t.Fatalf("stats after stale touch = %+v", st)
+	}
+	// The old version still hits the untouched entry (same-epoch readers
+	// may drain while a writer advances).
+	if c.Get(Key{Origin: 2, Forward: true}, 4, snap0.Version()) == nil {
+		t.Fatal("same-version entry must still hit for old-version readers")
+	}
+	// Depositing the rebuilt frontier replaces the stale epoch.
+	c.Put(fwdFrontier(t, snap1, 2, 4))
+	if c.Get(Key{Origin: 2, Forward: true}, 4, snap1.Version()) == nil {
+		t.Fatal("refreshed entry must hit")
+	}
+}
+
+// TestPinnedOldReadersDoNotClobberNewEntries: an in-flight batch pinned
+// to a pre-update graph view must neither delete nor overwrite entries
+// already refreshed for the current epoch.
+func TestPinnedOldReadersDoNotClobberNewEntries(t *testing.T) {
+	d := graph.NewDynamic(gen.BarabasiAlbert(40, 2, 6))
+	snap0 := d.Snapshot()
+	stale := fwdFrontier(t, snap0, 5, 4)
+	if ok, err := d.Insert(5, 35); err != nil || !ok {
+		if ok2, err2 := d.Insert(5, 36); err2 != nil || !ok2 {
+			t.Fatalf("could not insert a fresh edge: %v %v / %v %v", ok, err, ok2, err2)
+		}
+	}
+	snap1 := d.Snapshot()
+	fresh := fwdFrontier(t, snap1, 5, 4)
+
+	c := New(4)
+	c.Put(fresh)
+	key := Key{Origin: 5, Forward: true}
+
+	// A pinned epoch-0 reader misses the epoch-1 entry without removing it.
+	if c.Get(key, 4, snap0.Version()) != nil {
+		t.Fatal("old-epoch reader must not be served a newer frontier")
+	}
+	if st := c.Stats(); st.Invalidations != 0 || st.Entries != 1 {
+		t.Fatalf("old-epoch reader removed the fresh entry: %+v", st)
+	}
+	// Its late deposit must not clobber the fresh entry either.
+	c.Put(stale)
+	if got := c.Get(key, 4, snap1.Version()); got != fresh {
+		t.Fatal("stale deposit replaced the fresh entry")
+	}
+	// The reverse order still upgrades: a fresh deposit replaces a stale
+	// entry.
+	c2 := New(4)
+	c2.Put(stale)
+	c2.Put(fresh)
+	if got := c2.Get(key, 4, snap1.Version()); got != fresh {
+		t.Fatal("fresh deposit did not replace the stale entry")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 2, 3)
+	c := New(2)
+	c.Put(fwdFrontier(t, g, 0, 3))
+	c.Put(fwdFrontier(t, g, 1, 3))
+	// Touch origin 0 so origin 1 is the LRU victim.
+	if c.Get(Key{Origin: 0, Forward: true}, 3, g.Version()) == nil {
+		t.Fatal("expected hit")
+	}
+	c.Put(fwdFrontier(t, g, 2, 3))
+	if c.Get(Key{Origin: 1, Forward: true}, 3, g.Version()) != nil {
+		t.Fatal("LRU entry must have been evicted")
+	}
+	if c.Get(Key{Origin: 0, Forward: true}, 3, g.Version()) == nil {
+		t.Fatal("recently used entry must survive eviction")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != 2*4*int64(g.NumVertices()) {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+}
+
+// TestConcurrentAccess hammers Get/Put/Stats from many goroutines; run
+// under -race it pins the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 2, 4)
+	c := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				origin := graph.VertexID((w*7 + i) % 16)
+				key := Key{Origin: origin, Forward: true}
+				if c.Get(key, 3, g.Version()) == nil {
+					f, err := core.NewForwardFrontier(g, origin, 3, nil, core.PredicateNone)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					c.Put(f)
+				}
+				_ = c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+// staleCheckOracle is a DistanceOracle pinned to one graph version via
+// core.GraphValidator, mimicking the landmark oracle's enforcement without
+// importing it.
+type staleCheckOracle struct {
+	ver graph.Version
+}
+
+func (o *staleCheckOracle) LowerBound(u, v graph.VertexID) int32 { return 0 }
+func (o *staleCheckOracle) ValidFor(g *graph.Graph) error        { return o.ver.ValidFor(g.Version()) }
+
+// mustInsert bumps d's epoch by inserting some edge not yet present.
+func mustInsert(t *testing.T, d *graph.Dynamic) {
+	t.Helper()
+	n := graph.VertexID(d.NumVertices())
+	for from := graph.VertexID(0); from < n; from++ {
+		for to := graph.VertexID(0); to < n; to++ {
+			if ok, err := d.Insert(from, to); err != nil {
+				t.Fatal(err)
+			} else if ok {
+				return
+			}
+		}
+	}
+	t.Fatal("graph is complete; nothing to insert")
+}
+
+// TestStaleFrontierRejected: a frontier built on an earlier snapshot of a
+// Dynamic lineage must be rejected with graph.ErrStaleEpoch once the graph
+// advances — the inserted edge could create paths the stale labeling
+// prunes.
+func TestStaleFrontierRejected(t *testing.T) {
+	d := graph.NewDynamic(gen.BarabasiAlbert(30, 2, 4))
+	snap0 := d.Snapshot()
+	q := Query{S: 0, T: 9, K: 4}
+
+	fwd, err := NewForwardFrontier(snap0, q.S, q.K, nil, PredicateNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-epoch snapshots are interchangeable: a second materialization
+	// of the identical state must accept the frontier.
+	if _, err := NewSession(d.Snapshot(), nil).RunShared(context.Background(), q, Options{}, fwd, nil); err != nil {
+		t.Fatalf("same-epoch snapshot rejected the frontier: %v", err)
+	}
+
+	mustInsert(t, d)
+	snap1 := d.Snapshot()
+	_, err = NewSession(snap1, nil).RunShared(context.Background(), q, Options{}, fwd, nil)
+	if !errors.Is(err, graph.ErrStaleEpoch) {
+		t.Fatalf("stale frontier: got %v, want graph.ErrStaleEpoch", err)
+	}
+	// Rebuilt on the current snapshot it works again.
+	fwd1, err := NewForwardFrontier(snap1, q.S, q.K, nil, PredicateNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(snap1, nil).RunShared(context.Background(), q, Options{}, fwd1, nil); err != nil {
+		t.Fatalf("fresh frontier rejected: %v", err)
+	}
+}
+
+// TestStaleOracleRejected: the executor must refuse to consult a
+// version-aware oracle built on an earlier epoch — enforcing what used to
+// be only a doc comment ("rebuild after edge insertions") — for both the
+// session pipeline and BuildIndexOracle.
+func TestStaleOracleRejected(t *testing.T) {
+	d := graph.NewDynamic(gen.BarabasiAlbert(30, 2, 5))
+	snap0 := d.Snapshot()
+	oracle := &staleCheckOracle{ver: snap0.Version()}
+	q := Query{S: 0, T: 9, K: 4}
+
+	if _, err := Run(snap0, q, Options{Oracle: oracle}); err != nil {
+		t.Fatalf("current oracle rejected: %v", err)
+	}
+	if _, err := BuildIndexOracle(snap0, q, oracle); err != nil {
+		t.Fatalf("current oracle rejected by BuildIndexOracle: %v", err)
+	}
+
+	mustInsert(t, d)
+	snap1 := d.Snapshot()
+	if _, err := Run(snap1, q, Options{Oracle: oracle}); !errors.Is(err, graph.ErrStaleEpoch) {
+		t.Fatalf("stale oracle via Run: got %v, want graph.ErrStaleEpoch", err)
+	}
+	if _, err := NewSession(snap1, oracle).RunContext(context.Background(), q, Options{}); !errors.Is(err, graph.ErrStaleEpoch) {
+		t.Fatalf("stale session oracle: got %v, want graph.ErrStaleEpoch", err)
+	}
+	if _, err := BuildIndexOracle(snap1, q, oracle); !errors.Is(err, graph.ErrStaleEpoch) {
+		t.Fatalf("stale oracle via BuildIndexOracle: got %v, want graph.ErrStaleEpoch", err)
+	}
+}

@@ -62,12 +62,12 @@ func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd
 		return nil, err
 	}
 	if fwd != nil {
-		if err := fwd.compatible(e.g, q, true, opts.Predicate); err != nil {
+		if err := fwd.compatible(e.g, q, true, opts.Predicate, opts.PredicateToken); err != nil {
 			return nil, err
 		}
 	}
 	if bwd != nil {
-		if err := bwd.compatible(e.g, q, false, opts.Predicate); err != nil {
+		if err := bwd.compatible(e.g, q, false, opts.Predicate, opts.PredicateToken); err != nil {
 			return nil, err
 		}
 	}
@@ -79,6 +79,12 @@ func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd
 	oracle := opts.Oracle
 	if oracle == nil {
 		oracle = e.oracle
+	}
+	// A version-aware oracle built before a Dynamic.Insert must be
+	// rejected, not consulted: its lower bounds no longer hold and would
+	// silently over-prune the index (graph.ErrStaleEpoch under errors.Is).
+	if err := validateOracle(oracle, e.g); err != nil {
+		return nil, err
 	}
 
 	// Phase 1: index construction, with the BFS timed separately for the

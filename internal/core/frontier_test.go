@@ -83,11 +83,11 @@ func TestRunSharedMatchesRun(t *testing.T) {
 		q := Query{S: s, T: tt, K: k}
 		bound := k + rng.Intn(3) // frontiers may be built to a larger bound
 
-		fwd, err := NewForwardFrontier(g, s, bound, nil)
+		fwd, err := NewForwardFrontier(g, s, bound, nil, PredicateNone)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bwd, err := NewBackwardFrontier(g, tt, bound, nil)
+		bwd, err := NewBackwardFrontier(g, tt, bound, nil, PredicateNone)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func TestRunSharedPredicate(t *testing.T) {
 		// stateless, safe for concurrent calls.
 		pred := func(from, to graph.VertexID) bool { return (int(from)+int(to))%5 != 0 }
 
-		fwd, err := NewForwardFrontier(g, s, q.K, pred)
+		fwd, err := NewForwardFrontier(g, s, q.K, pred, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,6 +139,7 @@ func TestRunSharedPredicate(t *testing.T) {
 		})
 		got := collectPaths(t, func(o Options) (*Result, error) {
 			o.Predicate = pred
+			o.PredicateToken = 7
 			return sess.RunShared(ctx, q, o, fwd, nil)
 		})
 		if !equalStrings(want, got) {
@@ -156,11 +157,11 @@ func TestFrontierValidation(t *testing.T) {
 	sess := NewSession(g, nil)
 	q := Query{S: 0, T: 5, K: 4}
 
-	fwd, err := NewForwardFrontier(g, 0, 4, nil)
+	fwd, err := NewForwardFrontier(g, 0, 4, nil, PredicateNone)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bwd, err := NewBackwardFrontier(g, 5, 4, nil)
+	bwd, err := NewBackwardFrontier(g, 5, 4, nil, PredicateNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,43 +182,53 @@ func TestFrontierValidation(t *testing.T) {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
-	// Predicate mismatches (best-effort check): frontier built with a
-	// predicate but query without, the reverse, and two different
-	// predicate functions.
+	// Predicate identity is declared by token (see PredicateToken):
+	// frontier built with a predicate but query without, the reverse,
+	// distinct tokens, and an opaque (token-less) predicate are all
+	// rejected; only the matching token is accepted.
 	predA := func(from, to graph.VertexID) bool { return from < to }
 	predB := func(from, to graph.VertexID) bool { return from > to }
-	fwdPred, err := NewForwardFrontier(g, 0, 4, predA)
+	fwdPred, err := NewForwardFrontier(g, 0, 4, predA, 1)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if _, err := NewForwardFrontier(g, 0, 4, predA, PredicateNone); err == nil {
+		t.Error("opaque predicate (no token) frontier construction: expected error")
+	}
+	if _, err := NewForwardFrontier(g, 0, 4, nil, 3); err == nil {
+		t.Error("token without predicate: expected error")
 	}
 	if _, err := sess.RunShared(ctx, q, Options{}, fwdPred, nil); err == nil {
 		t.Error("frontier predicate vs nil query predicate: expected error")
 	}
-	if _, err := sess.RunShared(ctx, q, Options{Predicate: predA}, fwd, nil); err == nil {
+	if _, err := sess.RunShared(ctx, q, Options{Predicate: predA, PredicateToken: 1}, fwd, nil); err == nil {
 		t.Error("nil frontier predicate vs query predicate: expected error")
 	}
-	if _, err := sess.RunShared(ctx, q, Options{Predicate: predB}, fwdPred, nil); err == nil {
-		t.Error("different predicate functions: expected error")
+	if _, err := sess.RunShared(ctx, q, Options{Predicate: predB, PredicateToken: 2}, fwdPred, nil); err == nil {
+		t.Error("different predicate tokens: expected error")
 	}
-	if _, err := sess.RunShared(ctx, q, Options{Predicate: predA}, fwdPred, nil); err != nil {
-		t.Fatalf("matching predicate rejected: %v", err)
+	if _, err := sess.RunShared(ctx, q, Options{Predicate: predA}, fwdPred, nil); err == nil {
+		t.Error("opaque query predicate (no token): expected error")
+	}
+	if _, err := sess.RunShared(ctx, q, Options{Predicate: predA, PredicateToken: 1}, fwdPred, nil); err != nil {
+		t.Fatalf("matching predicate token rejected: %v", err)
 	}
 	// Sanity: the matching pair is accepted.
 	if _, err := sess.RunShared(ctx, q, Options{}, fwd, bwd); err != nil {
 		t.Fatalf("valid frontiers rejected: %v", err)
 	}
 
-	if _, err := NewForwardFrontier(g, -1, 4, nil); err == nil {
+	if _, err := NewForwardFrontier(g, -1, 4, nil, PredicateNone); err == nil {
 		t.Error("negative origin: expected error")
 	}
-	if _, err := NewBackwardFrontier(g, 0, 0, nil); err == nil {
+	if _, err := NewBackwardFrontier(g, 0, 0, nil, PredicateNone); err == nil {
 		t.Error("zero bound: expected error")
 	}
 }
 
 func mustFwd(t *testing.T, g *graph.Graph, s graph.VertexID, bound int) *Frontier {
 	t.Helper()
-	f, err := NewForwardFrontier(g, s, bound, nil)
+	f, err := NewForwardFrontier(g, s, bound, nil, PredicateNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +237,7 @@ func mustFwd(t *testing.T, g *graph.Graph, s graph.VertexID, bound int) *Frontie
 
 func mustBwd(t *testing.T, g *graph.Graph, v graph.VertexID, bound int) *Frontier {
 	t.Helper()
-	f, err := NewBackwardFrontier(g, v, bound, nil)
+	f, err := NewBackwardFrontier(g, v, bound, nil, PredicateNone)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,9 +23,15 @@ type Options struct {
 	// Predicate restricts the query to edges satisfying it (Appendix E);
 	// nil admits all edges.
 	Predicate EdgePredicate
+	// PredicateToken declares Predicate's identity for frontier sharing
+	// and the engine's frontier cache (see core.PredicateToken). Leave it
+	// zero for a nil Predicate. A non-nil Predicate with a zero token is
+	// opaque: executed correctly, but excluded from sharing and caching.
+	PredicateToken PredicateToken
 	// Oracle, when non-nil, prunes index construction with global
 	// distance lower bounds (§7.5 future work; see internal/landmark).
-	// It must have been built on the same graph.
+	// It must have been built on the same graph version; version-aware
+	// oracles are checked per run and rejected with graph.ErrStaleEpoch.
 	Oracle DistanceOracle
 }
 

@@ -50,14 +50,14 @@ func (s *Session) RunContext(ctx context.Context, q Query, opts Options) (*Resul
 // RunShared is RunContext with precomputed distance labelings substituted
 // for either BFS pass: a non-nil fwd must be a forward Frontier from q.S,
 // a non-nil bwd a backward Frontier from q.T, both built on the session's
-// graph with bound >= q.K and the same edge predicate as opts.Predicate
-// (mismatched frontiers return an error; the predicate comparison is
-// best-effort — see Frontier.compatible). A nil side is computed per query
-// as usual. This is the shared-computation entry point of the batch
-// subsystem (internal/batch): each member of a shared-source or
-// shared-target group pays one per-query BFS pass instead of two. Results
-// are identical to RunContext's — frontier labels relax the per-query
-// ones soundly (see Frontier).
+// graph version with bound >= q.K and the predicate identified by
+// opts.PredicateToken. Mismatched frontiers return an error — a frontier
+// from an older epoch of the graph's lineage reports graph.ErrStaleEpoch
+// under errors.Is. A nil side is computed per query as usual. This is the
+// shared-computation entry point of the batch subsystem (internal/batch)
+// and of the engine's frontier cache: each shared side replaces one
+// per-query BFS pass. Results are identical to RunContext's — frontier
+// labels relax the per-query ones soundly (see Frontier).
 func (s *Session) RunShared(ctx context.Context, q Query, opts Options, fwd, bwd *Frontier) (*Result, error) {
 	return s.ex.executeShared(ctx, q, opts, fwd, bwd)
 }

@@ -8,11 +8,25 @@ import "fmt"
 // construction. Because the PathEnum index is rebuilt per query, queries on
 // a Dynamic graph see all insertions immediately — no global index
 // maintenance is required (§7.2 "Performance on Dynamic Graphs").
+//
+// Every successful Insert bumps the graph's epoch, and Snapshot stamps the
+// materialized graph with the Dynamic's (lineage, epoch) identity. Derived
+// structures built on one snapshot — distance frontiers, the landmark
+// oracle — are therefore rejected with graph.ErrStaleEpoch on any snapshot
+// taken after further insertions, instead of silently pruning with stale
+// labels. A Dynamic starts its own lineage: artifacts built on the base
+// graph itself are not valid for its snapshots (and vice versa), which
+// keeps two Dynamics wrapping one base from colliding on epoch numbers.
+//
+// A Dynamic is not safe for concurrent use; the intended topology is one
+// writer that inserts, snapshots, and hands the immutable snapshots to
+// concurrent readers (e.g. Engine.UpdateGraph).
 type Dynamic struct {
 	base     *Graph
 	extraOut map[VertexID][]VertexID
 	extraIn  map[VertexID][]VertexID
 	added    int64
+	ver      Version
 }
 
 // NewDynamic wraps a base graph for incremental insertion.
@@ -21,8 +35,16 @@ func NewDynamic(base *Graph) *Dynamic {
 		base:     base,
 		extraOut: make(map[VertexID][]VertexID),
 		extraIn:  make(map[VertexID][]VertexID),
+		ver:      newLineage(),
 	}
 }
+
+// Epoch returns the number of successful insertions since construction.
+func (d *Dynamic) Epoch() uint64 { return d.ver.epoch }
+
+// Version returns the dynamic graph's current (lineage, epoch) identity;
+// snapshots carry the version of the moment they were taken.
+func (d *Dynamic) Version() Version { return d.ver }
 
 // Insert adds the directed edge (from, to). Duplicate edges and self-loops
 // are ignored, matching NewGraph semantics. It reports whether the edge was
@@ -38,6 +60,7 @@ func (d *Dynamic) Insert(from, to VertexID) (bool, error) {
 	d.extraOut[from] = append(d.extraOut[from], to)
 	d.extraIn[to] = append(d.extraIn[to], from)
 	d.added++
+	d.ver.epoch++
 	return true, nil
 }
 
@@ -85,10 +108,12 @@ func (d *Dynamic) InNeighbors(v VertexID) []VertexID {
 	return append(out, extra...)
 }
 
-// Snapshot materializes the current state as an immutable Graph. PathEnum
-// queries on dynamic workloads run against snapshots; snapshotting is
-// O(E log E) and typically amortized across many queries per insertion
-// batch.
+// Snapshot materializes the current state as an immutable Graph stamped
+// with the Dynamic's current (lineage, epoch) identity, so two snapshots
+// of the same epoch are interchangeable for cached frontiers and oracles
+// while any later-epoch snapshot invalidates them. PathEnum queries on
+// dynamic workloads run against snapshots; snapshotting is O(E log E) and
+// typically amortized across many queries per insertion batch.
 func (d *Dynamic) Snapshot() *Graph {
 	extra := make([]Edge, 0, d.added)
 	for from, tos := range d.extraOut {
@@ -101,5 +126,6 @@ func (d *Dynamic) Snapshot() *Graph {
 		// Cannot happen: Insert validated all endpoints.
 		panic(err)
 	}
+	g.ver = d.ver
 	return g
 }

@@ -33,6 +33,10 @@ type Edge struct {
 type Graph struct {
 	numVertices int32
 	numEdges    int64
+	// ver identifies this graph for derived structures (frontiers,
+	// oracles): a fresh lineage at epoch 0 for NewGraph results, the
+	// owning Dynamic's (lineage, epoch) for snapshots.
+	ver Version
 
 	outOffsets []int64 // len numVertices+1
 	outTargets []VertexID
@@ -59,7 +63,7 @@ func NewGraph(n int, edges []Edge) (*Graph, error) {
 			return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", ErrVertexRange, e.From, e.To, n)
 		}
 	}
-	g := &Graph{numVertices: int32(n)}
+	g := &Graph{numVertices: int32(n), ver: newLineage()}
 	g.build(edges)
 	return g, nil
 }
@@ -126,6 +130,16 @@ func (g *Graph) build(edges []Edge) {
 
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return int(g.numVertices) }
+
+// Epoch returns the mutation epoch of the graph's lineage: 0 for a freshly
+// built graph, the owning Dynamic's insertion count for a snapshot.
+func (g *Graph) Epoch() uint64 { return g.ver.epoch }
+
+// Version returns the graph's (lineage, epoch) identity. Derived
+// structures (core.Frontier, the landmark oracle) capture it at build time
+// and validate it before every use, so a labeling from an older epoch can
+// never silently serve a mutated graph.
+func (g *Graph) Version() Version { return g.ver }
 
 // NumEdges returns the number of distinct directed edges.
 func (g *Graph) NumEdges() int64 { return g.numEdges }

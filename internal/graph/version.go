@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrStaleEpoch reports that a derived structure (a distance frontier, a
+// landmark oracle) was built on an earlier version of a mutating graph and
+// can no longer be trusted: edge insertions shrink true distances, so stale
+// labelings would silently over-prune. Callers match it with errors.Is and
+// choose between rebuilding and failing the request.
+var ErrStaleEpoch = errors.New("graph: stale epoch")
+
+// ErrGraphMismatch reports that a derived structure was built on an
+// unrelated graph (a different lineage), not merely an older version of the
+// same one.
+var ErrGraphMismatch = errors.New("graph: built on a different graph")
+
+// lineageCounter hands out process-unique lineage ids; see Version.
+var lineageCounter atomic.Uint64
+
+// Version identifies one immutable state of a graph: which logical graph it
+// is (the lineage, unique per NewGraph or NewDynamic call) and how many
+// mutations that lineage has absorbed (the epoch, bumped by every
+// successful Dynamic.Insert). Two graphs with equal versions are
+// structurally identical — a Dynamic and its snapshots share a lineage, so
+// a labeling built on the snapshot of epoch e serves any epoch-e view of
+// that lineage and is rejected, with a typed error, everywhere else.
+//
+// Version is a small comparable value; derived structures store the version
+// of the graph they were built on and validate it with ValidFor before
+// every use.
+type Version struct {
+	lineage uint64
+	epoch   uint64
+}
+
+// Epoch returns the mutation count of the version's lineage.
+func (v Version) Epoch() uint64 { return v.epoch }
+
+// SameLineage reports whether both versions identify states of one
+// logical graph, so their epochs are comparable.
+func (v Version) SameLineage(o Version) bool { return v.lineage == o.lineage }
+
+// String implements fmt.Stringer.
+func (v Version) String() string { return fmt.Sprintf("v%d@%d", v.lineage, v.epoch) }
+
+// ValidFor reports whether a structure built at version v may be used
+// against a graph currently at version cur: nil when the versions match, a
+// ErrGraphMismatch-wrapped error for an unrelated lineage, and a
+// ErrStaleEpoch-wrapped error for the same lineage at a different epoch.
+func (v Version) ValidFor(cur Version) error {
+	if v == cur {
+		return nil
+	}
+	if v.lineage != cur.lineage {
+		return ErrGraphMismatch
+	}
+	return fmt.Errorf("%w: built at epoch %d, graph is at epoch %d", ErrStaleEpoch, v.epoch, cur.epoch)
+}
+
+// Versioned is the version surface shared by Graph and Dynamic: a monotonic
+// epoch within a lineage, and the full Version used by derived structures
+// for validation.
+type Versioned interface {
+	// Epoch returns the mutation count: 0 for a freshly built graph,
+	// incremented by every successful Dynamic.Insert.
+	Epoch() uint64
+	// Version returns the full (lineage, epoch) identity.
+	Version() Version
+}
+
+var (
+	_ Versioned = (*Graph)(nil)
+	_ Versioned = (*Dynamic)(nil)
+)
+
+// newLineage mints the version of a freshly constructed graph.
+func newLineage() Version {
+	return Version{lineage: lineageCounter.Add(1)}
+}

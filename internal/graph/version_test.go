@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestVersionFreshGraph(t *testing.T) {
+	a := testGraph(t)
+	b := testGraph(t)
+	if a.Epoch() != 0 || b.Epoch() != 0 {
+		t.Fatalf("fresh graphs must start at epoch 0, got %d and %d", a.Epoch(), b.Epoch())
+	}
+	if a.Version() == b.Version() {
+		t.Fatal("independent graphs must not share a lineage")
+	}
+	if err := a.Version().ValidFor(a.Version()); err != nil {
+		t.Fatalf("a version must be valid for itself: %v", err)
+	}
+	if err := a.Version().ValidFor(b.Version()); !errors.Is(err, ErrGraphMismatch) {
+		t.Fatalf("cross-lineage use must report ErrGraphMismatch, got %v", err)
+	}
+}
+
+func TestDynamicEpochBumpsOnInsertOnly(t *testing.T) {
+	d := NewDynamic(testGraph(t))
+	if d.Epoch() != 0 {
+		t.Fatalf("fresh dynamic epoch = %d, want 0", d.Epoch())
+	}
+	if ok, err := d.Insert(0, 3); err != nil || !ok {
+		t.Fatalf("Insert(0,3) = %v, %v", ok, err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after insert = %d, want 1", d.Epoch())
+	}
+	// No-op insertions — duplicate edge, existing base edge, self-loop —
+	// must not bump the epoch: nothing changed, caches stay valid.
+	for _, e := range []Edge{{0, 3}, {0, 1}, {2, 2}} {
+		if ok, err := d.Insert(e.From, e.To); err != nil || ok {
+			t.Fatalf("Insert(%v) = %v, %v, want no-op", e, ok, err)
+		}
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after no-op inserts = %d, want 1", d.Epoch())
+	}
+	if _, err := d.Insert(0, 99); err == nil {
+		t.Fatal("out-of-range insert must error")
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after failed insert = %d, want 1", d.Epoch())
+	}
+}
+
+func TestSnapshotCarriesVersion(t *testing.T) {
+	d := NewDynamic(testGraph(t))
+	s0 := d.Snapshot()
+	s0b := d.Snapshot()
+	if s0.Version() != d.Version() || s0.Version() != s0b.Version() {
+		t.Fatal("same-epoch snapshots must share the dynamic's version")
+	}
+	if err := s0.Version().ValidFor(s0b.Version()); err != nil {
+		t.Fatalf("same-epoch snapshots must validate: %v", err)
+	}
+
+	if ok, err := d.Insert(4, 0); err != nil || !ok {
+		t.Fatalf("Insert = %v, %v", ok, err)
+	}
+	s1 := d.Snapshot()
+	if s1.Epoch() != 1 {
+		t.Fatalf("snapshot epoch = %d, want 1", s1.Epoch())
+	}
+	err := s0.Version().ValidFor(s1.Version())
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale snapshot use must report ErrStaleEpoch, got %v", err)
+	}
+	// The future direction is just as invalid: an epoch-1 artifact must
+	// not serve an epoch-0 view.
+	if err := s1.Version().ValidFor(s0.Version()); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("future-epoch use must report ErrStaleEpoch, got %v", err)
+	}
+}
+
+func TestDynamicLineageIsolation(t *testing.T) {
+	base := testGraph(t)
+	d1 := NewDynamic(base)
+	d2 := NewDynamic(base)
+	if _, err := d1.Insert(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Insert(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Both dynamics are at epoch 1, but their versions must not collide:
+	// a labeling for d1's view is wrong for d2's.
+	if d1.Version() == d2.Version() {
+		t.Fatal("two dynamics over one base must not share versions")
+	}
+	if err := d1.Snapshot().Version().ValidFor(d2.Snapshot().Version()); !errors.Is(err, ErrGraphMismatch) {
+		t.Fatalf("cross-dynamic use must report ErrGraphMismatch, got %v", err)
+	}
+	// The base graph keeps its own lineage, distinct from both wrappers.
+	if err := base.Version().ValidFor(d1.Snapshot().Version()); !errors.Is(err, ErrGraphMismatch) {
+		t.Fatalf("base-vs-snapshot use must report ErrGraphMismatch, got %v", err)
+	}
+}

@@ -21,9 +21,12 @@
 // X — not expanding it cannot corrupt any other label. The same bound
 // answers infeasible queries (LB(s,t) > k) with no BFS at all.
 //
-// The oracle is tied to the exact graph it was built on: edge insertions
-// shrink true distances, so stale lower bounds would over-prune. Rebuild it
-// after updates or fall back to the plain index.
+// The oracle is tied to the exact graph version it was built on: edge
+// insertions shrink true distances, so stale lower bounds would
+// over-prune. That restriction is enforced, not advisory — Build captures
+// the graph's (lineage, epoch) version and ValidFor rejects any other
+// version with graph.ErrStaleEpoch, which the core executor checks before
+// every oracle use. Rebuild after updates or fall back to the plain index.
 package landmark
 
 import (
@@ -39,6 +42,7 @@ const Infinite int32 = -1
 // Oracle is the offline landmark distance index.
 type Oracle struct {
 	numVertices int
+	ver         graph.Version
 	landmarks   []graph.VertexID
 	// toL[l][v] = d(v, landmark_l), fromL[l][v] = d(landmark_l, v);
 	// Infinite when unreachable.
@@ -76,7 +80,7 @@ func Build(g *graph.Graph, numLandmarks int) (*Oracle, error) {
 		return ids[i] < ids[j]
 	})
 
-	o := &Oracle{numVertices: n}
+	o := &Oracle{numVertices: n, ver: g.Version()}
 	o.landmarks = append(o.landmarks, ids[:numLandmarks]...)
 	o.toL = make([][]int32, numLandmarks)
 	o.fromL = make([][]int32, numLandmarks)
@@ -114,6 +118,18 @@ func fullBFS(g *graph.Graph, root graph.VertexID, reverse bool, queue []graph.Ve
 		}
 	}
 	return dist
+}
+
+// GraphVersion returns the (lineage, epoch) version of the graph the
+// oracle was built on.
+func (o *Oracle) GraphVersion() graph.Version { return o.ver }
+
+// ValidFor implements core.GraphValidator: the oracle may only serve the
+// exact graph version it was built on. An older or newer epoch of the
+// same lineage reports graph.ErrStaleEpoch (match with errors.Is); an
+// unrelated graph reports graph.ErrGraphMismatch.
+func (o *Oracle) ValidFor(g *graph.Graph) error {
+	return o.ver.ValidFor(g.Version())
 }
 
 // NumLandmarks returns the landmark count.

@@ -1,6 +1,7 @@
 package landmark
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -179,5 +180,35 @@ func TestMemoryBytes(t *testing.T) {
 	}
 	if o.MemoryBytes() != 4*100*8 {
 		t.Fatalf("MemoryBytes = %d", o.MemoryBytes())
+	}
+}
+
+// TestValidForEnforcesEpoch: the oracle pins the graph version it was
+// built on — the regression the doc comment ("rebuild after edge
+// insertions") used to leave unenforced.
+func TestValidForEnforcesEpoch(t *testing.T) {
+	d := graph.NewDynamic(gen.Cycle(12))
+	snap0 := d.Snapshot()
+	o, err := Build(snap0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ValidFor(snap0); err != nil {
+		t.Fatalf("oracle invalid for its own graph: %v", err)
+	}
+	if err := o.ValidFor(d.Snapshot()); err != nil {
+		t.Fatalf("oracle invalid for a same-epoch snapshot: %v", err)
+	}
+	if o.GraphVersion() != snap0.Version() {
+		t.Fatal("GraphVersion must echo the build graph's version")
+	}
+	if ok, ierr := d.Insert(0, 6); ierr != nil || !ok {
+		t.Fatalf("Insert = %v, %v", ok, ierr)
+	}
+	if err := o.ValidFor(d.Snapshot()); !errors.Is(err, graph.ErrStaleEpoch) {
+		t.Fatalf("stale oracle: got %v, want graph.ErrStaleEpoch", err)
+	}
+	if err := o.ValidFor(gen.Cycle(12)); !errors.Is(err, graph.ErrGraphMismatch) {
+		t.Fatalf("unrelated graph: got %v, want graph.ErrGraphMismatch", err)
 	}
 }

@@ -48,8 +48,25 @@ type (
 	Edge = graph.Edge
 	// VertexID identifies a vertex.
 	VertexID = graph.VertexID
-	// Dynamic is an insertion-only dynamic graph wrapper.
+	// Dynamic is an insertion-only dynamic graph wrapper; every
+	// successful Insert bumps its epoch and snapshots carry the version.
 	Dynamic = graph.Dynamic
+	// GraphVersion is a graph's (lineage, epoch) identity; derived
+	// structures (frontiers, oracles) are validated against it.
+	GraphVersion = graph.Version
+	// Versioned is the epoch/version surface shared by Graph and Dynamic.
+	Versioned = graph.Versioned
+)
+
+// Version-enforcement errors, matched with errors.Is.
+var (
+	// ErrStaleEpoch reports a frontier or oracle built on an earlier
+	// epoch of a mutating graph: rebuild it (or refresh the engine with
+	// UpdateGraph) instead of trusting stale distance labels.
+	ErrStaleEpoch = graph.ErrStaleEpoch
+	// ErrGraphMismatch reports a frontier or oracle built on an
+	// unrelated graph.
+	ErrGraphMismatch = graph.ErrGraphMismatch
 )
 
 // Re-exported query types.
@@ -76,6 +93,9 @@ type (
 	Constraints = core.Constraints
 	// EdgePredicate filters edges.
 	EdgePredicate = core.EdgePredicate
+	// PredicateToken is the caller-declared identity of an EdgePredicate,
+	// required for frontier sharing and caching (see core.PredicateToken).
+	PredicateToken = core.PredicateToken
 	// Accumulator is an accumulative-value constraint.
 	Accumulator = core.Accumulator
 	// SequenceConstraint is a label-sequence (automaton) constraint.
@@ -100,6 +120,9 @@ const (
 
 // DefaultTau is the preliminary-estimate threshold of the optimizer.
 const DefaultTau = core.DefaultTau
+
+// PredicateNone is the PredicateToken of the nil predicate.
+const PredicateNone = core.PredicateNone
 
 // NewGraph builds a graph with n vertices from an edge list. Self-loops
 // are dropped and duplicate edges collapsed.
