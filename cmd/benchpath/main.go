@@ -10,12 +10,14 @@
 //	benchpath -scale 0.2 -queries 30 -timelimit 500ms table3
 //
 // Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
-// fig10 fig12 fig13 fig16 fig17 fig18 ext batch cache (fig10 covers
-// figure 11; fig13 covers figures 14 and 15; ext is this repository's
-// extension ablation; batch compares the shared-computation batch
-// subsystem against the naive per-query fan-out on shared-endpoint
+// fig10 fig12 fig13 fig16 fig17 fig18 ext batch cache stream (fig10
+// covers figure 11; fig13 covers figures 14 and 15; ext is this
+// repository's extension ablation; batch compares the shared-computation
+// batch subsystem against the naive per-query fan-out on shared-endpoint
 // workloads; cache repeats a shared-hub batch to show the second call
-// served from the cross-batch frontier cache with zero BFS passes).
+// served from the cross-batch frontier cache with zero BFS passes;
+// stream measures time-to-first-path of the pull-based path stream
+// against full enumeration — the real-time delivery metric).
 package main
 
 import (
@@ -54,6 +56,7 @@ var experiments = []struct {
 	{"ext", func(c bench.Config) (renderable, error) { return bench.Extensions(c) }},
 	{"batch", func(c bench.Config) (renderable, error) { return bench.Batch(c) }},
 	{"cache", func(c bench.Config) (renderable, error) { return bench.Cache(c) }},
+	{"stream", func(c bench.Config) (renderable, error) { return bench.Stream(c) }},
 }
 
 func main() {

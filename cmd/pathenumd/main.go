@@ -9,20 +9,30 @@
 //	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/query \
 //	     -d '{"s":3,"t":17,"k":6,"limit":10,"paths":true}'
+//	curl -sN -X POST localhost:8080/paths \
+//	     -d '{"s":3,"t":17,"k":6}'                 # NDJSON, one path per line
 //	curl -s -X POST localhost:8080/batch \
 //	     -d '{"queries":[{"s":3,"t":17,"k":6},{"s":4,"t":9,"k":5}],"limit":100}'
+//	curl -sN -X POST localhost:8080/batch \
+//	     -d '{"stream":true,"queries":[{"s":3,"t":17,"k":6},{"s":4,"t":9,"k":5}]}'
 //
 // Every request runs through the engine's session pool (buffer reuse plus
 // the optional distance oracle) and observes the request context, so a
-// client disconnect cancels the enumeration mid-flight. POST /batch runs
-// the shared-computation batch subsystem — duplicate queries answered
-// once, BFS frontiers shared across queries with a common endpoint — and
-// reports what it saved in the response stats; add "naive":true to force
-// the independent per-query fan-out instead. Frontiers survive the batch
-// in the engine's cross-batch cache (size it with -frontier-cache), so a
-// repeat hub is served with zero BFS passes — watch bfsPassesRun and
-// cacheHits in the /batch stats, and hit GET /stats for the cache
-// counters and the graph epoch.
+// client disconnect cancels the enumeration mid-flight — including
+// mid-NDJSON-stream. POST /paths is the streaming face of /query
+// (Engine.Stream underneath): paths arrive line by line with per-line
+// flush while enumeration is still running, closed by a {"done":true,...}
+// summary. POST /batch runs the shared-computation batch subsystem —
+// duplicate queries answered once, BFS frontiers shared across queries
+// with a common endpoint — and reports what it saved in the response
+// stats; add "stream":true for NDJSON with per-query flush as groups
+// complete (Engine.StreamBatch), or "naive":true to force the independent
+// per-query fan-out instead. Frontiers survive the batch in the engine's
+// cross-batch cache (size it with -frontier-cache) and single queries
+// both consult and — for hub-grade endpoints — deposit, so a repeat hub
+// is served with zero BFS passes — watch bfsPassesRun and cacheHits in
+// the /batch stats, and hit GET /stats for the cache counters and the
+// graph epoch.
 package main
 
 import (

@@ -71,15 +71,34 @@ func (s *server) raw(dense pathenum.VertexID) int64 {
 	return s.orig[dense]
 }
 
+// rawPath maps a result path back to the input file's vertex ids.
+func (s *server) rawPath(p pathenum.Path) []int64 {
+	out := make([]int64, len(p))
+	for i, v := range p {
+		out[i] = s.raw(v)
+	}
+	return out
+}
+
 // handler builds the route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /paths", s.handlePaths)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
+
+// ndjsonContentType marks the streaming responses: one JSON object per
+// line, flushed as produced.
+const ndjsonContentType = "application/x-ndjson"
+
+// streamBuffer is how far enumeration may run ahead of the HTTP write on
+// the streaming endpoints (Request.Buffer): enough to hide per-line
+// encode/flush latency without buffering a result set.
+const streamBuffer = 32
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.WriteHeader(http.StatusOK)
@@ -195,11 +214,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Limit = pathCap
 		opts.Emit = func(p []pathenum.VertexID) bool {
-			out := make([]int64, len(p))
-			for i, v := range p {
-				out[i] = s.raw(v)
-			}
-			paths = append(paths, out)
+			paths = append(paths, s.rawPath(p))
 			return true
 		}
 	}
@@ -223,6 +238,94 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// pathLine is one NDJSON line of POST /paths: a single result path in the
+// input file's vertex ids.
+type pathLine struct {
+	Path []int64 `json:"path"`
+}
+
+// doneLine is the trailing NDJSON line of POST /paths: the run summary a
+// buffered /query response would have carried.
+type doneLine struct {
+	Done      bool    `json:"done"`
+	Count     uint64  `json:"count"`
+	Completed bool    `json:"completed"`
+	Plan      string  `json:"plan,omitempty"`
+	Cut       int     `json:"cut,omitempty"`
+	Millis    float64 `json:"ms"`
+}
+
+// handlePaths streams result paths as NDJSON with per-path flush: the
+// first line reaches the client while enumeration is still running, and a
+// client disconnect cancels the enumeration through the request context —
+// the streaming face of /query. The body is the /query wire format (the
+// "paths" flag is implied); the final line is a {"done":true,...} summary.
+// Unlike /query, results are not capped at the server's maxPaths: delivery
+// is incremental, so the client bounds the response with "limit" or by
+// closing the connection.
+func (s *server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	q, opts, err := s.parseQuery(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	sreq := pathenum.NewRequest(q)
+	sreq.Method = opts.Method
+	sreq.Limit = opts.Limit
+	sreq.Timeout = opts.Timeout
+	sreq.Buffer = streamBuffer
+	var sum *pathenum.Result
+	sreq.OnResult = func(res *pathenum.Result) { sum = res }
+
+	start := time.Now()
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	for p, serr := range s.engine.Stream(r.Context(), sreq) {
+		if serr != nil {
+			// Terminal errors surface before any path: pre-stream they are
+			// a clean 400; mid-stream (not reachable today) they become a
+			// trailing error line on the already-committed response.
+			if !wrote {
+				httpError(w, http.StatusBadRequest, "query failed: %v", serr)
+			} else {
+				_ = enc.Encode(map[string]string{"error": serr.Error()})
+			}
+			return
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", ndjsonContentType)
+			wrote = true
+		}
+		if err := enc.Encode(pathLine{Path: s.rawPath(p)}); err != nil {
+			return // client went away; the context cancels the enumeration
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", ndjsonContentType)
+	}
+	line := doneLine{Done: true, Millis: float64(time.Since(start)) / float64(time.Millisecond)}
+	if sum != nil {
+		line.Count = sum.Counters.Results
+		line.Completed = sum.Completed
+		line.Plan = sum.Plan.Method.String()
+		line.Cut = sum.Plan.Cut
+	}
+	_ = enc.Encode(line)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
 // batchRequest is the JSON body of POST /batch: a list of queries answered
 // against the shared engine, plus batch-wide option overrides. Responses
 // carry counts only (no path materialization). Naive opts out of the
@@ -234,6 +337,13 @@ type batchRequest struct {
 	Limit   uint64         `json:"limit,omitempty"`
 	Timeout string         `json:"timeout,omitempty"`
 	Naive   bool           `json:"naive,omitempty"`
+	// Stream switches the response to NDJSON with per-query flush: one
+	// {"index":i,...} line the moment each query's group completes
+	// (completion order, not input order), closed by a {"done":true,...}
+	// line carrying the batch stats. Client disconnect cancels the
+	// remaining work fail-fast. Mutually exclusive with Naive — streaming
+	// delivery is a property of the shared-computation scheduler.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // batchStats is the wire form of the batch subsystem's per-batch report.
@@ -290,6 +400,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Stream && req.Naive {
+		httpError(w, http.StatusBadRequest, "stream and naive are mutually exclusive")
+		return
+	}
 
 	out := make([]batchResult, len(req.Queries))
 	queries := make([]pathenum.Query, 0, len(req.Queries))
@@ -308,6 +422,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries = append(queries, q)
 		slots = append(slots, i)
+	}
+
+	if req.Stream {
+		s.streamBatch(w, r, opts, out, queries, slots)
+		return
 	}
 
 	// The shared-computation batch subsystem is the default path: it
@@ -341,30 +460,106 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"ms":      float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if stats != nil {
-		// The planner only saw the queries that survived wire-level
-		// resolution; report request-level totals so the stats reconcile
-		// with the client's batch (rejected slots count as invalid).
-		rejected := len(req.Queries) - len(queries)
-		resp["stats"] = batchStats{
-			Queries:        len(req.Queries),
-			Invalid:        stats.Invalid + rejected,
-			Unique:         stats.Unique,
-			Deduped:        stats.Deduped,
-			Groups:         stats.Groups,
-			SharedSource:   stats.SharedSourceGroups,
-			SharedTarget:   stats.SharedTargetGroups,
-			Singletons:     stats.Singletons,
-			BFSPasses:      stats.BFSPasses,
-			BFSPassesNaive: stats.BFSPassesNaive,
-			BFSPassesSaved: stats.BFSPassesSaved,
-			BFSPassesRun:   stats.BFSPassesRun,
-			CacheHits:      stats.FrontierCacheHits,
-			CacheMisses:    stats.FrontierCacheMisses,
-			SharedBFSMs:    float64(stats.SharedBFS) / float64(time.Millisecond),
-			Epoch:          s.engine.Epoch(),
-		}
+		resp["stats"] = s.toBatchStats(stats, len(req.Queries), len(req.Queries)-len(queries))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// toBatchStats converts the subsystem stats to the wire form. The planner
+// only saw the queries that survived wire-level resolution; totalQueries
+// and rejected reconcile the report with the client's batch (rejected
+// slots count as invalid).
+func (s *server) toBatchStats(stats *pathenum.BatchStats, totalQueries, rejected int) batchStats {
+	return batchStats{
+		Queries:        totalQueries,
+		Invalid:        stats.Invalid + rejected,
+		Unique:         stats.Unique,
+		Deduped:        stats.Deduped,
+		Groups:         stats.Groups,
+		SharedSource:   stats.SharedSourceGroups,
+		SharedTarget:   stats.SharedTargetGroups,
+		Singletons:     stats.Singletons,
+		BFSPasses:      stats.BFSPasses,
+		BFSPassesNaive: stats.BFSPassesNaive,
+		BFSPassesSaved: stats.BFSPassesSaved,
+		BFSPassesRun:   stats.BFSPassesRun,
+		CacheHits:      stats.FrontierCacheHits,
+		CacheMisses:    stats.FrontierCacheMisses,
+		SharedBFSMs:    float64(stats.SharedBFS) / float64(time.Millisecond),
+		Epoch:          s.engine.Epoch(),
+	}
+}
+
+// batchLine is one NDJSON line of a streaming /batch response: the result
+// (or error) of the query at the request's Index position, flushed as its
+// group completes.
+type batchLine struct {
+	Index     int    `json:"index"`
+	Count     uint64 `json:"count"`
+	Completed bool   `json:"completed"`
+	Plan      string `json:"plan,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// batchDoneLine closes a streaming /batch response.
+type batchDoneLine struct {
+	Done   bool        `json:"done"`
+	Millis float64     `json:"ms"`
+	Stats  *batchStats `json:"stats,omitempty"`
+}
+
+// streamBatch serves the NDJSON form of /batch: wire-rejected slots
+// first, then one line per query in completion order via
+// Engine.StreamBatch, then the done line with the batch stats. Write
+// failures (client disconnect) abandon the stream, which cancels the
+// remaining work through the request context with the scheduler's
+// fail-fast semantics.
+func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, opts pathenum.Options, out []batchResult, queries []pathenum.Query, slots []int) {
+	w.Header().Set("Content-Type", ndjsonContentType)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	rejected := 0
+	for i := range out {
+		if out[i].Error == "" {
+			continue
+		}
+		rejected++
+		if err := enc.Encode(batchLine{Index: i, Error: out[i].Error}); err != nil {
+			return
+		}
+		flush()
+	}
+
+	start := time.Now()
+	for item := range s.engine.StreamBatch(r.Context(), queries, opts) {
+		if item.Index == -1 {
+			done := batchDoneLine{Done: true, Millis: float64(time.Since(start)) / float64(time.Millisecond)}
+			if item.Stats != nil {
+				st := s.toBatchStats(item.Stats, len(out), rejected)
+				done.Stats = &st
+			}
+			_ = enc.Encode(done)
+			flush()
+			return
+		}
+		line := batchLine{Index: slots[item.Index]}
+		if item.Err != nil {
+			line.Error = item.Err.Error()
+		} else {
+			line.Count = item.Result.Counters.Results
+			line.Completed = item.Result.Completed
+			line.Plan = item.Result.Plan.Method.String()
+		}
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

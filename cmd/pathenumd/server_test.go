@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -456,5 +458,272 @@ func TestBatchRepeatServedFromCache(t *testing.T) {
 		if warm.Results[i].Count != cold.Results[i].Count {
 			t.Fatalf("slot %d: warm count %d != cold %d", i, warm.Results[i].Count, cold.Results[i].Count)
 		}
+	}
+}
+
+// --- streaming endpoints ---
+
+// ndjsonLines posts body to path and returns the decoded NDJSON lines.
+func ndjsonLines(t *testing.T, ts *httptest.Server, path, body string) []map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ndjsonContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, ndjsonContentType)
+	}
+	var lines []map[string]any
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestPathsStreamNDJSON: /paths streams one {"path":...} line per result
+// plus a trailing {"done":true,...} summary, in the input file's raw ids.
+func TestPathsStreamNDJSON(t *testing.T) {
+	ts := testServer(t, []int64{10, 11, 12, 13})
+	lines := ndjsonLines(t, ts, "/paths", `{"s":10,"t":13,"k":3}`)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 paths + done: %v", len(lines), lines)
+	}
+	paths := map[string]bool{}
+	for _, line := range lines[:2] {
+		raw, ok := line["path"].([]any)
+		if !ok {
+			t.Fatalf("path line = %v", line)
+		}
+		key := ""
+		for _, v := range raw {
+			key += "," + strings.TrimSuffix(strings.TrimPrefix(jsonNum(t, v), " "), " ")
+		}
+		paths[key] = true
+	}
+	if !paths[",10,11,13"] || !paths[",10,12,13"] {
+		t.Fatalf("paths = %v", paths)
+	}
+	done := lines[2]
+	if done["done"] != true || done["count"].(float64) != 2 || done["completed"] != true {
+		t.Fatalf("done line = %v", done)
+	}
+	if done["plan"] == "" || done["ms"].(float64) < 0 {
+		t.Fatalf("done line missing plan/ms: %v", done)
+	}
+}
+
+func jsonNum(t *testing.T, v any) string {
+	t.Helper()
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("not a number: %v", v)
+	}
+	return strconv.FormatInt(int64(f), 10)
+}
+
+// TestPathsStreamLimit: the wire limit bounds the stream (completed=false).
+func TestPathsStreamLimit(t *testing.T) {
+	ts := testServer(t, nil)
+	lines := ndjsonLines(t, ts, "/paths", `{"s":0,"t":3,"k":3,"limit":1}`)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 1 path + done", len(lines))
+	}
+	if lines[1]["done"] != true || lines[1]["completed"] != false {
+		t.Fatalf("done line = %v", lines[1])
+	}
+}
+
+// TestPathsStreamErrors: pre-stream failures are clean JSON 400s, not
+// committed NDJSON responses.
+func TestPathsStreamErrors(t *testing.T) {
+	ts := testServer(t, nil)
+	for _, body := range []string{
+		`{"s":0,"t":3,"k":3`,   // malformed JSON
+		`{"s":99,"t":3,"k":3}`, // unknown vertex
+		`{"s":0,"t":0,"k":3}`,  // invalid query
+	} {
+		resp, err := http.Post(ts.URL+"/paths", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", body, resp.StatusCode)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: non-JSON error body: %v", body, err)
+		}
+		resp.Body.Close()
+		if e["error"] == "" {
+			t.Fatalf("%s: empty error", body)
+		}
+	}
+}
+
+// TestPathsClientDisconnectCancels is the streaming edge case from the
+// cancellation model: a client that walks away mid-NDJSON stream must
+// cancel the enumeration through the request context — the handler
+// returns long before the ~10M-path result set could have been streamed,
+// and the server keeps serving.
+func TestPathsClientDisconnectCancels(t *testing.T) {
+	// s -> 10 wide, 7 deep -> t: 10^7 paths.
+	width, depth := 10, 7
+	n := 2 + width*depth
+	var edges []pathenum.Edge
+	layer := func(l, i int) pathenum.VertexID { return pathenum.VertexID(1 + l*width + i) }
+	for i := 0; i < width; i++ {
+		edges = append(edges, pathenum.Edge{From: 0, To: layer(0, i)})
+		edges = append(edges, pathenum.Edge{From: layer(depth-1, i), To: pathenum.VertexID(n - 1)})
+	}
+	for l := 0; l+1 < depth; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				edges = append(edges, pathenum.Edge{From: layer(l, i), To: layer(l+1, j)})
+			}
+		}
+	}
+	g, err := pathenum.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := newServer(engine, nil).handler()
+	handlerDone := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(w, r)
+		if r.URL.Path == "/paths" {
+			close(handlerDone)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	body := strings.NewReader(`{"s":0,"t":` + strconv.Itoa(n-1) + `,"k":` + strconv.Itoa(depth+1) + `}`)
+	resp, err := http.Post(ts.URL+"/paths", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one line — proof the stream started — then walk away.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	select {
+	case <-handlerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("handler still streaming 30s after client disconnect: enumeration was not cancelled")
+	}
+	// The server is healthy and the engine still serves.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d after cancelled stream", hr.StatusCode)
+	}
+}
+
+// TestBatchMalformedBody: a malformed /batch body is a 400 with a JSON
+// error — never a buffered 200.
+func TestBatchMalformedBody(t *testing.T) {
+	ts := testServer(t, nil)
+	for _, body := range []string{
+		`{"queries":[{"s":0`,
+		`not json at all`,
+		`{"stream":true,"queries":`,
+	} {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%q: status = %d, want 400", body, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%q: Content-Type = %q, want application/json", body, ct)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%q: non-JSON error body: %v", body, err)
+		}
+		resp.Body.Close()
+		if e["error"] == "" {
+			t.Fatalf("%q: empty error message", body)
+		}
+	}
+}
+
+// TestBatchStreamNDJSON: "stream":true turns /batch into NDJSON with one
+// line per query (completion order, indexed back to request positions)
+// and a final done line carrying the stats.
+func TestBatchStreamNDJSON(t *testing.T) {
+	ts := testServer(t, nil)
+	body := `{"stream":true,"queries":[
+		{"s":0,"t":3,"k":3},
+		{"s":99,"t":3,"k":3},
+		{"s":0,"t":3,"k":3},
+		{"s":3,"t":1,"k":2}]}`
+	lines := ndjsonLines(t, ts, "/batch", body)
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 4 queries + done: %v", len(lines), lines)
+	}
+	last := lines[len(lines)-1]
+	if last["done"] != true {
+		t.Fatalf("last line is not done: %v", last)
+	}
+	stats, ok := last["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("done line missing stats: %v", last)
+	}
+	if stats["queries"].(float64) != 4 || stats["invalid"].(float64) != 1 || stats["deduped"].(float64) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	byIndex := map[int]map[string]any{}
+	for _, line := range lines[:len(lines)-1] {
+		i := int(line["index"].(float64))
+		if byIndex[i] != nil {
+			t.Fatalf("index %d delivered twice", i)
+		}
+		byIndex[i] = line
+	}
+	for i, wantCount := range map[int]float64{0: 2, 2: 2, 3: 1} {
+		line := byIndex[i]
+		if line == nil {
+			t.Fatalf("index %d missing", i)
+		}
+		if line["count"].(float64) != wantCount || line["completed"] != true {
+			t.Fatalf("index %d: %v, want count %v", i, line, wantCount)
+		}
+	}
+	if e, _ := byIndex[1]["error"].(string); e == "" {
+		t.Fatalf("index 1 (unknown vertex) must carry an error: %v", byIndex[1])
+	}
+}
+
+// TestBatchStreamNaiveConflict: stream+naive is a contract error.
+func TestBatchStreamNaiveConflict(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"stream":true,"naive":true,"queries":[{"s":0,"t":3,"k":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
 	}
 }

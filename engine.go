@@ -53,7 +53,37 @@ type EngineConfig struct {
 	// cache serves repeat endpoints — a hot fraud hub queried in every
 	// batch — with zero BFS passes; see internal/cache.
 	FrontierCache int
+	// CacheAdmitDegree gates single-query frontier deposits: a single
+	// query that misses the cache builds and deposits a shareable
+	// frontier only when the endpoint's degree (out-degree of S for the
+	// forward side, in-degree of T for the backward side) is at least
+	// this threshold, so only hub-grade endpoints — the ones likely to
+	// repeat — pay the deposit's O(|V|) allocation. 0 uses
+	// DefaultCacheAdmitDegree; negative disables single-query deposits
+	// (batch deposits are unconditional either way).
+	CacheAdmitDegree int
+	// SnapshotEvery amortizes the engine write path: Engine.Insert
+	// publishes a fresh immutable snapshot (an O(E log E) rebuild) only
+	// after this many applied insertions, with Flush forcing the
+	// remainder out. 0 or 1 publishes on every insert — queries observe
+	// each write immediately; larger values trade read freshness (reads
+	// lag by at most SnapshotEvery-1 edges until the next publish) for
+	// write throughput.
+	SnapshotEvery int
+	// OracleLandmarks, when positive, makes the write path rebuild the
+	// distance oracle on every published snapshot with this many
+	// landmarks, keeping oracle pruning continuously available on a
+	// mutating graph. When 0, a version-aware oracle is simply dropped
+	// at the first publish that invalidates it (queries keep working,
+	// unpruned, until SetOracle re-installs one).
+	OracleLandmarks int
 }
+
+// DefaultCacheAdmitDegree is the single-query deposit admission threshold
+// used when EngineConfig.CacheAdmitDegree is 0: endpoints with degree
+// below it are served without depositing, keeping cold-traffic queries on
+// the allocation-free scratch path.
+const DefaultCacheAdmitDegree = 16
 
 // Engine executes HcPE queries concurrently against one immutable graph
 // version at a time. PathEnum's state is per query (the index is built per
@@ -64,10 +94,15 @@ type EngineConfig struct {
 //
 // The engine owns two cross-query structures keyed by graph version: the
 // optional distance oracle and the frontier cache (an LRU of shared BFS
-// labelings consulted by single queries and deposited into by
-// ExecuteBatch). Dynamic workloads advance the engine with UpdateGraph:
-// epoch bumps invalidate cached frontiers lazily on lookup — no sweep —
-// and a stale oracle is dropped rather than consulted.
+// labelings consulted and — behind a degree-based admission check —
+// deposited by single queries, and deposited unconditionally by
+// ExecuteBatch). Dynamic workloads advance the engine either through the
+// engine-owned write path (Insert/Flush: the engine owns the Dynamic,
+// amortizes snapshotting per SnapshotEvery and refreshes the oracle per
+// OracleLandmarks) or with caller-built snapshots via UpdateGraph; both
+// bump the graph epoch, so cached frontiers invalidate lazily on lookup —
+// no sweep — and a stale oracle is rebuilt or dropped rather than
+// consulted.
 //
 // The zero Engine is not usable; create one with NewEngine.
 type Engine struct {
@@ -86,6 +121,13 @@ type Engine struct {
 	oracle   DistanceOracle
 	defaults Options
 	sessions *sync.Pool
+
+	// wmu serializes the engine-owned write path (Insert/Flush) and
+	// guards the Dynamic plus the count of insertions not yet published
+	// as a snapshot. Lock order: wmu before mu, never the reverse.
+	wmu     sync.Mutex
+	dyn     *Dynamic
+	pending int
 }
 
 // NewEngine creates an engine over g.
@@ -132,10 +174,10 @@ func validateOracleFor(oracle DistanceOracle, g *Graph) error {
 }
 
 // view captures a consistent (graph, oracle, session pool) triple.
-func (e *Engine) view() (*Graph, *sync.Pool) {
+func (e *Engine) view() (*Graph, DistanceOracle, *sync.Pool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.g, e.sessions
+	return e.g, e.oracle, e.sessions
 }
 
 // Graph returns the engine's current graph.
@@ -167,6 +209,26 @@ func (e *Engine) UpdateGraph(g *Graph) error {
 	if g == nil {
 		return fmt.Errorf("pathenum: UpdateGraph needs a graph")
 	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	// An externally supplied graph supersedes the engine-owned write
+	// path: the Dynamic (and any unpublished insertions) no longer
+	// describe the serving graph, so the next Insert re-wraps the new
+	// one.
+	e.dyn = nil
+	e.pending = 0
+	e.installGraph(g, nil, false)
+	return nil
+}
+
+// installGraph swaps the serving view to g in one critical section. With
+// replaceOracle, the engine-level oracle becomes oracle (pre-built for g
+// by the write path); otherwise a version-aware engine oracle no longer
+// valid for g is dropped. The per-query default oracle always follows the
+// drop-stale rule — it is caller-owned and cannot be rebuilt here.
+// In-flight queries finish on the view they captured; cached frontiers
+// invalidate lazily, by version, on their next lookup.
+func (e *Engine) installGraph(g *Graph, oracle DistanceOracle, replaceOracle bool) {
 	dropStale := func(o DistanceOracle) DistanceOracle {
 		if v, ok := o.(core.GraphValidator); ok && v.ValidFor(g) != nil {
 			return nil
@@ -176,10 +238,97 @@ func (e *Engine) UpdateGraph(g *Graph) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.g = g
-	e.oracle = dropStale(e.oracle)
+	if replaceOracle {
+		e.oracle = oracle
+	} else {
+		e.oracle = dropStale(e.oracle)
+	}
 	e.defaults.Oracle = dropStale(e.defaults.Oracle)
 	e.sessions = newSessionPool(g, e.oracle)
+}
+
+// Insert adds the directed edge (from, to) through the engine-owned write
+// path, making streaming-while-updating a first-class scenario: the
+// engine lazily wraps its current graph in a Dynamic on the first call,
+// every applied insertion bumps the graph epoch, and a fresh immutable
+// snapshot is published per EngineConfig.SnapshotEvery (every insert by
+// default; see Flush). Publishing swaps the serving view exactly like
+// UpdateGraph — in-flight queries and streams finish on the snapshot they
+// captured, cached frontiers from earlier epochs invalidate lazily (a
+// stale frontier handed to execution is rejected with ErrStaleEpoch, never
+// silently used), and the oracle is rebuilt when
+// EngineConfig.OracleLandmarks is set, dropped otherwise.
+//
+// Duplicate edges and self-loops are ignored and reported false, matching
+// Dynamic.Insert. Insert is safe for concurrent use with queries, streams
+// and other Inserts; writes are serialized internally.
+func (e *Engine) Insert(from, to VertexID) (bool, error) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.dyn == nil {
+		e.dyn = NewDynamic(e.Graph())
+	}
+	added, err := e.dyn.Insert(from, to)
+	if err != nil || !added {
+		return added, err
+	}
+	e.pending++
+	every := e.cfg.SnapshotEvery
+	if every < 1 {
+		every = 1
+	}
+	if e.pending >= every {
+		return true, e.publishLocked()
+	}
+	return true, nil
+}
+
+// Flush publishes any insertions still buffered by SnapshotEvery
+// amortization as a fresh serving snapshot. A no-op when nothing is
+// pending.
+func (e *Engine) Flush() error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.dyn == nil || e.pending == 0 {
+		return nil
+	}
+	return e.publishLocked()
+}
+
+// PendingWrites reports insertions applied to the engine's Dynamic but
+// not yet visible to queries (always 0 unless SnapshotEvery > 1).
+func (e *Engine) PendingWrites() int {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.pending
+}
+
+// publishLocked materializes the Dynamic's current state, optionally
+// rebuilds the oracle for it, and swaps the serving view. Caller holds
+// e.wmu. The oracle rebuild (two BFS passes per landmark) happens before
+// the swap, and graph and oracle install in one critical section, so
+// queries never observe the new graph without its oracle.
+func (e *Engine) publishLocked() error {
+	snap := e.dyn.Snapshot()
+	var oracle DistanceOracle
+	if e.cfg.OracleLandmarks > 0 {
+		var err error
+		oracle, err = landmark.Build(snap, e.cfg.OracleLandmarks)
+		if err != nil {
+			return fmt.Errorf("pathenum: oracle rebuild on publish: %w", err)
+		}
+	}
+	e.pending = 0
+	e.installGraph(snap, oracle, oracle != nil)
 	return nil
+}
+
+// Oracle returns the engine's currently installed distance oracle (nil
+// when none is installed or the last graph update dropped a stale one).
+func (e *Engine) Oracle() DistanceOracle {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.oracle
 }
 
 // SetOracle installs (or, with nil, removes) the engine's distance
@@ -212,26 +361,40 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 // ExecuteWith runs one query on a pooled session, merging per-call option
 // overrides with the engine defaults (see MergeOptions) and observing ctx:
 // cancellation or a context deadline stops enumeration early with
-// Result.Completed == false. Single queries are served from the frontier
-// cache when it already holds a matching labeling (a hub warmed by an
-// earlier batch costs one BFS pass instead of two) but do not deposit on a
-// miss — the per-query scratch buffers stay allocation-free. This is the
-// entry point services should use — e.g. an HTTP handler passing the
-// request context gets session buffer reuse, the engine oracle and
-// client-disconnect cancellation in one call.
+// Result.Completed == false. Like Engine.Stream — the two are callback and
+// pull consumers of the same request spine — single queries are served
+// from the frontier cache when it holds a matching labeling (a hub warmed
+// by an earlier batch or query costs one BFS pass instead of two), and on
+// a miss they deposit the labeling they build when the endpoint passes the
+// degree-based admission check (EngineConfig.CacheAdmitDegree), so hot
+// hubs warm the cache without waiting for a batch. This is the entry point
+// services should use — e.g. an HTTP handler passing the request context
+// gets session buffer reuse, the engine oracle and client-disconnect
+// cancellation in one call.
 func (e *Engine) ExecuteWith(ctx context.Context, q Query, opts Options) (*Result, error) {
-	g, pool := e.view()
+	g, oracle, pool := e.view()
 	merged := e.MergeOptions(opts)
-	fwd, bwd := e.cachedFrontiers(g, q, merged)
+	fwd, bwd := e.frontiers(ctx, g, oracle, q, merged)
 	sess := pool.Get().(*core.Session)
 	defer pool.Put(sess)
 	return sess.RunShared(ctx, q, merged, fwd, bwd)
 }
 
-// cachedFrontiers consults (but never fills) the frontier cache for both
-// sides of a single query. Opaque predicates (non-nil with a zero token)
-// and invalid queries skip the cache.
-func (e *Engine) cachedFrontiers(g *Graph, q Query, opts Options) (fwd, bwd *core.Frontier) {
+// frontiers resolves the frontier-cache sides of a single query: consult
+// for both sides, and on a miss whose endpoint passes the degree-based
+// admission check, build the shareable labeling and deposit it for later
+// queries and batches. The build replaces that side's scratch BFS, so on
+// an oracle-less engine admission costs one O(|V|) allocation, not an
+// extra pass; with an oracle installed the deposit build costs more than
+// the oracle-pruned scratch pass it replaces — shareable labelings cannot
+// bake in per-query pruning — an investment the admission check bets will
+// amortize across repeat queries on that hub. Opaque predicates
+// (non-nil with a zero token) and invalid queries skip the cache, and no
+// deposit is built for runs that will not enumerate: a context already
+// done, a stale oracle (the run fails with ErrStaleEpoch) or an oracle
+// lower bound proving the query infeasible (the run's zero-BFS fast
+// path). engineOracle is the engine-level oracle captured with g.
+func (e *Engine) frontiers(ctx context.Context, g *Graph, engineOracle DistanceOracle, q Query, opts Options) (fwd, bwd *core.Frontier) {
 	if e.cache == nil || (opts.Predicate != nil && opts.PredicateToken == core.PredicateNone) {
 		return nil, nil
 	}
@@ -241,6 +404,37 @@ func (e *Engine) cachedFrontiers(g *Graph, q Query, opts Options) (fwd, bwd *cor
 	ver := g.Version()
 	fwd = e.cache.Get(cache.Key{Origin: q.S, Forward: true, Pred: opts.PredicateToken}, q.K, ver)
 	bwd = e.cache.Get(cache.Key{Origin: q.T, Forward: false, Pred: opts.PredicateToken}, q.K, ver)
+	admit := e.cfg.CacheAdmitDegree
+	if admit == 0 {
+		admit = DefaultCacheAdmitDegree
+	}
+	if admit < 0 || (fwd != nil && bwd != nil) || ctx.Err() != nil {
+		return fwd, bwd
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = engineOracle
+	}
+	if oracle != nil {
+		if v, ok := oracle.(core.GraphValidator); ok && v.ValidFor(g) != nil {
+			return fwd, bwd // the run fails on the stale oracle; build nothing
+		}
+		if lb := oracle.LowerBound(q.S, q.T); lb < 0 || int(lb) > q.K {
+			return fwd, bwd // infeasible: the run's fast path does zero BFS
+		}
+	}
+	if fwd == nil && g.OutDegree(q.S) >= admit {
+		if f, err := core.NewForwardFrontier(g, q.S, q.K, opts.Predicate, opts.PredicateToken); err == nil {
+			e.cache.Put(f)
+			fwd = f
+		}
+	}
+	if bwd == nil && g.InDegree(q.T) >= admit {
+		if f, err := core.NewBackwardFrontier(g, q.T, q.K, opts.Predicate, opts.PredicateToken); err == nil {
+			e.cache.Put(f)
+			bwd = f
+		}
+	}
 	return fwd, bwd
 }
 
@@ -370,8 +564,19 @@ func (p *frontierCacheProvider) Store(f *core.Frontier) { p.c.Put(f) }
 // read-only), and opts.Emit — already concurrent and unattributed in
 // batch execution — fires once per unique query, not once per duplicate.
 func (e *Engine) ExecuteBatch(ctx context.Context, queries []Query, opts Options) ([]*Result, []error, *BatchStats) {
-	g, pool := e.view()
+	g, _, pool := e.view()
 	merged := e.MergeOptions(opts)
+	sch := e.newScheduler(g, pool, merged)
+	plan := batch.NewPlanner(g).Plan(queries)
+	uniqRes, uniqErrs, stats := sch.Execute(ctx, g, plan, merged)
+	results, errs := plan.Scatter(uniqRes, uniqErrs)
+	return results, errs, stats
+}
+
+// newScheduler builds a batch scheduler over the captured (graph, pool)
+// view, wiring the frontier cache in when the predicate is identifiable.
+// Shared by the materializing ExecuteBatch and the streaming StreamBatch.
+func (e *Engine) newScheduler(g *Graph, pool *sync.Pool, merged Options) *batch.Scheduler {
 	sch := &batch.Scheduler{
 		Workers: e.workers,
 		Acquire: func() *core.Session { return pool.Get().(*core.Session) },
@@ -380,10 +585,7 @@ func (e *Engine) ExecuteBatch(ctx context.Context, queries []Query, opts Options
 	if e.cache != nil && (merged.Predicate == nil || merged.PredicateToken != core.PredicateNone) {
 		sch.Frontiers = &frontierCacheProvider{c: e.cache, ver: g.Version(), tok: merged.PredicateToken}
 	}
-	plan := batch.NewPlanner(g).Plan(queries)
-	uniqRes, uniqErrs, stats := sch.Execute(ctx, g, plan, merged)
-	results, errs := plan.Scatter(uniqRes, uniqErrs)
-	return results, errs, stats
+	return sch
 }
 
 // CountAll returns per-query path counts in input order; the first query

@@ -477,3 +477,103 @@ func TestExecuteBatchOpaquePredicate(t *testing.T) {
 		t.Fatalf("warm tokenized batch ran %d passes, want 0", warm.BFSPassesRun)
 	}
 }
+
+// TestSingleQueryDepositsWithAdmission is the cache-symmetry fix: single
+// queries now deposit the frontiers they build, but only when the
+// endpoint passes the degree-based admission check — hub endpoints warm
+// the cache for later queries and batches, cold endpoints stay on the
+// allocation-free scratch path.
+func TestSingleQueryDepositsWithAdmission(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 91)
+	hub := VertexID(0) // preferential attachment: highest degree
+	// A fringe vertex: out- and in-degree both below any hub threshold.
+	fringe := VertexID(-1)
+	for v := VertexID(1); v < VertexID(g.NumVertices()); v++ {
+		if v != hub && g.OutDegree(v) <= 3 && g.InDegree(v) <= 3 && g.OutDegree(v) > 0 {
+			fringe = v
+			break
+		}
+	}
+	if fringe < 0 {
+		t.Fatal("no fringe vertex found")
+	}
+	if g.OutDegree(hub) < 8 {
+		t.Fatalf("hub degree %d too low for the test premise", g.OutDegree(hub))
+	}
+
+	e, err := NewEngine(g, EngineConfig{Workers: 2, CacheAdmitDegree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubQ := Query{S: hub, T: fringe, K: 4}
+	want, err := Enumerate(g, hubQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold hub query: misses, then deposits the forward (hub) side.
+	res, err := e.ExecuteWith(context.Background(), hubQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Results != want.Counters.Results {
+		t.Fatalf("deposited run count %d != Enumerate %d", res.Counters.Results, want.Counters.Results)
+	}
+	cs := e.CacheStats()
+	if cs.Entries == 0 {
+		t.Fatalf("single hub query did not deposit: %+v", cs)
+	}
+	if cs.Hits != 0 {
+		t.Fatalf("cold query reported hits: %+v", cs)
+	}
+
+	// Repeat: the hub side is served from the cache.
+	if _, err := e.ExecuteWith(context.Background(), hubQ, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.CacheStats(); after.Hits == 0 {
+		t.Fatalf("repeat hub query missed the deposited frontier: %+v", after)
+	}
+
+	// Streams share the same consult/deposit spine.
+	before := e.CacheStats().Hits
+	for _, serr := range e.Stream(context.Background(), NewRequest(hubQ)) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	if after := e.CacheStats(); after.Hits <= before {
+		t.Fatalf("stream did not consult the cache: %+v", after)
+	}
+
+	// A fringe-to-fringe query is refused admission: no new entries.
+	var fringe2 VertexID = -1
+	for v := fringe + 1; v < VertexID(g.NumVertices()); v++ {
+		if v != hub && g.OutDegree(v) <= 3 && g.InDegree(v) <= 3 {
+			fringe2 = v
+			break
+		}
+	}
+	if fringe2 < 0 {
+		t.Fatal("no second fringe vertex found")
+	}
+	entriesBefore := e.CacheStats().Entries
+	if _, err := e.ExecuteWith(context.Background(), Query{S: fringe, T: fringe2, K: 3}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if entriesAfter := e.CacheStats().Entries; entriesAfter != entriesBefore {
+		t.Fatalf("fringe query deposited despite admission: %d -> %d entries", entriesBefore, entriesAfter)
+	}
+
+	// CacheAdmitDegree < 0 disables single-query deposits entirely.
+	off, err := NewEngine(g, EngineConfig{CacheAdmitDegree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.ExecuteWith(context.Background(), hubQ, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cs := off.CacheStats(); cs.Entries != 0 {
+		t.Fatalf("deposit-disabled engine cached %d entries", cs.Entries)
+	}
+}

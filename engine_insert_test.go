@@ -1,0 +1,332 @@
+package pathenum
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"pathenum/internal/gen"
+)
+
+// insertTestEngine builds an engine over the diamond 0 -> {1,2} -> 3.
+func insertTestEngine(t *testing.T, cfg EngineConfig) *Engine {
+	t.Helper()
+	g, err := NewGraph(4, []Edge{
+		{From: 0, To: 1}, {From: 0, To: 2},
+		{From: 1, To: 3}, {From: 2, To: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func countVia(t *testing.T, e *Engine, q Query) uint64 {
+	t.Helper()
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Counters.Results
+}
+
+// TestEngineInsertVisibleImmediately: with the default write policy every
+// applied insert publishes a snapshot, so the very next query sees the
+// edge and the serving epoch advances.
+func TestEngineInsertVisibleImmediately(t *testing.T) {
+	e := insertTestEngine(t, EngineConfig{})
+	q := Query{S: 0, T: 3, K: 3}
+	if n := countVia(t, e, q); n != 2 {
+		t.Fatalf("pre-insert count %d, want 2", n)
+	}
+
+	added, err := e.Insert(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added {
+		t.Fatal("insert of a fresh edge reported not added")
+	}
+	if n := countVia(t, e, q); n != 3 {
+		t.Fatalf("post-insert count %d, want 3 (0-1-2-3 now exists)", n)
+	}
+	if e.Epoch() != 1 {
+		t.Fatalf("epoch %d, want 1", e.Epoch())
+	}
+	if e.PendingWrites() != 0 {
+		t.Fatalf("pending %d, want 0", e.PendingWrites())
+	}
+
+	// Duplicate and self-loop inserts are no-ops; out-of-range errors.
+	if added, err := e.Insert(1, 2); err != nil || added {
+		t.Fatalf("duplicate insert: added=%v err=%v", added, err)
+	}
+	if added, err := e.Insert(2, 2); err != nil || added {
+		t.Fatalf("self-loop insert: added=%v err=%v", added, err)
+	}
+	if _, err := e.Insert(0, 99); err == nil {
+		t.Fatal("out-of-range insert must error")
+	}
+	if e.Epoch() != 1 {
+		t.Fatalf("no-op inserts moved the epoch to %d", e.Epoch())
+	}
+}
+
+// TestEngineInsertAmortized: SnapshotEvery batches publishes — reads lag
+// until the batch fills or Flush forces the remainder out.
+func TestEngineInsertAmortized(t *testing.T) {
+	e := insertTestEngine(t, EngineConfig{SnapshotEvery: 3})
+	q := Query{S: 0, T: 3, K: 3}
+
+	if _, err := e.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Insert(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := countVia(t, e, q); n != 2 {
+		t.Fatalf("count %d before the batch filled, want 2 (reads lag)", n)
+	}
+	if p := e.PendingWrites(); p != 2 {
+		t.Fatalf("pending %d, want 2", p)
+	}
+
+	// Third applied insert fills the batch and publishes all three.
+	if _, err := e.Insert(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.PendingWrites(); p != 0 {
+		t.Fatalf("pending %d after publish, want 0", p)
+	}
+	if n := countVia(t, e, q); n != 4 {
+		t.Fatalf("post-publish count %d, want 4 (0-1-2-3 and 0-2-1-3)", n)
+	}
+	if e.Epoch() != 3 {
+		t.Fatalf("epoch %d, want 3 (one per applied insert)", e.Epoch())
+	}
+
+	// A lone insert stays buffered until Flush.
+	if _, err := e.Insert(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.PendingWrites(); p != 1 {
+		t.Fatalf("pending %d, want 1", p)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.PendingWrites(); p != 0 {
+		t.Fatalf("pending %d after Flush, want 0", p)
+	}
+	if e.Epoch() != 4 {
+		t.Fatalf("epoch %d after Flush, want 4", e.Epoch())
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}
+
+// TestEngineInsertOracleLifecycle: without OracleLandmarks a publish drops
+// the now-stale oracle; with it, every publish installs a rebuilt oracle
+// valid for the new snapshot. Either way a stale oracle passed per-call is
+// rejected with ErrStaleEpoch rather than consulted.
+func TestEngineInsertOracleLifecycle(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 77)
+	oracle, err := BuildOracle(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := NewEngine(g, EngineConfig{Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop.Oracle() == nil {
+		t.Fatal("configured oracle not installed")
+	}
+	if _, err := drop.Insert(0, 149); err != nil {
+		t.Fatal(err)
+	}
+	if drop.Oracle() != nil {
+		t.Fatal("publish must drop an invalidated oracle when OracleLandmarks is 0")
+	}
+
+	refresh, err := NewEngine(g, EngineConfig{Oracle: oracle, OracleLandmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refresh.Insert(0, 149); err != nil {
+		t.Fatal(err)
+	}
+	if refresh.Oracle() == nil {
+		t.Fatal("publish must rebuild the oracle when OracleLandmarks > 0")
+	}
+	q := Query{S: 0, T: 9, K: 4}
+	if _, err := refresh.ExecuteWith(context.Background(), q, Options{}); err != nil {
+		t.Fatalf("query with refreshed oracle: %v", err)
+	}
+
+	// Epoch enforcement: an oracle built on the post-insert snapshot goes
+	// stale after the next insert and is rejected, not consulted.
+	stale, err := BuildOracle(refresh.Graph(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refresh.Insert(1, 148); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refresh.ExecuteWith(context.Background(), q, Options{Oracle: stale}); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale per-call oracle: err = %v, want ErrStaleEpoch", err)
+	}
+}
+
+// TestEngineInsertInvalidatesFrontierCache: frontiers cached before an
+// insert must not serve the new epoch — the engine's lazy invalidation
+// carries over to the write path.
+func TestEngineInsertInvalidatesFrontierCache(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 79)
+	e, err := NewEngine(g, EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := repeatHubBatch(g, 0, 8, 4, 37)
+	if _, errs, _ := e.ExecuteBatch(context.Background(), queries, Options{}); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if _, _, warm := e.ExecuteBatch(context.Background(), queries, Options{}); warm.BFSPassesRun != 0 {
+		t.Fatalf("precondition: warm batch ran %d passes", warm.BFSPassesRun)
+	}
+
+	// First applied insert wins; hub 0 is densely connected, so probe.
+	inserted := false
+	for to := VertexID(1); to < 60 && !inserted; to++ {
+		ok, ierr := e.Insert(0, to)
+		if ierr != nil {
+			t.Fatal(ierr)
+		}
+		inserted = ok
+	}
+	if !inserted {
+		t.Fatal("could not apply a fresh hub edge")
+	}
+
+	results, errs, stats := e.ExecuteBatch(context.Background(), queries, Options{})
+	if stats.BFSPassesRun == 0 {
+		t.Fatal("post-insert batch cannot be served from the pre-insert cache")
+	}
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		want, werr := Enumerate(e.Graph(), queries[i], Options{})
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if results[i].Counters.Results != want.Counters.Results {
+			t.Fatalf("%v: post-insert count %d != fresh %d", queries[i], results[i].Counters.Results, want.Counters.Results)
+		}
+	}
+}
+
+// TestUpdateGraphResetsWritePath: an external UpdateGraph supersedes the
+// engine-owned Dynamic; the next Insert wraps the new graph.
+func TestUpdateGraphResetsWritePath(t *testing.T) {
+	e := insertTestEngine(t, EngineConfig{SnapshotEvery: 10})
+	if _, err := e.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.PendingWrites(); p != 1 {
+		t.Fatalf("pending %d, want 1", p)
+	}
+	fresh, err := NewGraph(4, []Edge{{From: 0, To: 1}, {From: 1, To: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UpdateGraph(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.PendingWrites(); p != 0 {
+		t.Fatalf("UpdateGraph must discard pending writes, got %d", p)
+	}
+	// The buffered (1,2) edge is gone with the old Dynamic.
+	if n := countVia(t, e, Query{S: 0, T: 3, K: 3}); n != 1 {
+		t.Fatalf("count %d on the fresh graph, want 1", n)
+	}
+	if _, err := e.Insert(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countVia(t, e, Query{S: 0, T: 3, K: 3}); n != 2 {
+		t.Fatalf("count %d after re-wrapped insert, want 2", n)
+	}
+}
+
+// TestStreamWhileInsert is the streaming-while-updating acceptance
+// scenario, run under -race in CI: concurrent streams capture a snapshot
+// and finish on it while Insert advances the engine. Every streamed path
+// must be valid for *some* published epoch — no torn reads, no stale
+// labels served silently.
+func TestStreamWhileInsert(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 83)
+	e, err := NewEngine(g, EngineConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{S: 0, T: 7, K: 4}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	var wg sync.WaitGroup
+	go func() {
+		defer close(writerDone)
+		to := VertexID(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.Insert(0, to); err != nil {
+				t.Error(err)
+				return
+			}
+			to++
+			if to == 200 {
+				return
+			}
+		}
+	}()
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := NewRequest(q)
+				if r%2 == 1 {
+					req.Buffer = 4
+				}
+				for p, serr := range e.Stream(context.Background(), req) {
+					if serr != nil {
+						t.Errorf("reader %d: %v", r, serr)
+						return
+					}
+					if len(p) < 2 || p[0] != q.S || p[len(p)-1] != q.T {
+						t.Errorf("reader %d: malformed path %v", r, p)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package pathenum_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -108,4 +109,48 @@ func ExampleEngine() {
 	}
 	fmt.Println(counts)
 	// Output: [2 1]
+}
+
+// Engine.Stream delivers paths incrementally: the loop body runs while
+// enumeration is suspended, so the first paths of a heavy query arrive
+// long before the run completes. OnResult receives the final summary.
+func ExampleEngine_Stream() {
+	g := diamondGraph()
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := pathenum.Request{S: 0, T: 3, K: 3}
+	req.OnResult = func(res *pathenum.Result) { fmt.Println("count:", res.Counters.Results) }
+	for path, err := range engine.Stream(context.Background(), req) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(path)
+	}
+	// Output:
+	// [0 1 3]
+	// [0 2 3]
+	// count: 2
+}
+
+// Engine.Insert is the engine-owned write path: the edge is applied to an
+// engine-owned dynamic graph, a fresh snapshot is published (amortized by
+// EngineConfig.SnapshotEvery) and the graph epoch advances — queries and
+// streams immediately see the new edge, while cached structures from
+// earlier epochs are invalidated instead of trusted.
+func ExampleEngine_Insert() {
+	g := diamondGraph()
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := pathenum.Query{S: 0, T: 3, K: 3}
+	before, _ := engine.Execute(q)
+	if _, err := engine.Insert(1, 2); err != nil { // adds the path 0-1-2-3
+		log.Fatal(err)
+	}
+	after, _ := engine.Execute(q)
+	fmt.Println(before.Counters.Results, "->", after.Counters.Results, "epoch", engine.Epoch())
+	// Output: 2 -> 3 epoch 1
 }

@@ -179,6 +179,11 @@ func groupCost(g *graph.Graph, hub graph.VertexID, maxK, size int) float64 {
 // (nil when the query at i is valid).
 func (p *Plan) Err(i int) error { return p.invalid[i] }
 
+// Invalid returns the per-original-position validation errors (nil slots
+// are valid queries). Streaming consumers use it to deliver rejections
+// before execution starts; the slice is owned by the plan — read only.
+func (p *Plan) Invalid() []error { return p.invalid }
+
 // Scatter fans per-unique results back out to original batch positions:
 // duplicate queries share the same *core.Result pointer (results must be
 // treated as read-only), and invalid positions carry their validation

@@ -27,6 +27,23 @@ type Scheduler struct {
 	// materialized as a core.Frontier — a deposit-on-miss cache — so a
 	// repeat batch executes with zero BFS passes.
 	Frontiers FrontierProvider
+	// OnResult, when non-nil, is invoked exactly once per unique query the
+	// moment its slot is decided — a computed Result, a query error, or the
+	// batch's cancellation error — concurrently from whichever worker
+	// goroutine decided it. This is the streaming delivery seam: consumers
+	// flush per-query results as groups complete instead of waiting for
+	// Execute to return. The callback must be safe for concurrent use and
+	// cheap; it runs on the execution path.
+	OnResult func(unique int, res *core.Result, err error)
+}
+
+// settle records the outcome of one unique query and notifies OnResult.
+func (sch *Scheduler) settle(results []*core.Result, errs []error, u int, res *core.Result, err error) {
+	results[u] = res
+	errs[u] = err
+	if sch.OnResult != nil {
+		sch.OnResult(u, res, err)
+	}
 }
 
 // passCounters tracks what the batch actually ran, aggregated across all
@@ -79,7 +96,7 @@ dispatch:
 			err := ctx.Err()
 			for j := gi; j < len(plan.Groups); j++ {
 				for _, u := range plan.Groups[j].Members {
-					errs[u] = err
+					sch.settle(results, errs, u, nil, err)
 				}
 			}
 			break dispatch
@@ -120,7 +137,8 @@ func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, 
 		// Nothing group-shared: run the query on the slot already held
 		// (the provider can still serve either side).
 		u := grp.Members[0]
-		results[u], errs[u] = sch.runOne(ctx, g, plan.Unique[u], opts, nil, nil, passes)
+		res, err := sch.runOne(ctx, g, plan.Unique[u], opts, nil, nil, passes)
+		sch.settle(results, errs, u, res, err)
 		<-sem
 		return
 	}
@@ -145,7 +163,7 @@ func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, 
 			if err != nil {
 				<-sem
 				for _, u := range grp.Members {
-					errs[u] = err
+					sch.settle(results, errs, u, nil, err)
 				}
 				return
 			}
@@ -171,7 +189,7 @@ func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, 
 		case <-ctx.Done():
 			cerr := ctx.Err()
 			for _, v := range grp.Members[idx:] {
-				errs[v] = cerr
+				sch.settle(results, errs, v, nil, cerr)
 			}
 			mwg.Wait()
 			return
@@ -180,7 +198,8 @@ func (sch *Scheduler) runGroup(ctx context.Context, g *graph.Graph, plan *Plan, 
 		go func(u int) {
 			defer mwg.Done()
 			defer func() { <-sem }()
-			results[u], errs[u] = sch.runOne(ctx, g, plan.Unique[u], opts, fwd, bwd, passes)
+			res, err := sch.runOne(ctx, g, plan.Unique[u], opts, fwd, bwd, passes)
+			sch.settle(results, errs, u, res, err)
 		}(u)
 	}
 	mwg.Wait()

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"iter"
+
+	"pathenum/internal/graph"
+)
+
+// This file implements the pull-based streaming face of the executor
+// pipeline. The push-mode enumerators (Algorithm 4 DFS, Algorithm 6 join)
+// deliver results through an Emit callback; a stream inverts that into a
+// consumer-driven iterator, so the first paths of a heavy query reach the
+// caller while enumeration is still running — the real-time delivery the
+// paper's title promises, composed with contexts and backpressure instead
+// of trapped inside a callback.
+//
+// Two delivery modes share one contract:
+//
+//   - Unbuffered (StreamConfig.Buffer == 0): the enumeration runs inside
+//     the consumer's goroutine and is *suspended* at every yield —
+//     range-over-func turns Emit into a coroutine hand-off. Between
+//     iterations no enumeration work happens, so a consumer that stops
+//     pulling stops the query (perfect backpressure), and breaking out of
+//     the loop terminates enumeration immediately via Emit's stop path.
+//   - Buffered (Buffer > 0): the enumeration runs in a producer goroutine
+//     feeding a channel of capacity Buffer, so it can run at most Buffer
+//     paths ahead of the consumer — bounded pipelining for consumers with
+//     per-item latency (an NDJSON flush, a network write). Abandoning the
+//     loop cancels the producer and the stream does not return until it
+//     has fully stopped, so session buffers are never shared.
+//
+// In both modes every yielded path is a fresh copy owned by the consumer
+// (unlike Emit's reused slice): streamed paths outlive the enumeration
+// step that produced them by design.
+type StreamConfig struct {
+	// Fwd / Bwd optionally substitute precomputed distance labelings for
+	// either BFS pass, with Session.RunShared's compatibility contract.
+	Fwd, Bwd *Frontier
+	// Buffer selects the delivery mode: 0 streams synchronously with the
+	// enumeration suspended between pulls; > 0 lets a producer goroutine
+	// run up to Buffer paths ahead.
+	Buffer int
+	// OnResult, when non-nil, receives the final Result exactly once,
+	// after enumeration finishes and before the stream ends — including
+	// runs stopped early by the consumer, a limit or cancellation
+	// (Result.Completed reports false then). In buffered mode it is
+	// called from the producer goroutine.
+	OnResult func(*Result)
+}
+
+// Stream returns a lazy path stream for q: nothing runs until the first
+// pull. Each iteration yields one result path (a fresh slice owned by the
+// consumer) or a terminal error (invalid query, incompatible frontier,
+// stale oracle); after an error the stream ends. Context cancellation and
+// deadlines mirror RunContext: cancellation mid-run stops the enumeration
+// early without an error — the partial delivery is the answer, and
+// OnResult reports Completed == false — while a context already done
+// before the run starts surfaces its error as the terminal yield (no
+// work happens). Options.Emit and Options.Limit keep their meaning
+// except that Emit is replaced by the yield (a configured Emit is
+// ignored).
+//
+// The session's buffers are in use until the iteration ends; like every
+// other Session entry point, only one run may be active at a time.
+func (s *Session) Stream(ctx context.Context, q Query, opts Options) iter.Seq2[[]graph.VertexID, error] {
+	return s.StreamWith(ctx, q, opts, StreamConfig{})
+}
+
+// StreamWith is Stream with explicit stream configuration: shared
+// frontiers for either BFS side, the buffered delivery mode and the
+// final-Result hook. See StreamConfig.
+func (s *Session) StreamWith(ctx context.Context, q Query, opts Options, sc StreamConfig) iter.Seq2[[]graph.VertexID, error] {
+	run := func(ctx context.Context, emit func([]graph.VertexID) bool) (*Result, error) {
+		opts.Emit = emit
+		return s.ex.executeShared(ctx, q, opts, sc.Fwd, sc.Bwd)
+	}
+	return makeStream(ctx, sc.Buffer, run, sc.OnResult)
+}
+
+// StreamConstrained is the streaming face of RunConstrained: the
+// constrained index DFS (Appendix E) delivered as a pull iterator. Options
+// supplies the per-request knobs shared with the unconstrained pipeline —
+// Limit, Timeout and the edge Predicate (which joins cons.Predicate if
+// that is nil); Method, Tau and Oracle do not apply to the constrained
+// DFS and are ignored, as is Emit (the yield replaces it).
+func StreamConstrained(ctx context.Context, g *graph.Graph, q Query, cons Constraints, opts Options, sc StreamConfig) iter.Seq2[[]graph.VertexID, error] {
+	if cons.Predicate == nil {
+		cons.Predicate = opts.Predicate
+	}
+	run := func(ctx context.Context, emit func([]graph.VertexID) bool) (*Result, error) {
+		ctl := RunControl{
+			Emit:       emit,
+			Limit:      opts.Limit,
+			ShouldStop: newStopper(ctx, opts.Timeout),
+		}
+		return RunConstrained(g, q, cons, ctl)
+	}
+	return makeStream(ctx, sc.Buffer, run, sc.OnResult)
+}
+
+// makeStream builds the iterator over any push-mode runner. run must
+// execute the query, delivering each path to emit (reused-slice Emit
+// semantics) and honoring emit's false return as an immediate stop; it
+// observes the context it is passed, which in buffered mode is a child of
+// the caller's that the stream cancels when the consumer leaves early.
+func makeStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result)) iter.Seq2[[]graph.VertexID, error] {
+	if buffer > 0 {
+		return bufferedStream(ctx, buffer, run, onResult)
+	}
+	return func(yield func([]graph.VertexID, error) bool) {
+		abandoned := false
+		res, err := run(ctx, func(p []graph.VertexID) bool {
+			if !yield(append([]graph.VertexID(nil), p...), nil) {
+				abandoned = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			if !abandoned {
+				yield(nil, err)
+			}
+			return
+		}
+		if onResult != nil {
+			onResult(res)
+		}
+	}
+}
+
+// streamItem is one delivery slot of the buffered mode: a path or a
+// terminal error, never both.
+type streamItem struct {
+	path []graph.VertexID
+	err  error
+}
+
+// bufferedStream runs the enumeration in a producer goroutine at most
+// `buffer` paths ahead of the consumer. The iterator never returns while
+// the producer is live: leaving the loop early cancels the producer's
+// context and drains until it has exited, so the caller may safely reuse
+// the session (or return it to a pool) as soon as the range ends.
+func bufferedStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result)) iter.Seq2[[]graph.VertexID, error] {
+	return func(yield func([]graph.VertexID, error) bool) {
+		pctx, cancel := context.WithCancel(ctx)
+		ch := make(chan streamItem, buffer)
+		go func() {
+			defer close(ch)
+			res, err := run(pctx, func(p []graph.VertexID) bool {
+				select {
+				case ch <- streamItem{path: append([]graph.VertexID(nil), p...)}:
+					return true
+				case <-pctx.Done():
+					return false
+				}
+			})
+			if err != nil {
+				select {
+				case ch <- streamItem{err: err}:
+				case <-pctx.Done():
+				}
+				return
+			}
+			if onResult != nil {
+				onResult(res)
+			}
+		}()
+		// Whatever path exits the loop, stop the producer and wait for the
+		// channel to close before returning the iteration.
+		defer func() {
+			cancel()
+			for range ch { //nolint:revive // drain until the producer exits
+			}
+		}()
+		for it := range ch {
+			if !yield(it.path, it.err) || it.err != nil {
+				return
+			}
+		}
+	}
+}

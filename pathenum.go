@@ -17,12 +17,31 @@
 //		Emit: func(p []pathenum.VertexID) bool { fmt.Println(p); return true },
 //	})
 //
+// The streaming-first surface delivers paths incrementally instead of
+// buffering or calling back: a Request bundles the query with its
+// constraints and per-request options, and Stream / Engine.Stream return
+// a Go 1.23 range-over-func iterator whose first paths arrive while
+// enumeration is still running:
+//
+//	for path, err := range eng.Stream(ctx, pathenum.Request{S: 0, T: 3, K: 3}) {
+//		...
+//	}
+//
+// Enumerate, Paths, Count and the Engine's Execute methods remain as
+// documented wrappers over the same executor spine.
+//
 // Query batches should run through the Engine: ExecuteAllContext fans
 // queries out independently across a worker pool, and ExecuteBatch routes
 // them through the shared-computation batch subsystem (internal/batch),
 // which deduplicates identical queries and reuses one BFS distance
 // frontier across all queries sharing a source or target — the dominant
-// index-construction cost on batch workloads.
+// index-construction cost on batch workloads; Engine.StreamBatch is its
+// streaming variant, flushing per-query results as groups complete. On
+// mutating graphs the engine owns the write path: Engine.Insert applies
+// edges to an engine-owned Dynamic, publishes snapshots amortized by
+// EngineConfig.SnapshotEvery and keeps derived structures (frontier
+// cache, distance oracle) epoch-consistent — streaming while updating is
+// a first-class, version-enforced scenario.
 //
 // The package also implements the paper's constraint extensions (edge
 // predicates, accumulative values, label-sequence automata), dynamic-graph
@@ -165,20 +184,20 @@ func EnumerateContext(ctx context.Context, g *Graph, q Query, opts Options) (*Re
 // Count returns |P(s,t,k,G)| using the full optimizer.
 func Count(g *Graph, q Query) (uint64, error) { return core.Count(g, q) }
 
-// Paths materializes all result paths. The limit argument caps the number
-// collected (0 = unlimited); result sets grow exponentially with k, so
-// prefer Enumerate with an Emit callback for heavy queries.
+// Paths materializes all result paths — a collecting consumer of the path
+// stream (see Stream). The limit argument caps the number collected
+// (0 = unlimited); result sets grow exponentially with k, so prefer
+// Stream (incremental delivery) or Enumerate with an Emit callback for
+// heavy queries.
 func Paths(g *Graph, q Query, limit uint64) ([][]VertexID, error) {
+	req := NewRequest(q)
+	req.Limit = limit
 	var out [][]VertexID
-	opts := Options{
-		Limit: limit,
-		Emit: func(p []VertexID) bool {
-			out = append(out, append([]VertexID(nil), p...))
-			return true
-		},
-	}
-	if _, err := core.Run(g, q, opts); err != nil {
-		return nil, err
+	for p, err := range Stream(context.Background(), g, req) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }

@@ -1,0 +1,268 @@
+package pathenum
+
+import (
+	"context"
+	"iter"
+	"time"
+
+	"pathenum/internal/batch"
+	"pathenum/internal/core"
+)
+
+// Path is one result path, s to t inclusive. Paths delivered by a stream
+// are fresh slices owned by the consumer — unlike the Options.Emit
+// callback's reused buffer, a streamed path stays valid after the
+// iteration advances.
+type Path = []VertexID
+
+// Request is the streaming-first query surface: one value bundling the
+// query endpoints, the per-request options and the constraint extensions
+// that the older entry points spread across (Query, Options, Constraints)
+// parameter triples. The zero value of every field is "inherit or off";
+// a Request is ready as soon as S, T and K are set.
+//
+//	for path, err := range engine.Stream(ctx, pathenum.Request{S: s, T: t, K: 6}) {
+//		if err != nil { ... }
+//		send(path)
+//	}
+type Request struct {
+	// S, T, K are the query q(s,t,k): enumerate all simple paths from S
+	// to T with at most K edges.
+	S VertexID
+	T VertexID
+	K int
+
+	// Method selects the algorithm; Auto (the zero value) enables the
+	// cost-based optimizer. Ignored by constrained requests, which always
+	// run the constrained index DFS.
+	Method Method
+	// Tau overrides the optimizer's preliminary-estimate threshold
+	// (0 = DefaultTau).
+	Tau float64
+	// Limit stops enumeration after this many results when positive.
+	Limit uint64
+	// Timeout bounds the whole run when positive; the stream ends early
+	// with the partial delivery (no error — see Engine.Stream).
+	Timeout time.Duration
+	// Predicate restricts the query to edges satisfying it; nil admits
+	// all edges. PredicateToken declares its identity for frontier
+	// sharing and caching (see PredicateToken); a non-nil Predicate with
+	// a zero token is opaque — executed correctly, excluded from reuse.
+	Predicate      EdgePredicate
+	PredicateToken PredicateToken
+	// Oracle overrides the engine/default distance oracle for this
+	// request.
+	Oracle DistanceOracle
+
+	// Accumulate and Sequence are the Appendix-E constraint extensions.
+	// Setting either routes the request through the constrained index
+	// DFS (the pipeline behind EnumerateConstrained); Predicate applies
+	// there too.
+	Accumulate *Accumulator
+	Sequence   *SequenceConstraint
+
+	// Buffer selects the stream delivery mode. 0 (the default) streams
+	// synchronously: enumeration runs in the consumer's goroutine and is
+	// suspended between pulls, so an unhurried consumer applies perfect
+	// backpressure and pays no buffering. A positive Buffer lets a
+	// producer goroutine run up to Buffer paths ahead — bounded
+	// pipelining for consumers with per-item latency such as a network
+	// write.
+	Buffer int
+	// OnResult, when non-nil, receives the final Result (counts, plan,
+	// timings, Completed) exactly once after enumeration finishes — the
+	// streaming replacement for the return value of ExecuteWith. With
+	// Buffer > 0 it may be called from the producer goroutine.
+	OnResult func(*Result)
+}
+
+// NewRequest makes a Request for q with every option inheriting.
+func NewRequest(q Query) Request { return Request{S: q.S, T: q.T, K: q.K} }
+
+// Query returns the request's (s, t, k) triple.
+func (r Request) Query() Query { return Query{S: r.S, T: r.T, K: r.K} }
+
+// constrained reports whether the request needs the constrained DFS
+// pipeline.
+func (r Request) constrained() bool { return r.Accumulate != nil || r.Sequence != nil }
+
+// options lowers the request to the per-call option overrides understood
+// by the executor spine (Emit stays nil: the stream's yield is the emit).
+func (r Request) options() Options {
+	return Options{
+		Method:         r.Method,
+		Tau:            r.Tau,
+		Limit:          r.Limit,
+		Timeout:        r.Timeout,
+		Predicate:      r.Predicate,
+		PredicateToken: r.PredicateToken,
+		Oracle:         r.Oracle,
+	}
+}
+
+// streamConfig lowers the request's delivery knobs.
+func (r Request) streamConfig() core.StreamConfig {
+	return core.StreamConfig{Buffer: r.Buffer, OnResult: r.OnResult}
+}
+
+// Stream executes req on g and delivers result paths incrementally as a
+// Go 1.23 range-over-func iterator — the engine-less counterpart of
+// Engine.Stream (which adds session reuse, the frontier cache and the
+// engine oracle; prefer it for repeated queries). See Engine.Stream for
+// the iteration contract.
+func Stream(ctx context.Context, g *Graph, req Request) iter.Seq2[Path, error] {
+	return func(yield func(Path, error) bool) {
+		var seq iter.Seq2[Path, error]
+		if req.constrained() {
+			cons := Constraints{Predicate: req.Predicate, Accumulate: req.Accumulate, Sequence: req.Sequence}
+			seq = core.StreamConstrained(ctx, g, req.Query(), cons, req.options(), req.streamConfig())
+		} else {
+			sc := req.streamConfig()
+			seq = core.NewSession(g, nil).StreamWith(ctx, req.Query(), req.options(), sc)
+		}
+		for p, err := range seq {
+			if !yield(p, err) {
+				return
+			}
+		}
+	}
+}
+
+// Stream executes one query and delivers its result paths incrementally:
+// the first paths of a heavy query reach the consumer in milliseconds,
+// while enumeration of the rest is still running — the paper's real-time
+// claim surfaced as an API. The iterator is lazy (nothing runs until the
+// first pull) and single-use.
+//
+// Iteration contract:
+//
+//   - Each iteration yields one Path (a fresh slice the consumer owns) or
+//     a terminal error — an invalid query, a stale oracle, a bad
+//     constraint — after which the stream ends. A successful stream
+//     yields no error at all; there is no trailing sentinel.
+//   - Breaking out of the loop stops the enumeration immediately and
+//     releases the session; so does cancelling ctx or exceeding
+//     req.Timeout mid-iteration, which end the stream early *without* an
+//     error — exactly like EnumerateContext, the partial delivery is the
+//     answer, and req.OnResult reports Completed == false. A context
+//     already cancelled before the first pull never starts the run and
+//     surfaces its error as the terminal yield instead (mirroring
+//     RunContext's entry check).
+//   - req.OnResult, when set, receives the final Result (counts, plan,
+//     timings) exactly once after enumeration finishes — the streaming
+//     replacement for the return value of ExecuteWith. With Buffer > 0
+//     it may be called from the producer goroutine.
+//
+// The request merges with the engine defaults field-by-field exactly as
+// ExecuteWith merges Options (see MergeOptions); the engine's default
+// Emit does not apply to streams. Streams consult the frontier cache and
+// deposit behind the same admission check as ExecuteWith, and run on a
+// pooled session captured for the duration of the iteration. A stream
+// captures the serving graph at its first pull and finishes on it even if
+// Insert or UpdateGraph advances the engine mid-flight.
+func (e *Engine) Stream(ctx context.Context, req Request) iter.Seq2[Path, error] {
+	return func(yield func(Path, error) bool) {
+		merged := e.MergeOptions(req.options())
+		merged.Emit = nil // the yield is the emit; a default Emit must not fire
+		sc := req.streamConfig()
+		var seq iter.Seq2[Path, error]
+		if req.constrained() {
+			cons := Constraints{Predicate: merged.Predicate, Accumulate: req.Accumulate, Sequence: req.Sequence}
+			seq = core.StreamConstrained(ctx, e.Graph(), req.Query(), cons, merged, sc)
+		} else {
+			g, oracle, pool := e.view()
+			sc.Fwd, sc.Bwd = e.frontiers(ctx, g, oracle, req.Query(), merged)
+			sess := pool.Get().(*core.Session)
+			defer pool.Put(sess)
+			seq = sess.StreamWith(ctx, req.Query(), merged, sc)
+		}
+		for p, err := range seq {
+			if !yield(p, err) {
+				return
+			}
+		}
+	}
+}
+
+// BatchItem is one delivery of a streaming batch execution: the result (or
+// error) of the query at original batch position Index, flushed as soon as
+// its group completes. The final item of a stream that ran to the end
+// carries the batch statistics instead (Index == -1, Stats != nil); a
+// stream abandoned early never delivers it.
+type BatchItem struct {
+	// Index is the original batch position, or -1 for the final stats
+	// item.
+	Index int
+	// Result is the query's result; duplicate queries share one pointer
+	// (read-only), exactly as in ExecuteBatch.
+	Result *Result
+	// Err is the query's validation or cancellation error; Result is nil
+	// when it is set.
+	Err error
+	// Stats is non-nil only on the final item: the full BatchStats of the
+	// execution.
+	Stats *BatchStats
+}
+
+// StreamBatch is the streaming variant of ExecuteBatch: the same
+// shared-computation planning and fail-fast cancellation, but per-query
+// results are delivered incrementally as their groups complete instead of
+// buffered into one slice — a heavy batch starts answering after its
+// first group, not after its slowest. Items arrive in completion order,
+// not input order; Index maps each back to its batch position, invalid
+// queries are delivered first, and duplicates are fanned out as their
+// unique execution settles. Breaking out of the loop cancels the
+// remaining work (queries not yet started are abandoned, in-flight
+// enumerations stop early) and waits for the scheduler to wind down, so
+// sessions are never leaked. The final item carries the BatchStats — see
+// BatchItem.
+func (e *Engine) StreamBatch(ctx context.Context, queries []Query, opts Options) iter.Seq[BatchItem] {
+	return func(yield func(BatchItem) bool) {
+		g, _, pool := e.view()
+		merged := e.MergeOptions(opts)
+		plan := batch.NewPlanner(g).Plan(queries)
+		for i, err := range plan.Invalid() {
+			if err != nil && !yield(BatchItem{Index: i, Err: err}) {
+				return
+			}
+		}
+
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		type settled struct {
+			u   int
+			res *Result
+			err error
+		}
+		// Full-size buffer: the scheduler never blocks on a slow consumer,
+		// so a stalled client cannot hold worker slots hostage — the
+		// consumer-side flush is the only thing that lags.
+		ch := make(chan settled, len(plan.Unique))
+		sch := e.newScheduler(g, pool, merged)
+		sch.OnResult = func(u int, res *core.Result, err error) {
+			ch <- settled{u: u, res: res, err: err}
+		}
+		var stats *BatchStats
+		go func() {
+			defer close(ch)
+			_, _, stats = sch.Execute(ctx, g, plan, merged)
+		}()
+		// On early exit, cancel the execution and drain until the
+		// scheduler has fully wound down (close of ch) before returning.
+		defer func() {
+			cancel()
+			for range ch { //nolint:revive // drain until the scheduler exits
+			}
+		}()
+		for s := range ch {
+			for _, i := range plan.Slots[s.u] {
+				if !yield(BatchItem{Index: i, Result: s.res, Err: s.err}) {
+					return
+				}
+			}
+		}
+		// stats was written before close(ch); the range observing the
+		// close orders the read after it.
+		yield(BatchItem{Index: -1, Stats: stats})
+	}
+}

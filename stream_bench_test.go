@@ -1,0 +1,140 @@
+// Benchmarks for the streaming query surface: time-to-first-path of
+// Engine.Stream against full enumeration — the real-time delivery metric.
+// CI uploads these (BENCH_stream.json) alongside the batch and cache
+// artifacts for the perf trajectory.
+package pathenum
+
+import (
+	"context"
+	"iter"
+	"testing"
+)
+
+// benchStreamEngine serves a layered DAG with 6^6 ≈ 46k result paths —
+// heavy enough that materializing everything dominates first-path latency.
+func benchStreamEngine(b *testing.B) (*Engine, Query) {
+	b.Helper()
+	width, depth := 6, 6
+	n := 2 + width*depth
+	var edges []Edge
+	layer := func(l, i int) VertexID { return VertexID(1 + l*width + i) }
+	for i := 0; i < width; i++ {
+		edges = append(edges, Edge{From: 0, To: layer(0, i)})
+		edges = append(edges, Edge{From: layer(depth-1, i), To: VertexID(n - 1)})
+	}
+	for l := 0; l+1 < depth; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				edges = append(edges, Edge{From: layer(l, i), To: layer(l+1, j)})
+			}
+		}
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(g, EngineConfig{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, Query{S: 0, T: VertexID(n - 1), K: depth + 1}
+}
+
+// BenchmarkStreamFirstPath measures time-to-first-path: each iteration
+// opens an unbuffered stream, pulls exactly one path and stops. ns/op IS
+// the first-path latency of a ~46k-result query.
+func BenchmarkStreamFirstPath(b *testing.B) {
+	e, q := benchStreamEngine(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, stop := iter.Pull2(e.Stream(ctx, NewRequest(q)))
+		p, err, ok := next()
+		if !ok || err != nil || len(p) == 0 {
+			b.Fatalf("first pull: ok=%v err=%v", ok, err)
+		}
+		stop()
+	}
+}
+
+// BenchmarkStreamDrain drains the full stream — the streaming cost of
+// delivering every path (per-path copy included), the number to compare
+// against the Emit baseline below.
+func BenchmarkStreamDrain(b *testing.B) {
+	e, q := benchStreamEngine(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, err := range e.Stream(ctx, NewRequest(q)) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkStreamEnumerateBaseline is the callback-mode floor for the
+// same query: full enumeration through ExecuteWith with a counting Emit
+// (no per-path copies).
+func BenchmarkStreamEnumerateBaseline(b *testing.B) {
+	e, q := benchStreamEngine(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		res, err := e.ExecuteWith(ctx, q, Options{Emit: func(p []VertexID) bool { n++; return true }})
+		if err != nil || res.Counters.Results == 0 {
+			b.Fatalf("err=%v res=%+v", err, res)
+		}
+	}
+}
+
+// BenchmarkStreamWhileInsert measures streaming under a concurrent write
+// load: one writer inserting (and publishing) while the measured
+// goroutine streams — the turnkey dynamic scenario.
+func BenchmarkStreamWhileInsert(b *testing.B) {
+	e, q := benchStreamEngine(b)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		n := VertexID(e.Graph().NumVertices())
+		from, to := VertexID(1), VertexID(2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = e.Insert(from, to)
+			to++
+			if to == n {
+				from, to = from+1, 1
+				if from == n {
+					from = 1
+				}
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, stopIter := iter.Pull2(e.Stream(ctx, NewRequest(q)))
+		if _, err, ok := next(); !ok || err != nil {
+			b.Fatalf("first pull under writes: ok=%v err=%v", ok, err)
+		}
+		stopIter()
+	}
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+}
