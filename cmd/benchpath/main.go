@@ -8,6 +8,7 @@
 //	benchpath table3 fig6 fig13      # several
 //	benchpath all                    # everything
 //	benchpath -scale 0.2 -queries 30 -timelimit 500ms table3
+//	benchpath -plan join -json stream   # join-planned streaming, JSON report
 //
 // Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
 // fig10 fig12 fig13 fig16 fig17 fig18 ext batch cache stream (fig10
@@ -17,10 +18,14 @@
 // workloads; cache repeats a shared-hub batch to show the second call
 // served from the cross-batch frontier cache with zero BFS passes;
 // stream measures time-to-first-path of the pull-based path stream
-// against full enumeration — the real-time delivery metric).
+// against full enumeration — the real-time delivery metric; -plan forces
+// the enumeration plan there, so `stream -plan join` isolates the
+// tuple-at-a-time join's first-path latency, and the -json report
+// carries the plan kind per row).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -67,6 +72,8 @@ func main() {
 		timeLimit = flag.Duration("timelimit", 2*time.Second, "per-query time limit")
 		datasets  = flag.String("datasets", "", "comma-separated dataset subset")
 		seed      = flag.Int64("seed", 42, "workload seed")
+		plan      = flag.String("plan", "auto", "forced plan for plan-aware experiments (auto|dfs|join)")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	)
 	flag.Parse()
 	names := flag.Args()
@@ -82,6 +89,7 @@ func main() {
 	cfg.K = *k
 	cfg.TimeLimit = *timeLimit
 	cfg.Seed = *seed
+	cfg.Plan = *plan
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
@@ -90,7 +98,7 @@ func main() {
 		names = names2()
 	}
 	for _, name := range names {
-		if err := runOne(name, cfg); err != nil {
+		if err := runOne(name, cfg, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchpath:", err)
 			os.Exit(1)
 		}
@@ -105,7 +113,7 @@ func names2() []string {
 	return out
 }
 
-func runOne(name string, cfg bench.Config) error {
+func runOne(name string, cfg bench.Config, jsonOut bool) error {
 	for _, e := range experiments {
 		if e.name != name {
 			continue
@@ -114,6 +122,21 @@ func runOne(name string, cfg bench.Config) error {
 		res, err := e.run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
+		}
+		if jsonOut {
+			// One self-describing JSON document per experiment: the result
+			// struct verbatim (e.g. the stream rows carry the requested plan
+			// and the executed join/dfs plan counts) under its name.
+			out, err := json.MarshalIndent(struct {
+				Experiment string      `json:"experiment"`
+				ElapsedMs  int64       `json:"elapsed_ms"`
+				Result     interface{} `json:"result"`
+			}{Experiment: name, ElapsedMs: time.Since(start).Milliseconds(), Result: res}, "", "  ")
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println(string(out))
+			return nil
 		}
 		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

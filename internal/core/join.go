@@ -6,18 +6,66 @@ import (
 	"pathenum/internal/graph"
 )
 
-// JoinStats reports the materialization footprint of one Algorithm-6 run,
-// feeding the partial-result memory numbers of Table 7.
+// JoinStats reports the footprint of one Algorithm-6 run, feeding the
+// partial-result memory numbers of Table 7. The join is tuple-at-a-time:
+// only the build side is materialized (into hash buckets keyed by the cut
+// vertex), while the probe side is generated lazily one walk at a time, so
+// the memory bound is the build side plus a single in-flight probe walk.
 type JoinStats struct {
-	LeftTuples   int64 // |Ra| = results of Q[0:cut]
-	RightTuples  int64 // |Rb| = results of Q[cut:k]
-	PartialBytes int64 // bytes materialized for Ra plus Rb
+	// LeftTuples / RightTuples count the walks of Ra = Q[0:cut] and
+	// Rb = Q[cut:k] the run generated. The build side's count is
+	// materialized; the probe side's walks existed one at a time (see
+	// ProbeWalks) — on a stopped run the probe count measures how far the
+	// lazy generator got, not a materialized set.
+	LeftTuples  int64
+	RightTuples int64
+	// PartialBytes is the bytes actually materialized: the build side's
+	// flat tuple storage and bucket indices plus the single in-flight
+	// probe walk buffer.
+	PartialBytes int64
+	// BuildLeft reports which side was hashed: true means Ra was
+	// materialized and Rb probed lazily, false the reverse.
+	BuildLeft bool
+	// BuildTuples is the number of walks materialized into the hash side.
+	BuildTuples int64
+	// ProbeWalks is the number of probe-side walks fully generated. A run
+	// stopped after n emitted paths keeps it near n — the lazy probe DFS
+	// expands no further half-side walks once stopped.
+	ProbeWalks int64
+}
+
+// BuildSide selects which half of the cut EnumerateJoinSide materializes
+// into hash buckets; the other half is probed tuple-at-a-time.
+type BuildSide int
+
+const (
+	// BuildAuto materializes the smaller half per the Algorithm-5
+	// estimator (|Q[0:cut]| vs |Q[cut:k]| at the cut).
+	BuildAuto BuildSide = iota
+	// BuildLeft materializes Ra = Q[0:cut] and probes Q[cut:k].
+	BuildLeft
+	// BuildRight materializes Rb = Q[cut:k] and probes Q[0:cut].
+	BuildRight
+)
+
+// String implements fmt.Stringer.
+func (s BuildSide) String() string {
+	switch s {
+	case BuildAuto:
+		return "auto"
+	case BuildLeft:
+		return "left"
+	case BuildRight:
+		return "right"
+	default:
+		return fmt.Sprintf("BuildSide(%d)", int(s))
+	}
 }
 
 // joinSearcher materializes one side of the cut with the index DFS of
 // Algorithm 6 (procedure Search): it collects *walks* — no duplicate-vertex
 // check — of a fixed vertex count; path validity is checked at join time,
-// as §6.3 prescribes.
+// as §6.3 prescribes. The streaming join uses it only for the build side.
 type joinSearcher struct {
 	ix       *Index
 	tuples   []graph.VertexID // flat storage, stride = tupleLen
@@ -56,12 +104,56 @@ func (js *joinSearcher) search() {
 	}
 }
 
-// EnumerateJoin runs the join on the index (Algorithm 6) with the given cut
-// position in [1, k-1]: it materializes Ra = Q[0:cut] and Rb = Q[cut:k]
-// with depth-first searches on the index, hash-joins them on the cut vertex
-// and emits every joined tuple that is a valid simple path. It returns true
-// when the run completed (no stop/limit) and fills stats when non-nil.
+// joinEnumerator is the tuple-at-a-time join of Algorithm 6: the build
+// side is materialized once into hash buckets keyed by the cut vertex,
+// then the probe side's index DFS runs lazily — each completed probe walk
+// is joined against its bucket, validated and emitted immediately, before
+// the DFS advances. Under an unbuffered stream the Emit inside emitJoined
+// is the consumer's yield, so the probe recursion suspends mid-walk
+// between pulls and stops dead when the consumer leaves.
+type joinEnumerator struct {
+	ix  *Index
+	cut int
+	ctl *RunControl
+	ctr *Counters
+
+	buildLeft bool
+	buildLen  int              // vertices per build tuple
+	tuples    []graph.VertexID // build-side walks, flat, stride buildLen
+	buckets   map[graph.VertexID][]int32
+	order     []graph.VertexID // distinct cut vertices of Ra, probe order
+
+	probeLen   int
+	probeBuf   []graph.VertexID
+	joined     []graph.VertexID
+	seen       []int32
+	vepoch     int32
+	ticker     uint32
+	probeWalks int64
+	stopped    bool
+}
+
+// EnumerateJoin runs the tuple-at-a-time join on the index (Algorithm 6)
+// with the given cut position in [1, k-1], materializing the smaller half
+// per the Algorithm-5 estimator. Resolving that side runs FullEstimate —
+// an O(k * |E(index)|) DP — so callers that already hold an Estimate (or
+// sit in a timed loop) should pass Estimate.BuildSideAt's answer to
+// EnumerateJoinSide instead, as the executor does via Plan.Build.
 func EnumerateJoin(ix *Index, cut int, ctl RunControl, ctr *Counters, stats *JoinStats) (bool, error) {
+	return EnumerateJoinSide(ix, cut, BuildAuto, ctl, ctr, stats)
+}
+
+// EnumerateJoinSide runs the join with an explicit build side: the chosen
+// half is materialized with depth-first searches on the index and hashed
+// on the cut vertex; the other half is generated lazily, one walk at a
+// time, each joined walk validated (simple-path check, Theorem 3.1) and
+// emitted before the probe advances — the first result is delivered after
+// building only one side, and the memory bound is that side plus a single
+// in-flight probe walk. Results and Counters.Results are identical for
+// either side and match the materialize-then-probe formulation (only the
+// emission order differs). It returns true when the run completed (no
+// stop/limit) and fills stats — also on early stops — when non-nil.
+func EnumerateJoinSide(ix *Index, cut int, side BuildSide, ctl RunControl, ctr *Counters, stats *JoinStats) (bool, error) {
 	if ctr == nil {
 		ctr = &Counters{}
 	}
@@ -72,89 +164,233 @@ func EnumerateJoin(ix *Index, cut int, ctl RunControl, ctr *Counters, stats *Joi
 	if cut < 1 || cut >= k {
 		return false, fmt.Errorf("core: join cut %d out of range [1,%d]", cut, k-1)
 	}
-
-	// Phase 1: Ra = walks from s spanning positions 0..cut.
-	left := &joinSearcher{
-		ix:       ix,
-		tupleLen: cut + 1,
-		startPos: 0,
-		buf:      make([]graph.VertexID, 0, cut+1),
-		ctr:      ctr,
-		ctl:      &ctl,
+	if side == BuildAuto {
+		side = FullEstimate(ix).BuildSideAt(cut)
 	}
-	left.buf = append(left.buf, ix.q.S)
-	left.search()
-	if left.stopped {
+	je := &joinEnumerator{
+		ix:        ix,
+		cut:       cut,
+		ctl:       &ctl,
+		ctr:       ctr,
+		buildLeft: side == BuildLeft,
+		buckets:   make(map[graph.VertexID][]int32),
+		seen:      make([]int32, ix.g.NumVertices()),
+		joined:    make([]graph.VertexID, 0, k+1),
+	}
+	if je.buildLeft {
+		je.buildLen, je.probeLen = cut+1, k-cut+1
+	} else {
+		je.buildLen, je.probeLen = k-cut+1, cut+1
+	}
+	je.probeBuf = make([]graph.VertexID, 0, je.probeLen)
+	if stats != nil {
+		defer je.fill(stats)
+	}
+	if !je.build() {
 		return false, nil
 	}
-	nLeft := int64(len(left.tuples) / (cut + 1))
+	je.probe()
+	return !je.stopped, nil
+}
 
-	// Phase 2: C = distinct cut vertices of Ra; Rb = walks spanning
-	// positions cut..k grouped by their first vertex.
-	type rng struct{ lo, hi int64 }
-	groups := make(map[graph.VertexID]rng)
-	right := &joinSearcher{
-		ix:       ix,
-		tupleLen: k - cut + 1,
-		startPos: cut,
-		buf:      make([]graph.VertexID, 0, k-cut+1),
-		ctr:      ctr,
-		ctl:      &ctl,
+// build materializes the hash side and buckets it by cut vertex. Reports
+// false when a stop hook fired mid-build.
+func (je *joinEnumerator) build() bool {
+	js := &joinSearcher{
+		ix:       je.ix,
+		tupleLen: je.buildLen,
+		buf:      make([]graph.VertexID, 0, je.buildLen),
+		ctr:      je.ctr,
+		ctl:      je.ctl,
 	}
-	stride := int64(cut + 1)
-	rStride := int64(k - cut + 1)
-	for i := int64(0); i < nLeft; i++ {
-		v := left.tuples[i*stride+int64(cut)]
-		if _, done := groups[v]; done {
-			continue
+	if je.buildLeft {
+		// Ra = walks from s spanning positions 0..cut, bucketed by their
+		// cut vertex; first-appearance order keeps the probe deterministic.
+		js.startPos = 0
+		js.buf = append(js.buf, je.ix.q.S)
+		js.search()
+		je.tuples = js.tuples
+		if js.stopped {
+			je.stopped = true
+			return false
 		}
-		lo := int64(len(right.tuples)) / rStride
-		right.buf = right.buf[:0]
-		right.buf = append(right.buf, v)
-		right.search()
-		if right.stopped {
-			return false, nil
+		for i := 0; i*je.buildLen < len(je.tuples); i++ {
+			v := je.tuples[i*je.buildLen+je.cut]
+			if _, ok := je.buckets[v]; !ok {
+				je.order = append(je.order, v)
+			}
+			je.buckets[v] = append(je.buckets[v], int32(i))
 		}
-		hi := int64(len(right.tuples)) / rStride
-		groups[v] = rng{lo: lo, hi: hi}
+		return true
 	}
-	nRight := int64(len(right.tuples)) / rStride
-	if stats != nil {
-		stats.LeftTuples = nLeft
-		stats.RightTuples = nRight
-		stats.PartialBytes = int64(len(left.tuples)+len(right.tuples)) * 4
+	// Rb = walks spanning positions cut..k, one search per possible cut
+	// vertex. Distance bounds (C_cut membership) are necessary but not
+	// sufficient for a vertex to appear at the cut — padding lives only at
+	// t, so the left half needs a genuine length-cut walk — hence the
+	// exact-position reachability filter, which also keeps |Rb| within the
+	// delta_W bound of Proposition 6.1.
+	js.startPos = je.cut
+	for _, p := range je.ix.exactReachPositions(je.cut) {
+		v := je.ix.verts[p]
+		lo := int32(len(js.tuples) / je.buildLen)
+		js.buf = js.buf[:0]
+		js.buf = append(js.buf, v)
+		js.search()
+		if js.stopped {
+			je.tuples = js.tuples
+			je.stopped = true
+			return false
+		}
+		hi := int32(len(js.tuples) / je.buildLen)
+		if hi > lo {
+			idx := make([]int32, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				idx = append(idx, i)
+			}
+			je.buckets[v] = idx
+		}
 	}
+	je.tuples = js.tuples
+	return true
+}
 
-	// Phase 3: hash join on the cut vertex; validate and emit.
-	joined := make([]graph.VertexID, 0, k+1)
-	seen := make([]int32, ix.g.NumVertices())
-	epoch := int32(0)
-	for i := int64(0); i < nLeft; i++ {
-		la := left.tuples[i*stride : (i+1)*stride]
-		g := groups[la[cut]]
-		for j := g.lo; j < g.hi; j++ {
-			rb := right.tuples[j*rStride : (j+1)*rStride]
-			joined = joined[:0]
-			joined = append(joined, la...)
-			joined = append(joined, rb[1:]...) // rb[0] == la[cut]
-			epoch++
-			if path, ok := validatePath(joined, ix.q.T, seen, epoch); ok {
-				ctr.Results++
-				if ctl.Emit != nil && !ctl.Emit(path) {
-					return false, nil
-				}
-				if ctl.Limit > 0 && ctr.Results >= ctl.Limit {
-					return false, nil
-				}
-			}
-			if ctl.ShouldStop != nil {
-				if epoch%stopCheckInterval == 0 && ctl.ShouldStop() {
-					return false, nil
-				}
+// probe drives the lazy side. Build-left probes the right half with one
+// DFS per distinct cut vertex of Ra; build-right probes the left half with
+// a single DFS from s.
+func (je *joinEnumerator) probe() {
+	if je.buildLeft {
+		for _, v := range je.order {
+			je.probeBuf = append(je.probeBuf[:0], v)
+			je.probeFrom(je.cut)
+			if je.stopped {
+				return
 			}
 		}
+		return
 	}
-	return true, nil
+	je.probeBuf = append(je.probeBuf[:0], je.ix.q.S)
+	je.probeFrom(0)
+}
+
+// probeFrom extends the in-flight probe walk one vertex at a time
+// (startPos is the absolute query position of probeBuf[0]); a complete
+// walk is joined and emitted before the DFS advances, so a consumer that
+// stops pulling suspends the recursion mid-walk and a stop unwinds it
+// without expanding further half-side walks.
+func (je *joinEnumerator) probeFrom(startPos int) {
+	depth := len(je.probeBuf)
+	if depth == je.probeLen {
+		je.probeWalks++
+		je.emitJoined()
+		return
+	}
+	je.ticker++
+	if je.ticker%stopCheckInterval == 0 && je.ctl.ShouldStop != nil && je.ctl.ShouldStop() {
+		je.stopped = true
+		return
+	}
+	v := je.probeBuf[depth-1]
+	budget := je.ix.k - startPos - (depth - 1) - 1
+	nbrs := je.ix.OutUpTo(v, budget)
+	je.ctr.EdgesAccessed += uint64(len(nbrs))
+	for _, w := range nbrs {
+		je.probeBuf = append(je.probeBuf, w)
+		je.probeFrom(startPos)
+		je.probeBuf = je.probeBuf[:depth]
+		if je.stopped {
+			return
+		}
+	}
+}
+
+// emitJoined hash-joins the completed probe walk against its bucket,
+// validating and emitting every simple path immediately.
+func (je *joinEnumerator) emitJoined() {
+	var bucket []int32
+	if je.buildLeft {
+		bucket = je.buckets[je.probeBuf[0]]
+	} else {
+		bucket = je.buckets[je.probeBuf[len(je.probeBuf)-1]]
+		if bucket == nil {
+			return // no right walk starts at this left walk's cut vertex
+		}
+	}
+	for _, i := range bucket {
+		bt := je.tuples[int(i)*je.buildLen : (int(i)+1)*je.buildLen]
+		je.joined = je.joined[:0]
+		if je.buildLeft {
+			je.joined = append(je.joined, bt...)
+			je.joined = append(je.joined, je.probeBuf[1:]...) // probeBuf[0] == bt[cut]
+		} else {
+			je.joined = append(je.joined, je.probeBuf...)
+			je.joined = append(je.joined, bt[1:]...) // bt[0] == probeBuf[cut]
+		}
+		je.vepoch++
+		if path, ok := validatePath(je.joined, je.ix.q.T, je.seen, je.vepoch); ok {
+			je.ctr.Results++
+			if je.ctl.Emit != nil && !je.ctl.Emit(path) {
+				je.stopped = true
+				return
+			}
+			if je.ctl.Limit > 0 && je.ctr.Results >= je.ctl.Limit {
+				je.stopped = true
+				return
+			}
+		}
+		if je.ctl.ShouldStop != nil && je.vepoch%stopCheckInterval == 0 && je.ctl.ShouldStop() {
+			je.stopped = true
+			return
+		}
+	}
+}
+
+// fill snapshots the run's footprint into stats (all exit paths).
+func (je *joinEnumerator) fill(stats *JoinStats) {
+	nBuild := int64(0)
+	if je.buildLen > 0 {
+		nBuild = int64(len(je.tuples)) / int64(je.buildLen)
+	}
+	stats.BuildLeft = je.buildLeft
+	stats.BuildTuples = nBuild
+	stats.ProbeWalks = je.probeWalks
+	if je.buildLeft {
+		stats.LeftTuples, stats.RightTuples = nBuild, je.probeWalks
+	} else {
+		stats.LeftTuples, stats.RightTuples = je.probeWalks, nBuild
+	}
+	stats.PartialBytes = int64(len(je.tuples))*4 + nBuild*4 + int64(cap(je.probeBuf))*4
+}
+
+// exactReachPositions returns the dense positions of the vertices
+// reachable from s in exactly cut index steps — the possible cut vertices
+// of a left half-tuple. O(cut * |E(index)|) boolean DP mirroring the left
+// searcher's budgets (step i admits neighbors w with w.t <= k-i).
+func (ix *Index) exactReachPositions(cut int) []int32 {
+	m := len(ix.verts)
+	cur := make([]bool, m)
+	next := make([]bool, m)
+	cur[ix.pos[ix.q.S]] = true
+	for step := 1; step <= cut; step++ {
+		for i := range next {
+			next[i] = false
+		}
+		for p := 0; p < m; p++ {
+			if !cur[p] {
+				continue
+			}
+			for _, w := range ix.outUpToPos(int32(p), ix.k-step) {
+				next[ix.pos[w]] = true
+			}
+		}
+		cur, next = next, cur
+	}
+	var out []int32
+	for p := 0; p < m; p++ {
+		if cur[p] {
+			out = append(out, int32(p))
+		}
+	}
+	return out
 }
 
 // validatePath checks whether the padded-walk tuple r (k+1 vertices ending

@@ -187,6 +187,88 @@ func TestJoinDFSAgree(t *testing.T) {
 	}
 }
 
+// TestJoinBuildSidesAgree: both explicit build sides produce the oracle
+// path set and identical counts for every interior cut, and the stats
+// describe the side actually hashed.
+func TestJoinBuildSidesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(10)
+		g := gen.ErdosRenyi(n, n*3, rng.Int63())
+		s := graph.VertexID(rng.Intn(n))
+		tt := graph.VertexID(rng.Intn(n))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(4)
+		ix := mustIndex(t, g, Query{S: s, T: tt, K: k})
+		want := brutePathsLocal(g, s, tt, k)
+		for cut := 1; cut < k; cut++ {
+			for _, side := range []BuildSide{BuildLeft, BuildRight} {
+				var ctr Counters
+				var stats JoinStats
+				var got [][]graph.VertexID
+				done, err := EnumerateJoinSide(ix, cut, side, RunControl{Emit: func(p []graph.VertexID) bool {
+					got = append(got, append([]graph.VertexID(nil), p...))
+					return true
+				}}, &ctr, &stats)
+				if err != nil || !done {
+					t.Fatalf("trial %d cut %d side %v: done=%v err=%v", trial, cut, side, done, err)
+				}
+				if !samePaths(got, want) {
+					t.Fatalf("trial %d cut %d side %v: %d paths, oracle %d", trial, cut, side, len(got), len(want))
+				}
+				if ctr.Results != uint64(len(want)) {
+					t.Fatalf("trial %d cut %d side %v: Results=%d, want %d", trial, cut, side, ctr.Results, len(want))
+				}
+				if !ix.Empty() {
+					if stats.BuildLeft != (side == BuildLeft) {
+						t.Fatalf("trial %d cut %d side %v: stats.BuildLeft=%v", trial, cut, side, stats.BuildLeft)
+					}
+					// On a completed run the probe count is the probe side's
+					// tuple count and the build count the hashed side's.
+					build, probe := stats.LeftTuples, stats.RightTuples
+					if !stats.BuildLeft {
+						build, probe = stats.RightTuples, stats.LeftTuples
+					}
+					if stats.BuildTuples != build || stats.ProbeWalks != probe {
+						t.Fatalf("trial %d cut %d side %v: stats inconsistent: %+v", trial, cut, side, stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinFirstEmitBeforeProbeExhaustion is the tuple-at-a-time contract
+// at the core level: stopping at the first emitted path leaves the probe
+// side essentially unexpanded — one in-flight walk, not a materialized
+// half side — for either build side.
+func TestJoinFirstEmitBeforeProbeExhaustion(t *testing.T) {
+	g := gen.Layered(6, 4) // 1296 paths, k = 5
+	ix := mustIndex(t, g, Query{S: 0, T: 1, K: 5})
+	for _, side := range []BuildSide{BuildLeft, BuildRight} {
+		var stats JoinStats
+		count := 0
+		done, err := EnumerateJoinSide(ix, 2, side, RunControl{Emit: func([]graph.VertexID) bool {
+			count++
+			return false
+		}}, nil, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done || count != 1 {
+			t.Fatalf("side %v: done=%v count=%d", side, done, count)
+		}
+		if stats.ProbeWalks != 1 {
+			t.Fatalf("side %v: ProbeWalks=%d after one emitted path, want 1 (lazy probe)", side, stats.ProbeWalks)
+		}
+		if stats.BuildTuples == 0 {
+			t.Fatalf("side %v: build side empty on a path-producing query", side)
+		}
+	}
+}
+
 func TestValidatePath(t *testing.T) {
 	seen := make([]int32, 10)
 	cases := []struct {

@@ -39,6 +39,10 @@ type Plan struct {
 	Method Method
 	// Cut is the join cut position i*; meaningful when Method is MethodJoin.
 	Cut int
+	// Build is the resolved hash side of the tuple-at-a-time join — the
+	// smaller estimated half at Cut (BuildLeft or BuildRight); meaningful
+	// when Method is MethodJoin.
+	Build BuildSide
 	// Preliminary is the Equation-5 estimate that gated the decision.
 	Preliminary float64
 	// Full holds the full-fledged estimate, or nil when the preliminary
@@ -64,6 +68,7 @@ func ChoosePlan(ix *Index, tau float64) Plan {
 		plan.Method = MethodDFS
 	} else {
 		plan.Method = MethodJoin
+		plan.Build = est.BuildSideAt(est.Cut)
 	}
 	return plan
 }

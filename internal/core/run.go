@@ -47,7 +47,11 @@ type Timings struct {
 // Total returns the full query time.
 func (t Timings) Total() time.Duration { return t.Build + t.Optimize + t.Enumerate }
 
-// Result reports the outcome of one query execution.
+// Result reports the outcome of one query execution. JoinStats is
+// meaningful for join-planned runs (Plan.Method == MethodJoin): it
+// records the build/probe footprint of the tuple-at-a-time join,
+// including runs stopped early — ProbeWalks then shows how far the lazy
+// probe got.
 type Result struct {
 	Query     Query
 	Plan      Plan

@@ -15,6 +15,13 @@ import (
 // paper's title promises, composed with contexts and backpressure instead
 // of trapped inside a callback.
 //
+// Both enumerators are genuinely incremental behind that Emit: the DFS
+// emits as it walks, and the join (EnumerateJoinSide) materializes only
+// its build side before probing tuple-at-a-time — so a join-planned
+// stream's first path costs one half-side build, not a full
+// materialize-then-probe pass, and in unbuffered mode the consumer's
+// backpressure suspends the probe DFS mid-walk between pulls.
+//
 // Two delivery modes share one contract:
 //
 //   - Unbuffered (StreamConfig.Buffer == 0): the enumeration runs inside

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"iter"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"pathenum/internal/gen"
 	"pathenum/internal/graph"
@@ -351,6 +353,82 @@ func TestStreamSharedFrontiers(t *testing.T) {
 	}
 	if !sawStale {
 		t.Fatal("stale frontier must fail the stream")
+	}
+}
+
+// TestStreamJoinEarlyTermination: cancelling a join-planned stream after
+// the first few paths stops the probe-side DFS promptly — JoinStats must
+// show no further half-side walks were expanded — in both delivery modes.
+func TestStreamJoinEarlyTermination(t *testing.T) {
+	g, q := layeredGraph(t, 6, 5) // 7776 paths; probe side has 216 walks
+	for _, buffer := range []int{0, 3} {
+		sess := NewSession(g, nil)
+		var res *Result
+		got := 0
+		for p, err := range sess.StreamWith(context.Background(), q, Options{Method: MethodJoin}, StreamConfig{
+			Buffer:   buffer,
+			OnResult: func(r *Result) { res = r },
+		}) {
+			if err != nil {
+				t.Fatalf("buffer=%d: %v", buffer, err)
+			}
+			if len(p) == 0 {
+				t.Fatalf("buffer=%d: empty path", buffer)
+			}
+			got++
+			if got == 3 {
+				break
+			}
+		}
+		if res == nil {
+			t.Fatalf("buffer=%d: OnResult must settle before the iterator returns", buffer)
+		}
+		if res.Plan.Method != MethodJoin {
+			t.Fatalf("buffer=%d: plan %v, want MethodJoin", buffer, res.Plan.Method)
+		}
+		if res.Completed {
+			t.Fatalf("buffer=%d: Completed=true on an abandoned stream", buffer)
+		}
+		// Promptness: an abandoned consumer stops the lazy probe within the
+		// few walks its pulls (plus any producer run-ahead) could demand —
+		// nowhere near the 216-walk probe side a materializing join would
+		// have built up front.
+		if maxWalks := int64(got + buffer + 2); res.JoinStats.ProbeWalks > maxWalks {
+			t.Fatalf("buffer=%d: ProbeWalks=%d after %d consumed paths, want <= %d",
+				buffer, res.JoinStats.ProbeWalks, got, maxWalks)
+		}
+		if res.JoinStats.BuildTuples == 0 {
+			t.Fatalf("buffer=%d: build side empty on a join-planned run", buffer)
+		}
+	}
+}
+
+// TestStreamJoinBufferedNoGoroutineLeak: abandoning buffered join-planned
+// streams repeatedly must wind every producer goroutine down — the
+// iterator's drain-on-exit contract, now exercised with a probe DFS
+// suspended mid-walk at abandonment.
+func TestStreamJoinBufferedNoGoroutineLeak(t *testing.T) {
+	g, q := layeredGraph(t, 6, 5)
+	sess := NewSession(g, nil)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		n := 0
+		for _, err := range sess.StreamWith(context.Background(), q, Options{Method: MethodJoin}, StreamConfig{Buffer: 4}) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			if n == 2 {
+				break
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("%d goroutines after abandoned buffered join streams, was %d", now, before)
 	}
 }
 

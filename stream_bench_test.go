@@ -97,6 +97,81 @@ func BenchmarkStreamEnumerateBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamDFSFirstPath is the DFS-planned first-path baseline:
+// Method DFS forced on the same query, so the join benchmark below has an
+// explicit yardstick (the optimizer picks the join on this graph, so the
+// auto benchmark above is not a DFS measurement).
+func BenchmarkStreamDFSFirstPath(b *testing.B) {
+	e, q := benchStreamEngine(b)
+	ctx := context.Background()
+	req := NewRequest(q)
+	req.Method = DFS
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, stop := iter.Pull2(e.Stream(ctx, req))
+		p, err, ok := next()
+		if !ok || err != nil || len(p) == 0 {
+			b.Fatalf("first pull: ok=%v err=%v", ok, err)
+		}
+		stop()
+	}
+}
+
+// BenchmarkStreamJoinFirstPath measures time-to-first-path on a
+// join-planned query: each iteration opens an unbuffered stream with
+// Method Join forced, pulls exactly one path and stops. With the
+// tuple-at-a-time join the first path costs one half-side build plus a
+// single probe walk — the acceptance bar is staying within ~2x of
+// BenchmarkStreamDFSFirstPath, where the materialize-then-probe
+// formulation paid both half sides up front before emitting anything.
+func BenchmarkStreamJoinFirstPath(b *testing.B) {
+	e, q := benchStreamEngine(b)
+	ctx := context.Background()
+	req := NewRequest(q)
+	req.Method = Join
+	var res *Result
+	req.OnResult = func(r *Result) { res = r }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, stop := iter.Pull2(e.Stream(ctx, req))
+		p, err, ok := next()
+		if !ok || err != nil || len(p) == 0 {
+			b.Fatalf("first pull: ok=%v err=%v", ok, err)
+		}
+		stop()
+	}
+	b.StopTimer()
+	if res == nil || res.Plan.Method != Join {
+		b.Fatalf("benchmark did not run join-planned: %+v", res)
+	}
+}
+
+// BenchmarkStreamJoinDrain drains the full join-planned stream — the
+// streaming cost of delivering every path through the tuple-at-a-time
+// join, to compare against BenchmarkStreamDrain's DFS plan.
+func BenchmarkStreamJoinDrain(b *testing.B) {
+	e, q := benchStreamEngine(b)
+	ctx := context.Background()
+	req := NewRequest(q)
+	req.Method = Join
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, err := range e.Stream(ctx, req) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
 // BenchmarkStreamWhileInsert measures streaming under a concurrent write
 // load: one writer inserting (and publishing) while the measured
 // goroutine streams — the turnkey dynamic scenario.
