@@ -11,8 +11,8 @@
 //	benchpath -plan join -json stream   # join-planned streaming, JSON report
 //
 // Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
-// fig10 fig12 fig13 fig16 fig17 fig18 ext batch cache stream (fig10
-// covers figure 11; fig13 covers figures 14 and 15; ext is this
+// fig10 fig12 fig13 fig16 fig17 fig18 ext batch cache stream parallel
+// (fig10 covers figure 11; fig13 covers figures 14 and 15; ext is this
 // repository's extension ablation; batch compares the shared-computation
 // batch subsystem against the naive per-query fan-out on shared-endpoint
 // workloads; cache repeats a shared-hub batch to show the second call
@@ -21,7 +21,9 @@
 // against full enumeration — the real-time delivery metric; -plan forces
 // the enumeration plan there, so `stream -plan join` isolates the
 // tuple-at-a-time join's first-path latency, and the -json report
-// carries the plan kind per row).
+// carries the plan kind per row; parallel sweeps intra-query fan-out —
+// Options.Parallelism doubling 1, 2, ... up to -parallel — reporting
+// drain speedup and first-path latency per fan-out).
 package main
 
 import (
@@ -62,6 +64,7 @@ var experiments = []struct {
 	{"batch", func(c bench.Config) (renderable, error) { return bench.Batch(c) }},
 	{"cache", func(c bench.Config) (renderable, error) { return bench.Cache(c) }},
 	{"stream", func(c bench.Config) (renderable, error) { return bench.Stream(c) }},
+	{"parallel", func(c bench.Config) (renderable, error) { return bench.Parallel(c) }},
 }
 
 func main() {
@@ -73,6 +76,7 @@ func main() {
 		datasets  = flag.String("datasets", "", "comma-separated dataset subset")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		plan      = flag.String("plan", "auto", "forced plan for plan-aware experiments (auto|dfs|join)")
+		parallel  = flag.Int("parallel", 4, "maximum intra-query fan-out for the parallel experiment")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	)
 	flag.Parse()
@@ -90,6 +94,7 @@ func main() {
 	cfg.TimeLimit = *timeLimit
 	cfg.Seed = *seed
 	cfg.Plan = *plan
+	cfg.Parallel = *parallel
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

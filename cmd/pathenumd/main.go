@@ -33,6 +33,15 @@
 // is served with zero BFS passes — watch bfsPassesRun and cacheHits in
 // the /batch stats, and hit GET /stats for the cache counters and the
 // graph epoch.
+//
+// A single heavy query can additionally fan its enumeration across the
+// engine's worker pool: set "parallel":N in the /query or /paths body (or
+// override with ?parallel=N) to shard the join's probe walks or the DFS's
+// first-hop subtrees across up to N goroutines, capped at the engine's
+// -workers. Counts, limits and path sets are identical to the sequential
+// run; only delivery order differs. GET /stats reports the pool gauges
+// (in-flight queries, parallel shards, utilization) so the fan-out is
+// observable in production.
 package main
 
 import (

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"pathenum"
+	"pathenum/internal/gen"
+)
+
+// parallelTestServer serves a denser random graph behind a 4-worker engine
+// so the fan-out has real work to shard.
+func parallelTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := gen.BarabasiAlbert(80, 3, 17)
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(engine, nil).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestQueryParallelAgrees: the "parallel" JSON field and the ?parallel=
+// URL override both run the query through the sharded enumerators and
+// report the same count as the sequential run.
+func TestQueryParallelAgrees(t *testing.T) {
+	ts := parallelTestServer(t)
+	_, seq := postQuery(t, ts, `{"s":79,"t":0,"k":5}`)
+	if seq.Count == 0 || !seq.Completed {
+		t.Fatalf("sequential response = %+v", seq)
+	}
+	for _, body := range []string{
+		`{"s":79,"t":0,"k":5,"parallel":2}`,
+		`{"s":79,"t":0,"k":5,"parallel":4}`,
+		`{"s":79,"t":0,"k":5,"parallel":64}`, // capped at engine workers
+	} {
+		resp, qr := postQuery(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", body, resp.StatusCode)
+		}
+		if qr.Count != seq.Count || !qr.Completed {
+			t.Fatalf("%s: response = %+v, want count %d", body, qr, seq.Count)
+		}
+	}
+	// URL override wins over the body field.
+	resp, err := http.Post(ts.URL+"/query?parallel=4", "application/json",
+		strings.NewReader(`{"s":79,"t":0,"k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != seq.Count {
+		t.Fatalf("?parallel=4 count = %d, want %d", qr.Count, seq.Count)
+	}
+}
+
+// TestQueryParallelErrors: negative fan-out is rejected in both the body
+// and the URL parameter.
+func TestQueryParallelErrors(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, _ := postQuery(t, ts, `{"s":0,"t":3,"k":3,"parallel":-1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parallel=-1 status = %d, want 400", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/query?parallel=bogus", "application/json",
+		strings.NewReader(`{"s":0,"t":3,"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?parallel=bogus status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestPathsParallelStream: /paths?parallel=N delivers the same path set
+// as the sequential stream — merge-delivered, order-insensitive.
+func TestPathsParallelStream(t *testing.T) {
+	ts := parallelTestServer(t)
+	collect := func(path, body string) []string {
+		var keys []string
+		for _, line := range ndjsonLines(t, ts, path, body) {
+			if line["done"] == true {
+				continue
+			}
+			raw, ok := line["path"].([]any)
+			if !ok {
+				t.Fatalf("path line = %v", line)
+			}
+			key := ""
+			for _, v := range raw {
+				key += "," + jsonNum(t, v)
+			}
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	seq := collect("/paths", `{"s":79,"t":0,"k":4}`)
+	if len(seq) == 0 {
+		t.Fatal("sequential stream delivered no paths")
+	}
+	par := collect("/paths?parallel=4", `{"s":79,"t":0,"k":4}`)
+	if len(par) != len(seq) {
+		t.Fatalf("parallel stream %d paths, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i] != seq[i] {
+			t.Fatalf("path set diverges at %d: %q vs %q", i, par[i], seq[i])
+		}
+	}
+}
+
+// TestStatsPool: /stats exposes the worker-pool gauges (worker count,
+// in-flight queries and parallel shards, utilization).
+func TestStatsPool(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Pool *poolStats `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pool == nil || stats.Pool.Workers != 2 {
+		t.Fatalf("pool = %+v, want 2 workers", stats.Pool)
+	}
+	if stats.Pool.InFlightQueries != 0 || stats.Pool.InFlightShards != 0 || stats.Pool.Utilization != 0 {
+		t.Fatalf("idle pool = %+v, want zero gauges", stats.Pool)
+	}
+}
+
+// TestBatchRejectsPerQueryParallel: /batch options are batch-wide; a
+// per-query "parallel" is rejected loudly, like the other overrides.
+func TestBatchRejectsPerQueryParallel(t *testing.T) {
+	ts := testServer(t, nil)
+	_, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3,"parallel":2},{"s":1,"t":3,"k":3}]}`)
+	if br.Results[0].Error == "" || !strings.Contains(br.Results[0].Error, "parallel") {
+		t.Fatalf("slot 0 = %+v, want per-query parallel rejection", br.Results[0])
+	}
+	if br.Results[1].Error != "" || br.Results[1].Count == 0 {
+		t.Fatalf("slot 1 = %+v, want clean result", br.Results[1])
+	}
+}

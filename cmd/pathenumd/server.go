@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"pathenum"
@@ -11,13 +12,14 @@ import (
 
 // queryRequest is the JSON body of POST /query.
 type queryRequest struct {
-	S       int64  `json:"s"`
-	T       int64  `json:"t"`
-	K       int    `json:"k"`
-	Method  string `json:"method,omitempty"`  // auto | dfs | join
-	Limit   uint64 `json:"limit,omitempty"`   // cap on enumerated results
-	Paths   bool   `json:"paths,omitempty"`   // include path vertex lists
-	Timeout string `json:"timeout,omitempty"` // e.g. "500ms"
+	S        int64  `json:"s"`
+	T        int64  `json:"t"`
+	K        int    `json:"k"`
+	Method   string `json:"method,omitempty"`   // auto | dfs | join
+	Limit    uint64 `json:"limit,omitempty"`    // cap on enumerated results
+	Paths    bool   `json:"paths,omitempty"`    // include path vertex lists
+	Timeout  string `json:"timeout,omitempty"`  // e.g. "500ms"
+	Parallel int    `json:"parallel,omitempty"` // intra-query fan-out (0 = sequential, capped at engine workers)
 }
 
 // queryResponse is the JSON reply.
@@ -128,6 +130,26 @@ func toCacheStats(cs pathenum.FrontierCacheStats) cacheStats {
 	}
 }
 
+// poolStats is the wire form of the engine's worker-pool occupancy: the
+// utilization of the pool and the intra-query parallel shards in flight,
+// so a parallel speedup is observable from the daemon, not just in
+// benchmarks.
+type poolStats struct {
+	Workers         int     `json:"workers"`
+	InFlightQueries int     `json:"inFlightQueries"`
+	InFlightShards  int     `json:"inFlightShards"`
+	Utilization     float64 `json:"utilization"`
+}
+
+func toPoolStats(ps pathenum.PoolStats) poolStats {
+	return poolStats{
+		Workers:         ps.Workers,
+		InFlightQueries: ps.InFlightQueries,
+		InFlightShards:  ps.InFlightShards,
+		Utilization:     ps.Utilization(),
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	g := s.engine.Graph()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -136,13 +158,19 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"avgDegree":     g.AvgDegree(),
 		"epoch":         s.engine.Epoch(),
 		"frontierCache": toCacheStats(s.engine.CacheStats()),
+		"pool":          toPoolStats(s.engine.PoolStats()),
 	})
 }
 
-// parseOptions converts wire-level method/limit/timeout to per-call option
-// overrides (zero fields inherit the engine defaults at execution time).
-func parseOptions(method string, limit uint64, timeout string) (pathenum.Options, error) {
-	opts := pathenum.Options{Limit: limit}
+// parseOptions converts wire-level method/limit/timeout/parallel to
+// per-call option overrides (zero fields inherit the engine defaults at
+// execution time; parallel is capped at the engine's worker count by the
+// merge).
+func parseOptions(method string, limit uint64, timeout string, parallel int) (pathenum.Options, error) {
+	if parallel < 0 {
+		return pathenum.Options{}, fmt.Errorf("bad parallel %d: must be >= 0", parallel)
+	}
+	opts := pathenum.Options{Limit: limit, Parallelism: parallel}
 	switch method {
 	case "", "auto":
 		opts.Method = pathenum.Auto
@@ -184,11 +212,26 @@ func (s *server) parseQuery(req queryRequest) (pathenum.Query, pathenum.Options,
 	if err != nil {
 		return pathenum.Query{}, pathenum.Options{}, err
 	}
-	opts, err := parseOptions(req.Method, req.Limit, req.Timeout)
+	opts, err := parseOptions(req.Method, req.Limit, req.Timeout, req.Parallel)
 	if err != nil {
 		return pathenum.Query{}, pathenum.Options{}, err
 	}
 	return q, opts, nil
+}
+
+// parallelOverride applies the ?parallel= URL query parameter over the
+// body's JSON field — a curl-friendly way to A/B the fan-out without
+// editing the request body.
+func parallelOverride(r *http.Request, body int) (int, error) {
+	raw := r.URL.Query().Get("parallel")
+	if raw == "" {
+		return body, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad parallel %q: must be an integer >= 0", raw)
+	}
+	return v, nil
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -199,6 +242,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q, opts, err := s.parseQuery(req)
 	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if opts.Parallelism, err = parallelOverride(r, opts.Parallelism); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -274,11 +321,16 @@ func (s *server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if opts.Parallelism, err = parallelOverride(r, opts.Parallelism); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	sreq := pathenum.NewRequest(q)
 	sreq.Method = opts.Method
 	sreq.Limit = opts.Limit
 	sreq.Timeout = opts.Timeout
+	sreq.Parallelism = opts.Parallelism
 	sreq.Buffer = streamBuffer
 	var sum *pathenum.Result
 	sreq.OnResult = func(res *pathenum.Result) { sum = res }
@@ -395,7 +447,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), maxBatchQueries)
 		return
 	}
-	opts, err := parseOptions(req.Method, req.Limit, req.Timeout)
+	opts, err := parseOptions(req.Method, req.Limit, req.Timeout, 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -411,8 +463,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, qr := range req.Queries {
 		// Options are batch-wide; reject per-query overrides loudly rather
 		// than dropping them.
-		if qr.Method != "" || qr.Limit != 0 || qr.Timeout != "" || qr.Paths {
-			out[i].Error = "per-query method/limit/timeout/paths are not supported in /batch; set them batch-wide"
+		if qr.Method != "" || qr.Limit != 0 || qr.Timeout != "" || qr.Paths || qr.Parallel != 0 {
+			out[i].Error = "per-query method/limit/timeout/paths/parallel are not supported in /batch; set them batch-wide"
 			continue
 		}
 		q, qerr := s.resolveQuery(qr.S, qr.T, qr.K)

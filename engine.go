@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pathenum/internal/batch"
 	"pathenum/internal/cache"
@@ -128,6 +129,12 @@ type Engine struct {
 	wmu     sync.Mutex
 	dyn     *Dynamic
 	pending int
+
+	// Worker-pool occupancy gauges (see PoolStats): queries currently
+	// executing through the single-query entry points, and the parallel
+	// enumeration shards those queries have fanned out.
+	inFlight atomic.Int64
+	inShards atomic.Int64
 }
 
 // NewEngine creates an engine over g.
@@ -374,6 +381,7 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 func (e *Engine) ExecuteWith(ctx context.Context, q Query, opts Options) (*Result, error) {
 	g, oracle, pool := e.view()
 	merged := e.MergeOptions(opts)
+	defer e.track(merged.Parallelism)()
 	fwd, bwd := e.frontiers(ctx, g, oracle, q, merged)
 	sess := pool.Get().(*core.Session)
 	defer pool.Put(sess)
@@ -476,7 +484,74 @@ func (e *Engine) MergeOptions(opts Options) Options {
 	if opts.Oracle == nil {
 		opts.Oracle = def.Oracle
 	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = def.Parallelism
+	}
+	// Intra-query fan-out is capped at the engine's worker count: a
+	// request cannot commandeer more goroutines than the pool is sized
+	// for, whatever it asks.
+	if opts.Parallelism > e.workers {
+		opts.Parallelism = e.workers
+	}
 	return opts
+}
+
+// PoolStats snapshots the engine's worker-pool occupancy: the configured
+// worker count, the queries currently executing through the single-query
+// entry points (ExecuteWith, Engine.Stream and the ExecuteAll fan-outs
+// riding on them) and the intra-query parallel enumeration shards those
+// queries have fanned out (Options.Parallelism > 1 counts its full merged
+// fan-out for the duration of the run). ExecuteBatch's scheduler manages
+// its own workers and is not reflected in the query gauge.
+type PoolStats struct {
+	// Workers is EngineConfig.Workers after defaulting.
+	Workers int
+	// InFlightQueries is the number of single-query executions currently
+	// running.
+	InFlightQueries int
+	// InFlightShards is the number of parallel enumeration shards
+	// currently fanned out by those queries.
+	InFlightShards int
+}
+
+// Utilization reports InFlightQueries against the worker count as a
+// 0..1+ ratio (parallel shards can push effective demand past 1).
+func (s PoolStats) Utilization() float64 {
+	if s.Workers <= 0 {
+		return 0
+	}
+	load := s.InFlightQueries
+	if s.InFlightShards > load {
+		load = s.InFlightShards
+	}
+	return float64(load) / float64(s.Workers)
+}
+
+// PoolStats returns the engine's current worker-pool occupancy gauges.
+func (e *Engine) PoolStats() PoolStats {
+	return PoolStats{
+		Workers:         e.workers,
+		InFlightQueries: int(e.inFlight.Load()),
+		InFlightShards:  int(e.inShards.Load()),
+	}
+}
+
+// track registers one in-flight query (and its parallel fan-out, when
+// parallelism > 1) with the pool gauges; the returned release must run
+// exactly once when the query settles.
+func (e *Engine) track(parallelism int) func() {
+	e.inFlight.Add(1)
+	var shards int64
+	if parallelism > 1 {
+		shards = int64(parallelism)
+		e.inShards.Add(shards)
+	}
+	return func() {
+		e.inFlight.Add(-1)
+		if shards != 0 {
+			e.inShards.Add(-shards)
+		}
+	}
 }
 
 // ExecuteAll runs the queries across the worker pool and returns results

@@ -34,6 +34,10 @@ type Config struct {
 	// (currently Stream): "auto" (or empty) runs the two-phase optimizer,
 	// "dfs" forces IDX-DFS, "join" forces the tuple-at-a-time IDX-JOIN.
 	Plan string
+	// Parallel is the maximum intra-query fan-out swept by the Parallel
+	// experiment (Options.Parallelism doubling 1, 2, ... up to this; 0
+	// defaults to 4).
+	Parallel int
 }
 
 // DefaultConfig returns the full-size laptop configuration used by
@@ -70,6 +74,9 @@ func (c Config) normalized() Config {
 	}
 	if c.ResponseK == 0 {
 		c.ResponseK = 1000
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 4
 	}
 	return c
 }

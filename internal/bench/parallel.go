@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"pathenum/internal/core"
+	"pathenum/internal/workload"
+)
+
+// ParallelRow reports the intra-query parallel enumeration experiment for
+// one (dataset, fan-out) pair: mean time-to-first-path and mean drain time
+// over the query set, with the drain speedup against the fan-out-1 row of
+// the same dataset. The path count is identical across fan-outs by
+// construction — the merge delivers exactly the sequential path set — so a
+// divergence here is a correctness bug, not a perf artifact.
+type ParallelRow struct {
+	Dataset string
+	// Fanout is the Options.Parallelism used for the row (1 = sequential
+	// baseline).
+	Fanout  int
+	Queries int
+	Paths   uint64
+
+	// FirstMs / TotalMs are the mean time-to-first-path and mean drain
+	// time per query; P99FirstMs is the 99th-percentile first-path.
+	FirstMs    float64
+	TotalMs    float64
+	P99FirstMs float64
+	// DrainSpeedup is the fan-out-1 TotalMs over this row's TotalMs — the
+	// intra-query scaling headline (1.0 for the baseline row itself).
+	DrainSpeedup float64
+}
+
+// ParallelResult is the parallel-experiment report.
+type ParallelResult struct {
+	K    int
+	Rows []ParallelRow
+}
+
+// Parallel measures intra-query parallel enumeration: each sampled query
+// is drained through the pull stream sequentially and again at increasing
+// fan-outs (Options.Parallelism doubling up to Config.Parallel), recording
+// time-to-first-path and drain time per fan-out. The drain speedup is the
+// worker-pool scaling claim; the flat first-path column is the latency
+// claim — sharding must not tax the first result the streaming API exists
+// to deliver.
+func Parallel(cfg Config) (*ParallelResult, error) {
+	cfg = cfg.normalized()
+	fanouts := []int{1}
+	for f := 2; f <= cfg.Parallel; f *= 2 {
+		fanouts = append(fanouts, f)
+	}
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"up", "db", "ep", "wt"}
+	}
+	res := &ParallelResult{K: cfg.K}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := sampleQueries(g, cfg)
+		if err != nil {
+			if err == workload.ErrNoQueries {
+				continue
+			}
+			return nil, err
+		}
+		sess := core.NewSession(g, nil)
+		var baseline float64
+		for _, fanout := range fanouts {
+			opts := core.Options{Timeout: cfg.TimeLimit, Parallelism: fanout}
+			row := ParallelRow{Dataset: name, Fanout: fanout, Queries: len(qs)}
+			var firsts []time.Duration
+			var firstSum, totalSum time.Duration
+			for _, wq := range qs {
+				q := core.Query{S: wq.S, T: wq.T, K: cfg.K}
+				start := time.Now()
+				first := time.Duration(-1)
+				n := uint64(0)
+				for _, serr := range sess.StreamWith(context.Background(), q, opts, core.StreamConfig{}) {
+					if serr != nil {
+						return nil, fmt.Errorf("%s fanout %d %v: %w", name, fanout, q, serr)
+					}
+					if first < 0 {
+						first = time.Since(start)
+					}
+					n++
+				}
+				totalSum += time.Since(start)
+				row.Paths += n
+				if first >= 0 {
+					firstSum += first
+					firsts = append(firsts, first)
+				}
+			}
+			if len(firsts) > 0 {
+				row.FirstMs = ms(firstSum) / float64(len(firsts))
+				row.P99FirstMs = ms(Percentile(firsts, 0.99))
+			}
+			row.TotalMs = ms(totalSum) / float64(len(qs))
+			if fanout == 1 {
+				baseline = row.TotalMs
+			}
+			if row.TotalMs > 0 && baseline > 0 {
+				row.DrainSpeedup = baseline / row.TotalMs
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the parallel experiment report.
+func (r *ParallelResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Intra-query parallel enumeration: drain speedup and first-path latency by fan-out (k=%d, unbuffered pull)\n", r.K)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tfanout\tqueries\tpaths\tfirst ms\tp99 first ms\tdrain ms\tspeedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.3g\t%.3g\t%.3g\t%.2fx\n",
+			row.Dataset, row.Fanout, row.Queries, row.Paths,
+			row.FirstMs, row.P99FirstMs, row.TotalMs, row.DrainSpeedup)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -129,8 +129,11 @@ func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd
 	res.Plan = selectPlan(ix, opts)
 	res.Timings.Optimize = time.Since(optStart)
 
-	// Phase 3: enumeration.
+	// Phase 3: enumeration, fanned across shard goroutines when the
+	// caller requested intra-query parallelism (the fan-out covers only
+	// this phase; phases 1-2 and the join's build side stay sequential).
 	ctl := RunControl{Emit: opts.Emit, Limit: opts.Limit, ShouldStop: shouldStop}
+	par := opts.Parallelism
 	enumStart := time.Now()
 	switch res.Plan.Method {
 	case MethodJoin:
@@ -138,13 +141,23 @@ func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd
 		// computed; the probe side streams through ctl.Emit tuple-at-a-time,
 		// so a pull consumer (Session.Stream) gets its first joined path
 		// after building only the smaller half.
-		done, err := EnumerateJoinSide(ix, res.Plan.Cut, res.Plan.Build, ctl, &res.Counters, &res.JoinStats)
+		var done bool
+		var err error
+		if par > 1 {
+			done, err = EnumerateJoinSideParallel(ix, res.Plan.Cut, res.Plan.Build, par, ctl, &res.Counters, &res.JoinStats)
+		} else {
+			done, err = EnumerateJoinSide(ix, res.Plan.Cut, res.Plan.Build, ctl, &res.Counters, &res.JoinStats)
+		}
 		if err != nil {
 			return nil, err
 		}
 		res.Completed = done
 	default:
-		res.Completed = e.enumerateDFS(ix, ctl, &res.Counters)
+		if par > 1 {
+			res.Completed = EnumerateDFSParallel(ix, par, ctl, &res.Counters)
+		} else {
+			res.Completed = e.enumerateDFS(ix, ctl, &res.Counters)
+		}
 	}
 	res.Timings.Enumerate = time.Since(enumStart)
 	return res, nil

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pathenum/internal/graph"
+)
+
+// This file implements intra-query parallel enumeration: one heavy query's
+// work fanned across shard goroutines and merged back into a single
+// Emit/Limit-observing delivery. Both enumeration methods expose the same
+// natural partition point — the probe walks of the tuple-at-a-time join
+// (one independent DFS per probe start) and the first-hop subtrees of the
+// index DFS — so a shard is simply a contiguous-by-round-robin slice of
+// those start positions, running with its own Counters and visited
+// scratch against the shared read-only Index (and, for the join, the
+// shared build side).
+//
+// The merge, not the shards, owns the consumer-facing semantics:
+// RunControl.Emit is called only from the merging goroutine (the
+// consumer's own goroutine under an unbuffered stream, so backpressure
+// and mid-iteration abandonment behave exactly like the sequential path),
+// and RunControl.Limit is enforced at the merge point so "stop after n
+// results" means n results total, not n per shard. Shards deliver in
+// chunks whose target size doubles from 1 — the first chunk is a single
+// path, preserving time-to-first-path, while steady-state drain amortizes
+// the channel hand-off across parallelChunkMax paths.
+//
+// Ownership contract: unlike the sequential enumerators' reused Emit
+// slice, every path a parallel entry point hands to Emit is a fresh slice
+// owned by the callee (a shard's buffer cannot be recycled under the
+// consumer's feet once it crosses the merge channel). The sequential
+// fallbacks taken when no fan-out is possible wrap Emit to keep that
+// contract, so callers may rely on it whenever they requested
+// parallelism.
+
+// parallelChunkMax bounds the per-shard emission chunk. Doubling from 1
+// up to this cap keeps the first delivery immediate while making the
+// per-path channel cost negligible on heavy drains.
+const parallelChunkMax = 256
+
+// mergeStopPollInterval is how many merged chunks pass between
+// ShouldStop polls at the merge point. Shards poll their own amortized
+// hook, so this only bounds how long a cancelled run keeps *delivering*
+// already-produced paths.
+const mergeStopPollInterval = 8
+
+// copyPath returns a fresh copy of p.
+func copyPath(p []graph.VertexID) []graph.VertexID {
+	return append(make([]graph.VertexID, 0, len(p)), p...)
+}
+
+// ownedEmit wraps ctl so a sequential fallback keeps the parallel entry
+// points' ownership contract: every path handed to Emit is a fresh slice.
+func ownedEmit(ctl RunControl) RunControl {
+	if ctl.Emit == nil {
+		return ctl
+	}
+	emit := ctl.Emit
+	ctl.Emit = func(p []graph.VertexID) bool { return emit(copyPath(p)) }
+	return ctl
+}
+
+// runShards fans run across nShards goroutines and merges their
+// deliveries under ctl's contract. Each shard receives its index, a
+// shard-local RunControl (Emit delivering into the merge, ShouldStop
+// folding the caller's hook with the merge's stop signal, Limit zero —
+// the merge enforces it) and a shard-local Counters; it must report
+// whether it ran to completion. runShards returns true only when every
+// shard completed and the merge itself did not stop (limit, consumer
+// stop or cancellation), and it never returns before every shard
+// goroutine has exited — abandoning consumers cannot leak goroutines.
+//
+// Counter aggregation: EdgesAccessed and InvalidPartials are summed from
+// the shard-local counters exactly once each. Results is owned by
+// whoever observed the deliveries — the merge loop when Emit is set, an
+// atomic delivery counter clamped to Limit in counting-with-limit mode,
+// and the shard-local sums when free-running — so on completed runs it
+// equals the sequential count exactly.
+func runShards(nShards int, ctl RunControl, ctr *Counters, run func(shard int, sctl RunControl, sctr *Counters) bool) bool {
+	done := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done) }) }
+	defer stop()
+
+	// stopper is the shard-side ShouldStop: the merge's stop signal or the
+	// caller's hook (newStopper closures are goroutine-safe).
+	stopper := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		return ctl.ShouldStop != nil && ctl.ShouldStop()
+	}
+
+	counters := make([]Counters, nShards)
+	completed := make([]bool, nShards)
+	var wg sync.WaitGroup
+
+	if ctl.Emit == nil {
+		// Counting modes: no paths cross goroutines. With a Limit, a shared
+		// atomic assigns each result a delivery number; numbers past the
+		// limit are refused shard-side (the shard stops) and clamped out of
+		// the aggregate, so Results is exact — never limit+nShards-1.
+		var delivered atomic.Uint64
+		limit := ctl.Limit
+		for i := 0; i < nShards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sctl := RunControl{ShouldStop: stopper}
+				if limit > 0 {
+					sctl.Emit = func([]graph.VertexID) bool {
+						n := delivered.Add(1)
+						if n >= limit {
+							stop()
+							return false
+						}
+						return true
+					}
+				}
+				completed[i] = run(i, sctl, &counters[i])
+			}(i)
+		}
+		wg.Wait()
+		all := true
+		for i := range counters {
+			ctr.EdgesAccessed += counters[i].EdgesAccessed
+			ctr.InvalidPartials += counters[i].InvalidPartials
+			if limit == 0 {
+				ctr.Results += counters[i].Results
+			}
+			all = all && completed[i]
+		}
+		if limit > 0 {
+			n := delivered.Load()
+			if n > limit {
+				n = limit
+			}
+			ctr.Results += n
+		}
+		return all
+	}
+
+	// Delivery mode: shards push chunks of owned paths over an unbuffered
+	// channel; the merge loop (the caller's goroutine) emits them one by
+	// one, so under an unbuffered stream the consumer's backpressure
+	// reaches straight through to the shards — at most one in-flight chunk
+	// per shard runs ahead of the consumer.
+	ch := make(chan [][]graph.VertexID)
+	for i := 0; i < nShards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			target := 1
+			buf := make([][]graph.VertexID, 0, 1)
+			flush := func() bool {
+				if len(buf) == 0 {
+					return true
+				}
+				select {
+				case ch <- buf:
+				case <-done:
+					return false
+				}
+				if target < parallelChunkMax {
+					target *= 2
+				}
+				buf = make([][]graph.VertexID, 0, target)
+				return true
+			}
+			sctl := RunControl{
+				ShouldStop: stopper,
+				Emit: func(p []graph.VertexID) bool {
+					buf = append(buf, copyPath(p))
+					if len(buf) < target {
+						return true
+					}
+					return flush()
+				},
+			}
+			completed[i] = run(i, sctl, &counters[i])
+			flush() // deliver the partial tail chunk (dropped if stopping)
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	stopped := false
+	chunks := 0
+	for chunk := range ch {
+		if stopped {
+			continue // draining: shards are unwinding, discard the surplus
+		}
+		for _, p := range chunk {
+			ctr.Results++
+			if !ctl.Emit(p) {
+				stopped = true
+			} else if ctl.Limit > 0 && ctr.Results >= ctl.Limit {
+				stopped = true
+			}
+			if stopped {
+				stop()
+				break
+			}
+		}
+		chunks++
+		if !stopped && chunks%mergeStopPollInterval == 0 && ctl.ShouldStop != nil && ctl.ShouldStop() {
+			stopped = true
+			stop()
+		}
+	}
+	// The channel is closed: every shard has exited and its counters and
+	// completion flag are settled (the close orders the reads).
+	all := !stopped
+	for i := range counters {
+		ctr.EdgesAccessed += counters[i].EdgesAccessed
+		ctr.InvalidPartials += counters[i].InvalidPartials
+		all = all && completed[i]
+	}
+	return all
+}
+
+// EnumerateDFSParallel is EnumerateDFS fanned across up to parallelism
+// goroutines: the first-hop neighbor set of s partitions the search into
+// independent subtrees (s appears in no other position — the index has no
+// edges into s — so shards share nothing but the read-only index), dealt
+// round-robin so heavy and light subtrees spread across shards. Emit and
+// Limit are enforced at the fan-in merge (see runShards); on completed
+// runs Results, EdgesAccessed and InvalidPartials equal the sequential
+// run exactly. When parallelism or the root set admits no fan-out it
+// falls back to the sequential search. Every path handed to Emit is a
+// fresh slice owned by the callee, fallback included.
+func EnumerateDFSParallel(ix *Index, parallelism int, ctl RunControl, ctr *Counters) bool {
+	if ctr == nil {
+		ctr = &Counters{}
+	}
+	if ix.Empty() {
+		return true
+	}
+	roots := ix.OutUpTo(ix.q.S, ix.k-1)
+	shards := parallelism
+	if shards > len(roots) {
+		shards = len(roots)
+	}
+	if shards <= 1 {
+		return EnumerateDFS(ix, ownedEmit(ctl), ctr)
+	}
+	// The root scan happens once, here, not per shard.
+	ctr.EdgesAccessed += uint64(len(roots))
+	return runShards(shards, ctl, ctr, func(i int, sctl RunControl, sctr *Counters) bool {
+		ds := &dfsSearcher{
+			ix:     ix,
+			ctl:    sctl,
+			ctr:    sctr,
+			path:   make([]graph.VertexID, 0, ix.k+1),
+			onPath: make([]bool, ix.g.NumVertices()),
+		}
+		ds.path = append(ds.path, ix.q.S)
+		ds.onPath[ix.q.S] = true
+		for j := i; j < len(roots); j += shards {
+			w := roots[j]
+			ds.path = append(ds.path, w)
+			ds.onPath[w] = true
+			sub := ds.search()
+			ds.onPath[w] = false
+			ds.path = ds.path[:1]
+			if sub == 0 {
+				sctr.InvalidPartials++
+			}
+			if ds.stopped {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// EnumerateJoinSideParallel is EnumerateJoinSide with the probe side
+// fanned across up to parallelism goroutines. The build side is
+// materialized once, sequentially, on the calling goroutine — after
+// build() its tuples and buckets are read-only and shared by every probe
+// shard — then the probe start positions (the distinct cut vertices of Ra
+// when building left, the first-hop neighbors of s when building right)
+// are dealt round-robin, each shard probing with its own walk buffer,
+// validation scratch and Counters. Emit/Limit follow the merge contract
+// of runShards; stats, when non-nil, are filled on every exit path with
+// the build footprint counted exactly once and each shard's probe-local
+// stats summed exactly once, however early any shard stopped. Paths
+// handed to Emit are fresh slices owned by the callee, fallback included.
+func EnumerateJoinSideParallel(ix *Index, cut int, side BuildSide, parallelism int, ctl RunControl, ctr *Counters, stats *JoinStats) (bool, error) {
+	if ctr == nil {
+		ctr = &Counters{}
+	}
+	if ix.Empty() {
+		return true, nil
+	}
+	k := ix.k
+	if cut < 1 || cut >= k {
+		return false, fmt.Errorf("core: join cut %d out of range [1,%d]", cut, k-1)
+	}
+	if side == BuildAuto {
+		side = FullEstimate(ix).BuildSideAt(cut)
+	}
+	buildCtl := RunControl{ShouldStop: ctl.ShouldStop}
+	je := &joinEnumerator{
+		ix:        ix,
+		cut:       cut,
+		ctl:       &buildCtl,
+		ctr:       ctr,
+		buildLeft: side == BuildLeft,
+		buckets:   make(map[graph.VertexID][]int32),
+		seen:      make([]int32, ix.g.NumVertices()),
+		joined:    make([]graph.VertexID, 0, k+1),
+	}
+	if je.buildLeft {
+		je.buildLen, je.probeLen = cut+1, k-cut+1
+	} else {
+		je.buildLen, je.probeLen = k-cut+1, cut+1
+	}
+	je.probeBuf = make([]graph.VertexID, 0, je.probeLen)
+	if !je.build() {
+		if stats != nil {
+			je.fill(stats)
+		}
+		return false, nil
+	}
+
+	var roots []graph.VertexID
+	if je.buildLeft {
+		roots = je.order
+	} else {
+		roots = ix.OutUpTo(ix.q.S, k-1)
+	}
+	shards := parallelism
+	if shards > len(roots) {
+		shards = len(roots)
+	}
+	if shards <= 1 {
+		// No fan-out possible: probe sequentially on the enumerator already
+		// built, keeping the parallel ownership contract.
+		seqCtl := ownedEmit(ctl)
+		je.ctl = &seqCtl
+		je.probe()
+		if stats != nil {
+			je.fill(stats)
+		}
+		return !je.stopped, nil
+	}
+	if !je.buildLeft {
+		// Pre-expanding s replaces the root level of the sequential probe
+		// DFS; account its scan once, as probeFrom would have.
+		ctr.EdgesAccessed += uint64(len(roots))
+	}
+	probers := make([]*joinEnumerator, shards)
+	completedRun := runShards(shards, ctl, ctr, func(i int, sctl RunControl, sctr *Counters) bool {
+		p := &joinEnumerator{
+			ix:        ix,
+			cut:       cut,
+			ctl:       &sctl,
+			ctr:       sctr,
+			buildLeft: je.buildLeft,
+			buildLen:  je.buildLen,
+			tuples:    je.tuples,
+			buckets:   je.buckets,
+			probeLen:  je.probeLen,
+			seen:      make([]int32, ix.g.NumVertices()),
+			joined:    make([]graph.VertexID, 0, k+1),
+			probeBuf:  make([]graph.VertexID, 0, je.probeLen),
+		}
+		probers[i] = p
+		for j := i; j < len(roots); j += shards {
+			w := roots[j]
+			if p.buildLeft {
+				p.probeBuf = append(p.probeBuf[:0], w)
+				p.probeFrom(cut)
+			} else {
+				p.probeBuf = append(p.probeBuf[:0], ix.q.S, w)
+				p.probeFrom(0)
+			}
+			if p.stopped {
+				return false
+			}
+		}
+		return true
+	})
+	if stats != nil {
+		fillParallelJoinStats(stats, je, probers)
+	}
+	return completedRun, nil
+}
+
+// fillParallelJoinStats aggregates the fan-out's footprint: the shared
+// build side belongs to the build enumerator and is counted exactly once
+// (shards reference, never copy, its tuples and buckets), and each
+// shard's probe-local stats — walks generated, in-flight walk buffer —
+// are summed exactly once regardless of how early the shard stopped.
+func fillParallelJoinStats(stats *JoinStats, build *joinEnumerator, probers []*joinEnumerator) {
+	nBuild := int64(0)
+	if build.buildLen > 0 {
+		nBuild = int64(len(build.tuples)) / int64(build.buildLen)
+	}
+	stats.BuildLeft = build.buildLeft
+	stats.BuildTuples = nBuild
+	var walks, probeBytes int64
+	for _, p := range probers {
+		if p == nil {
+			continue
+		}
+		walks += p.probeWalks
+		probeBytes += int64(cap(p.probeBuf)) * 4
+	}
+	stats.ProbeWalks = walks
+	if build.buildLeft {
+		stats.LeftTuples, stats.RightTuples = nBuild, walks
+	} else {
+		stats.LeftTuples, stats.RightTuples = walks, nBuild
+	}
+	stats.PartialBytes = int64(len(build.tuples))*4 + nBuild*4 + probeBytes
+}

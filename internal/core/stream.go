@@ -82,7 +82,10 @@ func (s *Session) StreamWith(ctx context.Context, q Query, opts Options, sc Stre
 		opts.Emit = emit
 		return s.ex.executeShared(ctx, q, opts, sc.Fwd, sc.Bwd)
 	}
-	return makeStream(ctx, sc.Buffer, run, sc.OnResult)
+	// A parallel run already hands over fresh slices (the parallel
+	// ownership contract), so the stream skips its defensive per-path
+	// copy — the merge-side copy is the only one paid.
+	return makeStream(ctx, sc.Buffer, run, sc.OnResult, opts.Parallelism > 1)
 }
 
 // StreamConstrained is the streaming face of RunConstrained: the
@@ -103,22 +106,27 @@ func StreamConstrained(ctx context.Context, g *graph.Graph, q Query, cons Constr
 		}
 		return RunConstrained(g, q, cons, ctl)
 	}
-	return makeStream(ctx, sc.Buffer, run, sc.OnResult)
+	return makeStream(ctx, sc.Buffer, run, sc.OnResult, false)
 }
 
 // makeStream builds the iterator over any push-mode runner. run must
 // execute the query, delivering each path to emit (reused-slice Emit
-// semantics) and honoring emit's false return as an immediate stop; it
-// observes the context it is passed, which in buffered mode is a child of
-// the caller's that the stream cancels when the consumer leaves early.
-func makeStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result)) iter.Seq2[[]graph.VertexID, error] {
+// semantics, unless owned declares the runner already hands over fresh
+// slices — the parallel enumerators' contract) and honoring emit's false
+// return as an immediate stop; it observes the context it is passed,
+// which in buffered mode is a child of the caller's that the stream
+// cancels when the consumer leaves early.
+func makeStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result), owned bool) iter.Seq2[[]graph.VertexID, error] {
 	if buffer > 0 {
-		return bufferedStream(ctx, buffer, run, onResult)
+		return bufferedStream(ctx, buffer, run, onResult, owned)
 	}
 	return func(yield func([]graph.VertexID, error) bool) {
 		abandoned := false
 		res, err := run(ctx, func(p []graph.VertexID) bool {
-			if !yield(append([]graph.VertexID(nil), p...), nil) {
+			if !owned {
+				p = append([]graph.VertexID(nil), p...)
+			}
+			if !yield(p, nil) {
 				abandoned = true
 				return false
 			}
@@ -148,15 +156,18 @@ type streamItem struct {
 // the producer is live: leaving the loop early cancels the producer's
 // context and drains until it has exited, so the caller may safely reuse
 // the session (or return it to a pool) as soon as the range ends.
-func bufferedStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result)) iter.Seq2[[]graph.VertexID, error] {
+func bufferedStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result), owned bool) iter.Seq2[[]graph.VertexID, error] {
 	return func(yield func([]graph.VertexID, error) bool) {
 		pctx, cancel := context.WithCancel(ctx)
 		ch := make(chan streamItem, buffer)
 		go func() {
 			defer close(ch)
 			res, err := run(pctx, func(p []graph.VertexID) bool {
+				if !owned {
+					p = append([]graph.VertexID(nil), p...)
+				}
 				select {
-				case ch <- streamItem{path: append([]graph.VertexID(nil), p...)}:
+				case ch <- streamItem{path: p}:
 					return true
 				case <-pctx.Done():
 					return false

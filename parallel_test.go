@@ -1,0 +1,220 @@
+package pathenum
+
+import (
+	"context"
+	"iter"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"pathenum/internal/gen"
+)
+
+// parallelTestEngine wraps a layered big-result graph in a 4-worker engine —
+// enough fan-out room for Request.Parallelism to actually shard.
+func parallelTestEngine(t *testing.T, width, depth int) (*Engine, Query) {
+	t.Helper()
+	g, q := layeredTestGraph(t, width, depth)
+	e, err := NewEngine(g, EngineConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, q
+}
+
+// TestEngineStreamParallelMatchesSequential: a parallel engine stream
+// delivers exactly the sequential path set — unbuffered and buffered, at
+// several fan-outs — and the aggregated Result counts agree.
+func TestEngineStreamParallelMatchesSequential(t *testing.T) {
+	e, q := parallelTestEngine(t, 4, 4) // 256 paths
+	collect := func(par, buffer int) ([]string, *Result) {
+		req := NewRequest(q)
+		req.Parallelism = par
+		req.Buffer = buffer
+		var res *Result
+		req.OnResult = func(r *Result) { res = r }
+		var keys []string
+		for p, err := range e.Stream(context.Background(), req) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, keyOfPath(p))
+		}
+		sort.Strings(keys)
+		return keys, res
+	}
+	seq, seqRes := collect(0, 0)
+	if len(seq) != 256 || seqRes == nil || !seqRes.Completed {
+		t.Fatalf("sequential: %d paths, res %+v", len(seq), seqRes)
+	}
+	for _, par := range []int{2, 4} {
+		for _, buffer := range []int{0, 8} {
+			got, res := collect(par, buffer)
+			if len(got) != len(seq) {
+				t.Fatalf("par=%d buffer=%d: %d paths, want %d", par, buffer, len(got), len(seq))
+			}
+			for i := range seq {
+				if got[i] != seq[i] {
+					t.Fatalf("par=%d buffer=%d: path set diverges at %d: %q vs %q",
+						par, buffer, i, got[i], seq[i])
+				}
+			}
+			if res == nil || !res.Completed || res.Counters.Results != seqRes.Counters.Results {
+				t.Fatalf("par=%d buffer=%d: result %+v, want Results=%d Completed",
+					par, buffer, res, seqRes.Counters.Results)
+			}
+		}
+	}
+}
+
+// TestParallelStreamAbandonNoGoroutineLeak: breaking out of a parallel
+// stream mid-iteration — unbuffered and buffered — must wind down every
+// shard and merger goroutine. Repeated abandonment amplifies any leak.
+func TestParallelStreamAbandonNoGoroutineLeak(t *testing.T) {
+	e, q := parallelTestEngine(t, 5, 5) // 3125 paths: shards still running at abandonment
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		for _, buffer := range []int{0, 4} {
+			req := NewRequest(q)
+			req.Parallelism = 4
+			req.Buffer = buffer
+			n := 0
+			for _, err := range e.Stream(context.Background(), req) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n++; n == 2 {
+					break
+				}
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("%d goroutines after abandoned parallel streams, was %d", now, before)
+	}
+}
+
+// TestParallelStreamWhileInsert: parallel streams racing Insert/Flush. Each
+// stream captures a snapshot at its first pull and must finish on it —
+// sharded enumeration included — while the writer advances the engine.
+// Run under -race in CI.
+func TestParallelStreamWhileInsert(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 91)
+	e, err := NewEngine(g, EngineConfig{Workers: 4, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{S: 7, T: 0, K: 4}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		to := VertexID(100)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.Insert(7, to); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if i%16 == 15 {
+				if err := e.Flush(); err != nil {
+					t.Errorf("flush: %v", err)
+					return
+				}
+			}
+			if to++; to == 200 {
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := NewRequest(q)
+				req.Parallelism = 4
+				if r%2 == 1 {
+					req.Buffer = 4
+				}
+				for p, serr := range e.Stream(context.Background(), req) {
+					if serr != nil {
+						t.Errorf("reader %d: %v", r, serr)
+						return
+					}
+					if len(p) < 2 || p[0] != q.S || p[len(p)-1] != q.T {
+						t.Errorf("reader %d: malformed path %v", r, p)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginePoolStatsDuringParallelStream: the pool gauges track a live
+// parallel stream — one in-flight query, Parallelism shards — and return
+// to zero once the stream is released.
+func TestEnginePoolStatsDuringParallelStream(t *testing.T) {
+	e, q := parallelTestEngine(t, 4, 4)
+	if ps := e.PoolStats(); ps.Workers != 4 || ps.InFlightQueries != 0 || ps.InFlightShards != 0 {
+		t.Fatalf("idle pool = %+v", ps)
+	}
+	req := NewRequest(q)
+	req.Parallelism = 4
+	next, stopStream := iter.Pull2(e.Stream(context.Background(), req))
+	if _, err, ok := next(); !ok || err != nil {
+		t.Fatalf("first pull: ok=%v err=%v", ok, err)
+	}
+	ps := e.PoolStats()
+	if ps.InFlightQueries != 1 || ps.InFlightShards != 4 {
+		t.Fatalf("mid-stream pool = %+v, want 1 query / 4 shards", ps)
+	}
+	if ps.Utilization() != 1 {
+		t.Fatalf("mid-stream utilization = %v, want 1 (4 shards / 4 workers)", ps.Utilization())
+	}
+	stopStream()
+	if ps := e.PoolStats(); ps.InFlightQueries != 0 || ps.InFlightShards != 0 {
+		t.Fatalf("post-stream pool = %+v, want zero gauges", ps)
+	}
+}
+
+// TestMergeOptionsParallelismCap: a request's fan-out is capped at the
+// engine's worker count, and inherits the engine default when unset.
+func TestMergeOptionsParallelismCap(t *testing.T) {
+	g, _ := layeredTestGraph(t, 2, 2)
+	e, err := NewEngine(g, EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MergeOptions(Options{Parallelism: 8}).Parallelism; got != 2 {
+		t.Fatalf("merged Parallelism = %d, want cap at 2 workers", got)
+	}
+	if got := e.MergeOptions(Options{Parallelism: 2}).Parallelism; got != 2 {
+		t.Fatalf("merged Parallelism = %d, want 2 untouched", got)
+	}
+	e2, err := NewEngine(g, EngineConfig{Workers: 4, Options: Options{Parallelism: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.MergeOptions(Options{}).Parallelism; got != 3 {
+		t.Fatalf("inherited Parallelism = %d, want engine default 3", got)
+	}
+}

@@ -53,6 +53,15 @@ type Request struct {
 	// Oracle overrides the engine/default distance oracle for this
 	// request.
 	Oracle DistanceOracle
+	// Parallelism fans this one query's enumeration phase across up to
+	// this many goroutines (0 or 1 = sequential): the join's probe walks
+	// or the DFS's first-hop subtrees shard across workers and merge back
+	// into the single delivery stream, with Limit enforced at the merge —
+	// n results means n total, not n per shard — and identical counters
+	// on completed runs. The engine caps the value at its worker count;
+	// constrained requests ignore it (the constrained DFS is sequential).
+	// See Options.Parallelism.
+	Parallelism int
 
 	// Accumulate and Sequence are the Appendix-E constraint extensions.
 	// Setting either routes the request through the constrained index
@@ -97,6 +106,7 @@ func (r Request) options() Options {
 		Predicate:      r.Predicate,
 		PredicateToken: r.PredicateToken,
 		Oracle:         r.Oracle,
+		Parallelism:    r.Parallelism,
 	}
 }
 
@@ -165,6 +175,12 @@ func (e *Engine) Stream(ctx context.Context, req Request) iter.Seq2[Path, error]
 		merged := e.MergeOptions(req.options())
 		merged.Emit = nil // the yield is the emit; a default Emit must not fire
 		sc := req.streamConfig()
+		par := merged.Parallelism
+		if req.constrained() {
+			par = 0 // the constrained DFS runs sequentially
+		}
+		release := e.track(par)
+		defer release()
 		var seq iter.Seq2[Path, error]
 		if req.constrained() {
 			cons := Constraints{Predicate: merged.Predicate, Accumulate: req.Accumulate, Sequence: req.Sequence}
