@@ -129,14 +129,17 @@ func runOne(name string, cfg bench.Config, jsonOut bool) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		if jsonOut {
-			// One self-describing JSON document per experiment: the result
-			// struct verbatim (e.g. the stream rows carry the requested plan
-			// and the executed join/dfs plan counts) under its name.
+			// One self-describing JSON document per experiment: the shared
+			// schema/meta block (bench.SchemaVersion — the same schema
+			// cmd/loadpath emits), then the result struct verbatim (e.g. the
+			// stream rows carry the requested plan and the executed join/dfs
+			// plan counts) under its name.
 			out, err := json.MarshalIndent(struct {
-				Experiment string      `json:"experiment"`
-				ElapsedMs  int64       `json:"elapsed_ms"`
-				Result     interface{} `json:"result"`
-			}{Experiment: name, ElapsedMs: time.Since(start).Milliseconds(), Result: res}, "", "  ")
+				Experiment string        `json:"experiment"`
+				Meta       bench.RunMeta `json:"meta"`
+				ElapsedMs  int64         `json:"elapsed_ms"`
+				Result     interface{}   `json:"result"`
+			}{Experiment: name, Meta: cfg.Meta(), ElapsedMs: time.Since(start).Milliseconds(), Result: res}, "", "  ")
 			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,538 @@
+// Command loadpath drives a pathenumd instance with a closed-loop mixed
+// read/write workload and reports throughput and latency percentiles per
+// request class — the serving-side complement to cmd/benchpath's
+// algorithmic experiments.
+//
+//	loadpath -selfserve -dataset ep -scale 0.3 -clients 8 -rps 50 \
+//	         -warmup 2s -duration 10s -out BENCH_load.json
+//	loadpath -addr http://localhost:8080 -clients 16 -duration 30s
+//
+// N concurrent clients each loop: draw a request class from the
+// -mix CDF (query = POST /query, stream = POST /paths drained to the
+// done line, batch = POST /batch, insert = POST /insert), issue it, and
+// record the end-to-end latency — closed loop, so a slow server sheds
+// offered load instead of queueing unboundedly. -rps adds an open-loop
+// ceiling via a shared token bucket (0 = unthrottled). The -warmup
+// phase runs the same traffic without recording, so caches, pools and
+// the JIT-ish first-touch costs settle before measurement.
+//
+// -selfserve starts the real HTTP layer (internal/server, the same
+// handlers pathenumd mounts) on a loopback listener inside this
+// process — a hermetic single-binary smoke test for CI. Query endpoints
+// are sampled with the paper's workload generator (§7.1 high-degree
+// settings) when self-serving; against a remote -addr the driver falls
+// back to uniform vertex pairs read from /stats.
+//
+// The JSON report (-out, "-" for stdout) carries the shared
+// pathenum-bench/v1 meta block (schema version, dataset, GOMAXPROCS)
+// plus, per class and in total: request count, error count, throughput,
+// and p50/p95/p99/p999/mean/max latency. -fail-on-error exits non-zero
+// if any measured request failed — the CI smoke gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathenum"
+	"pathenum/internal/bench"
+	"pathenum/internal/gen"
+	"pathenum/internal/obs"
+	"pathenum/internal/server"
+	"pathenum/internal/workload"
+)
+
+type driverConfig struct {
+	addr      string
+	selfServe bool
+	graphPath string
+	dataset   string
+	scale     float64
+	landmarks int
+
+	clients  int
+	rps      float64
+	warmup   time.Duration
+	duration time.Duration
+	mixSpec  string
+	k        int
+	batch    int
+	limit    uint64
+	seed     int64
+
+	out         string
+	failOnError bool
+}
+
+// classStats accumulates one request class. Updates are atomics so the
+// clients never serialize on a results lock.
+type classStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	hist     *obs.Histogram
+}
+
+type classReport struct {
+	Class         string  `json:"class"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	MaxMs         float64 `json:"max_ms"`
+}
+
+type loadReport struct {
+	Meta       bench.RunMeta `json:"meta"`
+	Mix        string        `json:"mix"`
+	Clients    int           `json:"clients"`
+	TargetRPS  float64       `json:"target_rps,omitempty"`
+	WarmupMs   int64         `json:"warmup_ms"`
+	MeasuredMs int64         `json:"measured_ms"`
+	Classes    []classReport `json:"classes"`
+	Total      classReport   `json:"total"`
+}
+
+func main() {
+	var cfg driverConfig
+	flag.StringVar(&cfg.addr, "addr", "", "base URL of a running pathenumd (e.g. http://localhost:8080)")
+	flag.BoolVar(&cfg.selfServe, "selfserve", false, "serve an in-process pathenumd on a loopback listener")
+	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list graph file for -selfserve")
+	flag.StringVar(&cfg.dataset, "dataset", "ep", "registry dataset for -selfserve (when -graph is unset)")
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "scale for -dataset")
+	flag.IntVar(&cfg.landmarks, "landmarks", 0, "distance-oracle landmarks for -selfserve (0 disables)")
+	flag.IntVar(&cfg.clients, "clients", 8, "concurrent closed-loop clients")
+	flag.Float64Var(&cfg.rps, "rps", 0, "target request rate ceiling (0 = unthrottled)")
+	flag.DurationVar(&cfg.warmup, "warmup", 2*time.Second, "warmup phase (traffic not recorded)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured phase")
+	flag.StringVar(&cfg.mixSpec, "mix", "query=60,stream=25,batch=10,insert=5",
+		"request-class weights (classes: query stream batch insert)")
+	flag.IntVar(&cfg.k, "k", 6, "hop constraint for generated queries")
+	flag.IntVar(&cfg.batch, "batch", 4, "queries per /batch request")
+	var limit int
+	flag.IntVar(&limit, "limit", 1000, "per-query result cap")
+	flag.Int64Var(&cfg.seed, "seed", 42, "workload seed")
+	flag.StringVar(&cfg.out, "out", "BENCH_load.json", `JSON report path ("-" for stdout)`)
+	flag.BoolVar(&cfg.failOnError, "fail-on-error", false, "exit non-zero if any measured request failed")
+	flag.Parse()
+	cfg.limit = uint64(limit)
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadpath:", err)
+		os.Exit(1)
+	}
+	if cfg.failOnError && rep.Total.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadpath: %d of %d measured requests failed\n",
+			rep.Total.Errors, rep.Total.Requests)
+		os.Exit(1)
+	}
+}
+
+// target abstracts where the traffic goes and what ids are valid there.
+type target struct {
+	base    string
+	client  *http.Client
+	pairs   []workload.Query // sampled (s,t) endpoint pairs, external ids
+	ids     []int64          // external id per internal vertex (identity when nil orig)
+	cleanup func()
+}
+
+// run executes the configured load and returns the report. It is the
+// whole driver behind flag parsing, so tests exercise it directly.
+func run(cfg driverConfig) (*loadReport, error) {
+	if cfg.clients <= 0 {
+		return nil, fmt.Errorf("-clients must be positive")
+	}
+	if cfg.duration <= 0 {
+		return nil, fmt.Errorf("-duration must be positive")
+	}
+	mix, err := workload.ParseMix(cfg.mixSpec)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range mix.Classes() {
+		switch c.Name {
+		case "query", "stream", "batch", "insert":
+		default:
+			return nil, fmt.Errorf("unknown mix class %q (want query|stream|batch|insert)", c.Name)
+		}
+	}
+
+	tgt, err := resolveTarget(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tgt.cleanup != nil {
+		defer tgt.cleanup()
+	}
+
+	stats := map[string]*classStats{}
+	for _, c := range mix.Classes() {
+		stats[c.Name] = &classStats{hist: obs.NewHistogram()}
+	}
+	total := &classStats{hist: obs.NewHistogram()}
+
+	// Open-loop ceiling: a token bucket refilled at -rps, capacity one
+	// burst per client so a stalled scrape doesn't bank unbounded credit.
+	var tokens chan struct{}
+	stopPacer := make(chan struct{})
+	if cfg.rps > 0 {
+		tokens = make(chan struct{}, cfg.clients)
+		interval := time.Duration(float64(time.Second) / cfg.rps)
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopPacer:
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	measureStart := start.Add(cfg.warmup)
+	end := measureStart.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(id)*7919))
+			for {
+				now := time.Now()
+				if !now.Before(end) {
+					return
+				}
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(end.Sub(now)):
+						return
+					}
+				}
+				class := mix.Pick(rng.Float64())
+				t0 := time.Now()
+				err := issue(tgt, cfg, rng, class)
+				elapsed := time.Since(t0)
+				if t0.After(measureStart) {
+					cs := stats[class]
+					cs.requests.Add(1)
+					cs.hist.Observe(elapsed)
+					total.requests.Add(1)
+					total.hist.Observe(elapsed)
+					if err != nil {
+						cs.errors.Add(1)
+						total.errors.Add(1)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopPacer)
+	measured := end.Sub(measureStart)
+
+	rep := &loadReport{
+		Meta:       buildMeta(cfg),
+		Mix:        mix.String(),
+		Clients:    cfg.clients,
+		TargetRPS:  cfg.rps,
+		WarmupMs:   cfg.warmup.Milliseconds(),
+		MeasuredMs: measured.Milliseconds(),
+		Total:      summarize("total", total, measured),
+	}
+	for _, c := range mix.Classes() {
+		rep.Classes = append(rep.Classes, summarize(c.Name, stats[c.Name], measured))
+	}
+
+	if err := writeReport(cfg, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func buildMeta(cfg driverConfig) bench.RunMeta {
+	m := bench.NewRunMeta()
+	switch {
+	case cfg.graphPath != "":
+		m.Datasets = []string{cfg.graphPath}
+	case cfg.selfServe:
+		m.Datasets = []string{cfg.dataset}
+		m.Scale = cfg.scale
+	}
+	m.K = cfg.k
+	m.Seed = cfg.seed
+	return m
+}
+
+func summarize(name string, cs *classStats, window time.Duration) classReport {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	r := classReport{
+		Class:    name,
+		Requests: cs.requests.Load(),
+		Errors:   cs.errors.Load(),
+		P50Ms:    ms(cs.hist.Quantile(0.5)),
+		P95Ms:    ms(cs.hist.Quantile(0.95)),
+		P99Ms:    ms(cs.hist.Quantile(0.99)),
+		P999Ms:   ms(cs.hist.Quantile(0.999)),
+		MeanMs:   ms(cs.hist.Mean()),
+		MaxMs:    ms(cs.hist.Max()),
+	}
+	if window > 0 {
+		r.ThroughputRPS = float64(r.Requests) / window.Seconds()
+	}
+	return r
+}
+
+func writeReport(cfg driverConfig, rep *loadReport) error {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if cfg.out == "-" || cfg.out == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(cfg.out, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadpath: %d requests (%d errors) in %v -> %s\n",
+		rep.Total.Requests, rep.Total.Errors, time.Duration(rep.MeasuredMs)*time.Millisecond, cfg.out)
+	return nil
+}
+
+// resolveTarget prepares the traffic destination: either an in-process
+// server on a loopback listener (-selfserve) or a remote base URL.
+func resolveTarget(cfg driverConfig) (*target, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.clients * 2,
+		MaxIdleConnsPerHost: cfg.clients * 2,
+	}}
+	if !cfg.selfServe {
+		if cfg.addr == "" {
+			return nil, fmt.Errorf("one of -addr or -selfserve is required")
+		}
+		return remoteTarget(strings.TrimRight(cfg.addr, "/"), client)
+	}
+
+	var (
+		g    *pathenum.Graph
+		orig []int64
+		err  error
+	)
+	if cfg.graphPath != "" {
+		f, ferr := os.Open(cfg.graphPath)
+		if ferr != nil {
+			return nil, ferr
+		}
+		g, orig, err = pathenum.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d, derr := gen.Lookup(cfg.dataset)
+		if derr != nil {
+			return nil, derr
+		}
+		g = d.Scale(cfg.scale).Build()
+	}
+
+	ecfg := pathenum.EngineConfig{Workers: runtime.GOMAXPROCS(0)}
+	if cfg.landmarks > 0 {
+		oracle, oerr := pathenum.BuildOracle(g, cfg.landmarks)
+		if oerr != nil {
+			return nil, oerr
+		}
+		ecfg.Oracle = oracle
+	}
+	engine, err := pathenum.NewEngine(g, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: server.New(engine, orig, server.Config{}).Handler()}
+	go hsrv.Serve(ln)
+
+	// Endpoint pairs from the paper's generator; a partial sample is fine
+	// as long as something came back (tiny scaled graphs).
+	want := cfg.clients * 32
+	if want < 256 {
+		want = 256
+	}
+	pairs, err := workload.Generate(g, workload.Options{
+		Setting: workload.HighHigh,
+		Count:   want,
+		Seed:    cfg.seed,
+	})
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("sampling query endpoints: %w", err)
+	}
+	ids := orig
+	if ids == nil {
+		ids = make([]int64, g.NumVertices())
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+	}
+	t := &target{
+		base:   "http://" + ln.Addr().String(),
+		client: client,
+		pairs:  pairs,
+		ids:    ids,
+		cleanup: func() {
+			hsrv.Close()
+		},
+	}
+	return t, nil
+}
+
+// remoteTarget learns the vertex count from /stats and samples uniform
+// pairs — the driver has no graph to run the degree-aware generator on.
+func remoteTarget(base string, client *http.Client) (*target, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("probing %s/stats: %w", base, err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, fmt.Errorf("decoding /stats: %w", err)
+	}
+	if stats.Vertices < 2 {
+		return nil, fmt.Errorf("target graph too small (%d vertices)", stats.Vertices)
+	}
+	ids := make([]int64, stats.Vertices)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	return &target{base: base, client: client, ids: ids}, nil
+}
+
+// pair draws one (s,t) endpoint pair in external ids.
+func (t *target) pair(rng *rand.Rand) (int64, int64) {
+	if len(t.pairs) > 0 {
+		p := t.pairs[rng.Intn(len(t.pairs))]
+		return t.ids[p.S], t.ids[p.T]
+	}
+	s := t.ids[rng.Intn(len(t.ids))]
+	x := t.ids[rng.Intn(len(t.ids))]
+	for x == s {
+		x = t.ids[rng.Intn(len(t.ids))]
+	}
+	return s, x
+}
+
+// issue sends one request of the given class and fully consumes the
+// response — closed loop, so the next iteration starts only after the
+// server finished this one.
+func issue(tgt *target, cfg driverConfig, rng *rand.Rand, class string) error {
+	switch class {
+	case "query":
+		s, t := tgt.pair(rng)
+		return postJSON(tgt, "/query", map[string]any{"s": s, "t": t, "k": cfg.k, "limit": cfg.limit})
+	case "stream":
+		s, t := tgt.pair(rng)
+		return drainStream(tgt, map[string]any{"s": s, "t": t, "k": cfg.k, "limit": cfg.limit})
+	case "batch":
+		qs := make([]map[string]any, cfg.batch)
+		for i := range qs {
+			s, t := tgt.pair(rng)
+			qs[i] = map[string]any{"s": s, "t": t, "k": cfg.k}
+		}
+		return postJSON(tgt, "/batch", map[string]any{"queries": qs, "limit": cfg.limit})
+	case "insert":
+		from := tgt.ids[rng.Intn(len(tgt.ids))]
+		to := tgt.ids[rng.Intn(len(tgt.ids))]
+		return postJSON(tgt, "/insert", map[string]any{
+			"edges": []map[string]any{{"from": from, "to": to}},
+		})
+	}
+	return fmt.Errorf("unknown class %q", class)
+}
+
+func postJSON(tgt *target, path string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := tgt.client.Post(tgt.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// drainStream consumes an NDJSON /paths response to its done line — the
+// latency of the class is time-to-last-path, the full delivery.
+func drainStream(tgt *target, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := tgt.client.Post(tgt.base+"/paths", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("/paths: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		var line struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("/paths: bad line: %w", err)
+		}
+		if line.Done {
+			sawDone = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawDone {
+		return fmt.Errorf("/paths: stream ended without done line")
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pathenum/internal/bench"
+)
+
+// TestRunSelfServe drives the in-process server for a short burst and
+// checks the report: every configured class saw traffic, no errors, the
+// JSON on disk round-trips with the shared schema version.
+func TestRunSelfServe(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	rep, err := run(driverConfig{
+		selfServe: true,
+		dataset:   "ep",
+		scale:     0.2,
+		clients:   8,
+		warmup:    200 * time.Millisecond,
+		duration:  time.Second,
+		mixSpec:   "query=6,stream=2,batch=1,insert=1",
+		k:         4,
+		batch:     3,
+		limit:     50,
+		seed:      42,
+		out:       out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Errors != 0 {
+		t.Fatalf("measured errors = %d of %d", rep.Total.Errors, rep.Total.Requests)
+	}
+	if rep.Total.Requests == 0 {
+		t.Fatal("no measured requests")
+	}
+	if rep.Meta.Schema != bench.SchemaVersion || rep.Meta.GOMAXPROCS == 0 {
+		t.Fatalf("meta = %+v", rep.Meta)
+	}
+	classes := map[string]classReport{}
+	for _, c := range rep.Classes {
+		classes[c.Class] = c
+	}
+	for _, name := range []string{"query", "stream", "batch", "insert"} {
+		c, ok := classes[name]
+		if !ok {
+			t.Fatalf("class %s missing from report", name)
+		}
+		if c.Requests == 0 {
+			t.Errorf("class %s saw no traffic in 1s at weight > 0", name)
+		}
+		if c.Requests > 0 && (c.P50Ms <= 0 || c.MaxMs < c.P50Ms || c.P999Ms < c.P50Ms) {
+			t.Errorf("class %s has incoherent latencies: %+v", name, c)
+		}
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk loadReport
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatalf("report on disk is not JSON: %v", err)
+	}
+	if onDisk.Total.Requests != rep.Total.Requests || onDisk.Meta.Schema != bench.SchemaVersion {
+		t.Fatalf("on-disk report diverges: %+v", onDisk.Total)
+	}
+}
+
+// TestRunThrottled: a low RPS ceiling holds — the closed loop must not
+// exceed the open-loop budget by more than the burst allowance.
+func TestRunThrottled(t *testing.T) {
+	rep, err := run(driverConfig{
+		selfServe: true,
+		dataset:   "ep",
+		scale:     0.2,
+		clients:   4,
+		rps:       20,
+		warmup:    100 * time.Millisecond,
+		duration:  time.Second,
+		mixSpec:   "query=1",
+		k:         4,
+		batch:     1,
+		limit:     10,
+		seed:      7,
+		out:       filepath.Join(t.TempDir(), "out.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 rps over 1s, plus the per-client burst capacity (4) and timer
+	// slack: anything way past that means the pacer is not engaged.
+	if rep.Total.Requests > 35 {
+		t.Fatalf("throttled run issued %d requests, want ~20", rep.Total.Requests)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []driverConfig{
+		{selfServe: true, dataset: "ep", clients: 0, duration: time.Second, mixSpec: "query=1"},
+		{selfServe: true, dataset: "ep", clients: 1, duration: 0, mixSpec: "query=1"},
+		{selfServe: true, dataset: "ep", clients: 1, duration: time.Second, mixSpec: "query=1,delete=1"},
+		{clients: 1, duration: time.Second, mixSpec: "query=1"}, // no addr, no selfserve
+	} {
+		if _, err := run(cfg); err == nil {
+			t.Errorf("run(%+v) should fail", cfg)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 //	pathenumd -dataset ep -addr :8080      # serve a synthetic registry graph
 //
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics                  # Prometheus exposition
+//	curl -s localhost:8080/readyz                   # readiness + shed signals
 //	curl -s -X POST localhost:8080/query \
 //	     -d '{"s":3,"t":17,"k":6,"limit":10,"paths":true}'
 //	curl -sN -X POST localhost:8080/paths \
@@ -15,6 +17,8 @@
 //	     -d '{"queries":[{"s":3,"t":17,"k":6},{"s":4,"t":9,"k":5}],"limit":100}'
 //	curl -sN -X POST localhost:8080/batch \
 //	     -d '{"stream":true,"queries":[{"s":3,"t":17,"k":6},{"s":4,"t":9,"k":5}]}'
+//	curl -s -X POST localhost:8080/insert \
+//	     -d '{"edges":[{"from":3,"to":9}],"flush":true}'
 //
 // Every request runs through the engine's session pool (buffer reuse plus
 // the optional distance oracle) and observes the request context, so a
@@ -31,17 +35,19 @@
 // cross-batch cache (size it with -frontier-cache) and single queries
 // both consult and — for hub-grade endpoints — deposit, so a repeat hub
 // is served with zero BFS passes — watch bfsPassesRun and cacheHits in
-// the /batch stats, and hit GET /stats for the cache counters and the
-// graph epoch.
+// the /batch stats.
 //
-// A single heavy query can additionally fan its enumeration across the
-// engine's worker pool: set "parallel":N in the /query or /paths body (or
-// override with ?parallel=N) to shard the join's probe walks or the DFS's
-// first-hop subtrees across up to N goroutines, capped at the engine's
-// -workers. Counts, limits and path sets are identical to the sequential
-// run; only delivery order differs. GET /stats reports the pool gauges
-// (in-flight queries, parallel shards, utilization) so the fan-out is
-// observable in production.
+// Observability: GET /metrics exposes the engine and HTTP series in
+// Prometheus text exposition — request latency and time-to-first-path
+// histograms, per-stage timings (BFS, index build, join build/probe),
+// frontier-cache and pool gauges, graph epoch and write-path lag. GET
+// /healthz is pure liveness; GET /readyz reports readiness and returns
+// 503 past the -shed-utilization pool saturation threshold so a load
+// balancer drains the replica. -access-log writes one JSON line per
+// request (id, method, path, status, duration, plan, path count) to
+// stderr. POST /insert and /flush drive the engine-owned write path over
+// the wire (edges between existing vertices; the epoch advances and
+// cached frontiers invalidate lazily).
 package main
 
 import (
@@ -53,6 +59,7 @@ import (
 
 	"pathenum"
 	"pathenum/internal/gen"
+	"pathenum/internal/server"
 )
 
 func main() {
@@ -63,6 +70,9 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		landmarks = flag.Int("landmarks", 8, "distance-oracle landmarks (0 disables)")
 		fcache    = flag.Int("frontier-cache", 0, "frontier-cache entries (0 = default, negative disables)")
+		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
+		shedUtil  = flag.Float64("shed-utilization", 0,
+			"pool utilization at which /readyz sheds (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -105,7 +115,11 @@ func main() {
 		log.Fatal("pathenumd: ", err)
 	}
 
-	srv := newServer(engine, orig)
+	scfg := server.Config{ShedUtilization: *shedUtil}
+	if *accessLog {
+		scfg.AccessLog = os.Stderr
+	}
+	srv := server.New(engine, orig, scfg)
 	log.Printf("pathenumd: serving %v on %s", g, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

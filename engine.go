@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathenum/internal/batch"
 	"pathenum/internal/cache"
@@ -71,6 +72,11 @@ type EngineConfig struct {
 	// lag by at most SnapshotEvery-1 edges until the next publish) for
 	// write throughput.
 	SnapshotEvery int
+	// Metrics, when non-nil, is the registry the engine registers its
+	// series on — share one registry between the engine and an HTTP
+	// front end so a single /metrics scrape covers both. Nil creates a
+	// private registry, readable via Engine.Metrics.
+	Metrics *MetricsRegistry
 	// OracleLandmarks, when positive, makes the write path rebuild the
 	// distance oracle on every published snapshot with this many
 	// landmarks, keeping oracle pruning continuously available on a
@@ -135,6 +141,13 @@ type Engine struct {
 	// enumeration shards those queries have fanned out.
 	inFlight atomic.Int64
 	inShards atomic.Int64
+
+	// metrics holds the pre-resolved observability handles (see
+	// metrics.go). oldestPendingNs is the unix-nano timestamp of the
+	// oldest insertion not yet published as a snapshot (0 when none) —
+	// written under wmu, read lock-free by the insert-lag gauge.
+	metrics         *engineMetrics
+	oldestPendingNs atomic.Int64
 }
 
 // NewEngine creates an engine over g.
@@ -163,6 +176,11 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 	if cfg.FrontierCache >= 0 {
 		e.cache = cache.New(cfg.FrontierCache)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = NewMetricsRegistry()
+	}
+	e.metrics = newEngineMetrics(reg, e)
 	return e, nil
 }
 
@@ -224,6 +242,7 @@ func (e *Engine) UpdateGraph(g *Graph) error {
 	// one.
 	e.dyn = nil
 	e.pending = 0
+	e.oldestPendingNs.Store(0)
 	e.installGraph(g, nil, false)
 	return nil
 }
@@ -279,6 +298,10 @@ func (e *Engine) Insert(from, to VertexID) (bool, error) {
 	if err != nil || !added {
 		return added, err
 	}
+	e.metrics.inserts.Inc()
+	if e.pending == 0 {
+		e.oldestPendingNs.Store(time.Now().UnixNano())
+	}
 	e.pending++
 	every := e.cfg.SnapshotEvery
 	if every < 1 {
@@ -326,6 +349,10 @@ func (e *Engine) publishLocked() error {
 		}
 	}
 	e.pending = 0
+	if oldest := e.oldestPendingNs.Swap(0); oldest != 0 {
+		e.metrics.publishLag.Observe(time.Since(time.Unix(0, oldest)))
+	}
+	e.metrics.publishes.Inc()
 	e.installGraph(snap, oracle, oracle != nil)
 	return nil
 }
@@ -379,13 +406,29 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 // gets session buffer reuse, the engine oracle and client-disconnect
 // cancellation in one call.
 func (e *Engine) ExecuteWith(ctx context.Context, q Query, opts Options) (*Result, error) {
+	e.metrics.requests[opExecute].Inc()
+	start := time.Now()
 	g, oracle, pool := e.view()
 	merged := e.MergeOptions(opts)
+	// Time-to-first-path piggybacks on the caller's Emit when one is set
+	// (the per-path seam already exists; one branch is added to it).
+	// Emit-less runs only count paths — there is no delivery to time.
+	var firstPath time.Duration
+	if userEmit := merged.Emit; userEmit != nil {
+		merged.Emit = func(p []VertexID) bool {
+			if firstPath == 0 {
+				firstPath = time.Since(start)
+			}
+			return userEmit(p)
+		}
+	}
 	defer e.track(merged.Parallelism)()
 	fwd, bwd := e.frontiers(ctx, g, oracle, q, merged)
 	sess := pool.Get().(*core.Session)
 	defer pool.Put(sess)
-	return sess.RunShared(ctx, q, merged, fwd, bwd)
+	res, err := sess.RunShared(ctx, q, merged, fwd, bwd)
+	e.metrics.finish(opExecute, res, err, start, firstPath)
+	return res, err
 }
 
 // frontiers resolves the frontier-cache sides of a single query: consult
@@ -639,11 +682,20 @@ func (p *frontierCacheProvider) Store(f *core.Frontier) { p.c.Put(f) }
 // read-only), and opts.Emit — already concurrent and unattributed in
 // batch execution — fires once per unique query, not once per duplicate.
 func (e *Engine) ExecuteBatch(ctx context.Context, queries []Query, opts Options) ([]*Result, []error, *BatchStats) {
+	e.metrics.requests[opBatch].Inc()
+	e.metrics.batchQueries.Add(uint64(len(queries)))
+	start := time.Now()
 	g, _, pool := e.view()
 	merged := e.MergeOptions(opts)
 	sch := e.newScheduler(g, pool, merged)
 	plan := batch.NewPlanner(g).Plan(queries)
 	uniqRes, uniqErrs, stats := sch.Execute(ctx, g, plan, merged)
+	// Batch runs bypass ExecuteWith, so their stage timings fold in here —
+	// once per unique execution, not per duplicate.
+	for _, res := range uniqRes {
+		e.metrics.observeRun(res)
+	}
+	e.metrics.latency[opBatch].Observe(time.Since(start))
 	results, errs := plan.Scatter(uniqRes, uniqErrs)
 	return results, errs, stats
 }

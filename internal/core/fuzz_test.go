@@ -102,13 +102,13 @@ func FuzzEnumerationAgreement(f *testing.F) {
 				// stream, with the estimator-resolved build side.
 				var pullCtr Counters
 				var pullKeys []string
-				seq := makeStream(context.Background(), 0, func(_ context.Context, emit func([]graph.VertexID) bool) (*Result, error) {
+				seq := makeStream(context.Background(), StreamConfig{}, func(_ context.Context, emit func([]graph.VertexID) bool) (*Result, error) {
 					done, err := EnumerateJoin(ix, cut, RunControl{Emit: emit}, &pullCtr, nil)
 					if err != nil {
 						return nil, err
 					}
 					return &Result{Completed: done}, nil
-				}, nil, false)
+				}, false)
 				for p, serr := range seq {
 					if serr != nil {
 						t.Fatal(serr)

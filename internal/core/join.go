@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"pathenum/internal/graph"
 )
@@ -32,6 +33,14 @@ type JoinStats struct {
 	// stopped after n emitted paths keeps it near n — the lazy probe DFS
 	// expands no further half-side walks once stopped.
 	ProbeWalks int64
+	// BuildTime / ProbeTime split the enumeration phase at the join's
+	// natural seam: materializing + bucketing the build side vs the lazy
+	// probe (which, under a stream, includes consumer time between
+	// pulls). Filled on every exit path, early stops included; the
+	// observability layer exports them as the join_build / join_probe
+	// stage histograms.
+	BuildTime time.Duration
+	ProbeTime time.Duration
 }
 
 // BuildSide selects which half of the cut EnumerateJoinSide materializes
@@ -131,6 +140,12 @@ type joinEnumerator struct {
 	ticker     uint32
 	probeWalks int64
 	stopped    bool
+
+	// buildTime/probeTime are stamped by the entry points around the two
+	// phases (per run, not per tuple — the hot loops stay clock-free) and
+	// copied out by fill.
+	buildTime time.Duration
+	probeTime time.Duration
 }
 
 // EnumerateJoin runs the tuple-at-a-time join on the index (Algorithm 6)
@@ -186,10 +201,15 @@ func EnumerateJoinSide(ix *Index, cut int, side BuildSide, ctl RunControl, ctr *
 	if stats != nil {
 		defer je.fill(stats)
 	}
-	if !je.build() {
+	buildStart := time.Now()
+	ok := je.build()
+	je.buildTime = time.Since(buildStart)
+	if !ok {
 		return false, nil
 	}
+	probeStart := time.Now()
 	je.probe()
+	je.probeTime = time.Since(probeStart)
 	return !je.stopped, nil
 }
 
@@ -359,6 +379,8 @@ func (je *joinEnumerator) fill(stats *JoinStats) {
 		stats.LeftTuples, stats.RightTuples = je.probeWalks, nBuild
 	}
 	stats.PartialBytes = int64(len(je.tuples))*4 + nBuild*4 + int64(cap(je.probeBuf))*4
+	stats.BuildTime = je.buildTime
+	stats.ProbeTime = je.probeTime
 }
 
 // exactReachPositions returns the dense positions of the vertices

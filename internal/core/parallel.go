@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathenum/internal/graph"
 )
@@ -324,7 +325,10 @@ func EnumerateJoinSideParallel(ix *Index, cut int, side BuildSide, parallelism i
 		je.buildLen, je.probeLen = k-cut+1, cut+1
 	}
 	je.probeBuf = make([]graph.VertexID, 0, je.probeLen)
-	if !je.build() {
+	buildStart := time.Now()
+	ok := je.build()
+	je.buildTime = time.Since(buildStart)
+	if !ok {
 		if stats != nil {
 			je.fill(stats)
 		}
@@ -346,7 +350,9 @@ func EnumerateJoinSideParallel(ix *Index, cut int, side BuildSide, parallelism i
 		// built, keeping the parallel ownership contract.
 		seqCtl := ownedEmit(ctl)
 		je.ctl = &seqCtl
+		probeStart := time.Now()
 		je.probe()
+		je.probeTime = time.Since(probeStart)
 		if stats != nil {
 			je.fill(stats)
 		}
@@ -358,6 +364,7 @@ func EnumerateJoinSideParallel(ix *Index, cut int, side BuildSide, parallelism i
 		ctr.EdgesAccessed += uint64(len(roots))
 	}
 	probers := make([]*joinEnumerator, shards)
+	probeStart := time.Now()
 	completedRun := runShards(shards, ctl, ctr, func(i int, sctl RunControl, sctr *Counters) bool {
 		p := &joinEnumerator{
 			ix:        ix,
@@ -389,6 +396,7 @@ func EnumerateJoinSideParallel(ix *Index, cut int, side BuildSide, parallelism i
 		}
 		return true
 	})
+	je.probeTime = time.Since(probeStart)
 	if stats != nil {
 		fillParallelJoinStats(stats, je, probers)
 	}
@@ -422,4 +430,6 @@ func fillParallelJoinStats(stats *JoinStats, build *joinEnumerator, probers []*j
 		stats.LeftTuples, stats.RightTuples = walks, nBuild
 	}
 	stats.PartialBytes = int64(len(build.tuples))*4 + nBuild*4 + probeBytes
+	stats.BuildTime = build.buildTime
+	stats.ProbeTime = build.probeTime
 }

@@ -52,6 +52,11 @@ type Timings struct {
 	Build     time.Duration // full index construction, BFS included
 	Optimize  time.Duration // estimator + plan selection
 	Enumerate time.Duration // result enumeration
+	// FirstPath is the time from stream start (StreamConfig.Began when
+	// set, else the first pull) to the first delivered path. Streamed
+	// runs only; zero when no path was delivered or the run was not a
+	// stream.
+	FirstPath time.Duration
 }
 
 // Total returns the full query time.

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"iter"
+	"time"
 
 	"pathenum/internal/graph"
 )
@@ -54,6 +55,25 @@ type StreamConfig struct {
 	// (Result.Completed reports false then). In buffered mode it is
 	// called from the producer goroutine.
 	OnResult func(*Result)
+	// Began optionally anchors Result.Timings.FirstPath: when set, the
+	// first-path latency is measured from this instant (a caller's
+	// request-entry timestamp) instead of the stream's first pull.
+	Began time.Time
+	// Observer, when non-nil, receives the settled run for latency
+	// accounting — a persistent hook (no per-stream closure) fired once
+	// with the Result, exactly where OnResult fires. Implementations
+	// must be safe for concurrent use; buffered streams invoke it from
+	// the producer goroutine.
+	Observer RunObserver
+}
+
+// RunObserver is the metrics seam of a stream: ObserveStream receives
+// the final Result (never nil), the first-path latency and the
+// end-to-end stream duration, both measured from StreamConfig.Began
+// (or the first pull when Began is zero). firstPath is 0 when no path
+// was delivered.
+type RunObserver interface {
+	ObserveStream(res *Result, firstPath, total time.Duration)
 }
 
 // Stream returns a lazy path stream for q: nothing runs until the first
@@ -85,7 +105,7 @@ func (s *Session) StreamWith(ctx context.Context, q Query, opts Options, sc Stre
 	// A parallel run already hands over fresh slices (the parallel
 	// ownership contract), so the stream skips its defensive per-path
 	// copy — the merge-side copy is the only one paid.
-	return makeStream(ctx, sc.Buffer, run, sc.OnResult, opts.Parallelism > 1)
+	return makeStream(ctx, sc, run, opts.Parallelism > 1)
 }
 
 // StreamConstrained is the streaming face of RunConstrained: the
@@ -106,7 +126,39 @@ func StreamConstrained(ctx context.Context, g *graph.Graph, q Query, cons Constr
 		}
 		return RunConstrained(g, q, cons, ctl)
 	}
-	return makeStream(ctx, sc.Buffer, run, sc.OnResult, false)
+	return makeStream(ctx, sc, run, false)
+}
+
+// streamState is the per-stream mutable state shared between the emit
+// closure and the stream body — one struct so the closure capture costs a
+// single heap cell. firstNs needs no atomic: emit and the post-run stamp
+// always execute on the same goroutine (the consumer's in unbuffered
+// mode, the producer's in buffered mode).
+type streamState struct {
+	abandoned bool
+	began     time.Time
+	firstNs   int64
+}
+
+// noteFirst stamps the first-path latency on the first emit.
+func (st *streamState) noteFirst() {
+	if st.firstNs == 0 {
+		st.firstNs = int64(time.Since(st.began))
+	}
+}
+
+// settle attaches the stream-level timing to the finished run's Result
+// and fires the observer and OnResult hooks.
+func (st *streamState) settle(res *Result, obs RunObserver, onResult func(*Result)) {
+	if res != nil {
+		res.Timings.FirstPath = time.Duration(st.firstNs)
+		if obs != nil {
+			obs.ObserveStream(res, res.Timings.FirstPath, time.Since(st.began))
+		}
+	}
+	if onResult != nil {
+		onResult(res)
+	}
 }
 
 // makeStream builds the iterator over any push-mode runner. run must
@@ -116,31 +168,36 @@ func StreamConstrained(ctx context.Context, g *graph.Graph, q Query, cons Constr
 // return as an immediate stop; it observes the context it is passed,
 // which in buffered mode is a child of the caller's that the stream
 // cancels when the consumer leaves early.
-func makeStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result), owned bool) iter.Seq2[[]graph.VertexID, error] {
-	if buffer > 0 {
-		return bufferedStream(ctx, buffer, run, onResult, owned)
+func makeStream(ctx context.Context, sc StreamConfig, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), owned bool) iter.Seq2[[]graph.VertexID, error] {
+	if sc.Buffer > 0 {
+		return bufferedStream(ctx, sc, run, owned)
 	}
+	// Hoisted so the returned closure captures three scalars, not the
+	// whole StreamConfig (with its frontier pointers).
+	onResult, observer, began := sc.OnResult, sc.Observer, sc.Began
 	return func(yield func([]graph.VertexID, error) bool) {
-		abandoned := false
+		st := streamState{began: began}
+		if st.began.IsZero() {
+			st.began = time.Now()
+		}
 		res, err := run(ctx, func(p []graph.VertexID) bool {
+			st.noteFirst()
 			if !owned {
 				p = append([]graph.VertexID(nil), p...)
 			}
 			if !yield(p, nil) {
-				abandoned = true
+				st.abandoned = true
 				return false
 			}
 			return true
 		})
 		if err != nil {
-			if !abandoned {
+			if !st.abandoned {
 				yield(nil, err)
 			}
 			return
 		}
-		if onResult != nil {
-			onResult(res)
-		}
+		st.settle(res, observer, onResult)
 	}
 }
 
@@ -156,13 +213,19 @@ type streamItem struct {
 // the producer is live: leaving the loop early cancels the producer's
 // context and drains until it has exited, so the caller may safely reuse
 // the session (or return it to a pool) as soon as the range ends.
-func bufferedStream(ctx context.Context, buffer int, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), onResult func(*Result), owned bool) iter.Seq2[[]graph.VertexID, error] {
+func bufferedStream(ctx context.Context, sc StreamConfig, run func(context.Context, func([]graph.VertexID) bool) (*Result, error), owned bool) iter.Seq2[[]graph.VertexID, error] {
+	onResult, observer, began, buffer := sc.OnResult, sc.Observer, sc.Began, sc.Buffer
 	return func(yield func([]graph.VertexID, error) bool) {
 		pctx, cancel := context.WithCancel(ctx)
 		ch := make(chan streamItem, buffer)
+		st := streamState{began: began}
+		if st.began.IsZero() {
+			st.began = time.Now()
+		}
 		go func() {
 			defer close(ch)
 			res, err := run(pctx, func(p []graph.VertexID) bool {
+				st.noteFirst()
 				if !owned {
 					p = append([]graph.VertexID(nil), p...)
 				}
@@ -180,9 +243,7 @@ func bufferedStream(ctx context.Context, buffer int, run func(context.Context, f
 				}
 				return
 			}
-			if onResult != nil {
-				onResult(res)
-			}
+			st.settle(res, observer, onResult)
 		}()
 		// Whatever path exits the loop, stop the producer and wait for the
 		// channel to close before returning the iteration.

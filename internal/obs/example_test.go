@@ -1,0 +1,47 @@
+package obs_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"pathenum/internal/obs"
+)
+
+// ExampleRegistry_Handler shows the scrape path pathenumd exposes at
+// GET /metrics: mount Registry.Handler and point a Prometheus scraper
+// (or curl) at it. The engine's registry is pre-populated with the
+// request/stage histograms; here a standalone registry stands in.
+func ExampleRegistry_Handler() {
+	reg := obs.NewRegistry()
+	reqs := reg.Counter(obs.L("pathenum_http_requests_total", "handler", "query"),
+		"HTTP requests served, by handler.")
+	lat := reg.Histogram(obs.L("pathenum_request_duration_seconds", "op", "execute"),
+		"End-to-end query latency.")
+
+	// A request comes in...
+	reqs.Inc()
+	lat.Observe(250 * time.Microsecond)
+
+	// ...and a scraper reads the exposition.
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "pathenum_http_requests_total") ||
+			strings.HasPrefix(line, "pathenum_request_duration_seconds_count") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// pathenum_http_requests_total{handler="query"} 1
+	// pathenum_request_duration_seconds_count{op="execute"} 1
+}

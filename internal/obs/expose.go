@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE lines, series sorted within the family.
+// Histograms render cumulative le buckets in seconds; empty buckets are
+// skipped (the format permits sparse buckets) except the mandatory +Inf,
+// so a histogram costs lines proportional to the spread it actually
+// observed, not the 105-bucket scheme.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fams, byFam := r.snapshotOrdered()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range byFam[f.name] {
+			if s.hist != nil {
+				writeHistogram(bw, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s %s\n", s.name, formatValue(s.scalar()))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: sparse cumulative buckets,
+// +Inf, then _sum (seconds) and _count. The +Inf bucket and _count are
+// both the bucket-snapshot total, so the exposition is internally
+// consistent even while observations race the scrape.
+func writeHistogram(w io.Writer, s *series) {
+	buckets, _, sumNs := s.hist.snapshot()
+	var cum, total uint64
+	for i := range buckets {
+		total += buckets[i]
+	}
+	for i, n := range buckets[:histBuckets-1] {
+		if n == 0 {
+			continue // sparse: render only buckets that changed the cumulative count
+		}
+		cum += n
+		fmt.Fprintf(w, "%s %d\n", seriesWithLE(s, formatValue(histBounds[i].Seconds())), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", seriesWithLE(s, "+Inf"), total)
+	fmt.Fprintf(w, "%s_sum%s %s\n", s.family, labelSuffix(s), formatValue(float64(sumNs)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", s.family, labelSuffix(s), total)
+}
+
+// seriesWithLE builds the _bucket series name with le merged into the
+// label set.
+func seriesWithLE(s *series, le string) string {
+	if s.labels == "" {
+		return fmt.Sprintf(`%s_bucket{le="%s"}`, s.family, le)
+	}
+	return fmt.Sprintf(`%s_bucket{%s,le="%s"}`, s.family, s.labels, le)
+}
+
+// labelSuffix renders the series' constant labels ("" when unlabeled).
+func labelSuffix(s *series) string {
+	if s.labels == "" {
+		return ""
+	}
+	return "{" + s.labels + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesLine matches one sample line: name, optional label body, value.
+var seriesLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// ValidateExposition checks data against the text exposition format and
+// the histogram invariants scrape pipelines rely on: every sample line
+// parses, every family's TYPE appears before its samples, histogram
+// cumulative buckets are non-decreasing in le order, the +Inf bucket is
+// present and equals _count. It exists so tests (and the load driver) can
+// assert /metrics output is consumable without vendoring a Prometheus
+// parser; it returns the first violation found.
+func ValidateExposition(data []byte) error {
+	types := make(map[string]string)
+	type histSeries struct {
+		buckets map[float64]float64 // le -> cumulative
+		hasInf  bool
+		inf     float64
+		count   float64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histSeries)
+	get := func(key string) *histSeries {
+		h, ok := hists[key]
+		if !ok {
+			h = &histSeries{buckets: make(map[float64]float64)}
+			hists[key] = h
+		}
+		return h
+	}
+	lineNo := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, parts[3])
+			}
+			if _, dup := types[parts[2]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		m := seriesLine.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		val, err := parseValue(valStr)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		fam, suffix := familyOf(name, types)
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q before any TYPE for family %q", lineNo, name, fam)
+		}
+		if types[fam] != "histogram" {
+			if suffix != "" {
+				return fmt.Errorf("line %d: suffix %q on non-histogram family %q", lineNo, suffix, fam)
+			}
+			continue
+		}
+		base, le, hasLE, err := splitHistLabels(labels)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		key := fam + "|" + base
+		switch suffix {
+		case "_bucket":
+			if !hasLE {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			h := get(key)
+			if le == math.Inf(1) {
+				h.hasInf, h.inf = true, val
+			} else {
+				h.buckets[le] = val
+			}
+		case "_count":
+			h := get(key)
+			h.hasCnt, h.count = true, val
+		case "_sum":
+			// any float is legal
+		case "":
+			return fmt.Errorf("line %d: bare sample %q for histogram family %q", lineNo, name, fam)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if !h.hasInf {
+			return fmt.Errorf("histogram %q: missing +Inf bucket", key)
+		}
+		if h.hasCnt && h.count != h.inf {
+			return fmt.Errorf("histogram %q: _count %v != +Inf bucket %v", key, h.count, h.inf)
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := 0.0
+		for _, le := range les {
+			if h.buckets[le] < prev {
+				return fmt.Errorf("histogram %q: cumulative bucket le=%v decreases (%v < %v)", key, le, h.buckets[le], prev)
+			}
+			prev = h.buckets[le]
+		}
+		if h.inf < prev {
+			return fmt.Errorf("histogram %q: +Inf bucket %v below last finite bucket %v", key, h.inf, prev)
+		}
+	}
+	return nil
+}
+
+// familyOf strips a histogram suffix when the base family is typed as
+// histogram, so "x_seconds_bucket" resolves to family "x_seconds".
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base, suf
+		}
+	}
+	return name, ""
+}
+
+// splitHistLabels separates the le label from the rest of the label body,
+// returning the base label string (a grouping key) and the parsed le.
+func splitHistLabels(labels string) (base string, le float64, hasLE bool, err error) {
+	if labels == "" {
+		return "", 0, false, nil
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var rest []string
+	for _, part := range splitLabelPairs(body) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return "", 0, false, fmt.Errorf("malformed label pair %q", part)
+		}
+		v = strings.Trim(v, `"`)
+		if k == "le" {
+			f, perr := parseValue(v)
+			if perr != nil {
+				return "", 0, false, fmt.Errorf("bad le %q: %v", v, perr)
+			}
+			le, hasLE = f, true
+			continue
+		}
+		rest = append(rest, part)
+	}
+	sort.Strings(rest)
+	return strings.Join(rest, ","), le, hasLE, nil
+}
+
+// splitLabelPairs splits a label body at commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+// parseValue parses a sample or le value, accepting the exposition
+// spellings of infinity.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

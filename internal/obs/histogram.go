@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing scheme: geometric (log-bucketed) bounds with
+// histSubOctaves buckets per doubling, starting at histBase. Four
+// sub-buckets per octave bound the relative quantile error at
+// 2^(1/4)-1 ≈ 19% — enough to tell a 200µs first path from a 2ms one at
+// p999 — while keeping the whole histogram at ~1 KiB of atomics, cheap
+// enough to hand one to every request class and pipeline stage.
+//
+// The range spans 1µs .. ~54s; anything slower lands in the overflow
+// (+Inf) bucket, anything faster in bucket 0. Observing is two atomic
+// adds plus an integer bucket lookup — no locks, no floating point, no
+// allocation.
+const (
+	histSubOctaves = 4
+	histOctaves    = 26
+	histBuckets    = histSubOctaves*histOctaves + 1 // +1 overflow (+Inf)
+)
+
+// histBase is the upper bound of bucket 0.
+const histBase = time.Microsecond
+
+// histBounds are the inclusive upper bounds of the finite buckets,
+// shared by all histograms (the scheme is fixed).
+var histBounds = func() []time.Duration {
+	b := make([]time.Duration, histBuckets-1)
+	for i := range b {
+		b[i] = time.Duration(float64(histBase) * math.Pow(2, float64(i)/histSubOctaves))
+	}
+	return b
+}()
+
+// histBoundsNs is histBounds as raw nanoseconds, the form bucketIndex
+// scans — a fixed array so the lookup needs no bounds checks on the slice
+// header and stays resident in L1.
+var histBoundsNs = func() [histBuckets - 1]int64 {
+	var b [histBuckets - 1]int64
+	for i := range b {
+		b[i] = int64(histBounds[i])
+	}
+	return b
+}()
+
+// Histogram is a fixed-scheme latency histogram with lock-free updates
+// and percentile extraction. Create one through Registry.Histogram.
+// The observation count is not stored separately: it is the sum of the
+// bucket counters, computed on demand (105 loads — scrape-time cost, not
+// observe-time cost). That keeps Observe at two atomic adds and makes
+// the exposition's "+Inf cumulative == _count" invariant true by
+// construction.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// NewHistogram creates a standalone histogram outside any registry —
+// for tools (e.g. load drivers) that want the recording scheme without
+// the exposition.
+func NewHistogram() *Histogram { return newHistogram() }
+
+// bucketIndex maps a duration to the smallest bucket whose inclusive
+// upper bound admits it (exact bounds land in their own bucket). Integer
+// only: the binary exponent gives a starting bucket that is provably at
+// or below the answer — histBase = 1000ns < 2^10, so bound[4(e-10)] =
+// 1000·2^(e-10) < 2^e ≤ ns — and at most ~5 table entries separate it
+// from the answer (bounds double every histSubOctaves entries).
+func bucketIndex(ns int64) int {
+	if ns <= int64(histBase) {
+		return 0
+	}
+	idx := (bits.Len64(uint64(ns)) - 1 - 10) * histSubOctaves
+	if idx < 0 {
+		idx = 0
+	} else if idx > histBuckets-1 {
+		idx = histBuckets - 1 // past the finite range: overflow for sure
+	}
+	for idx < histBuckets-1 && histBoundsNs[idx] < ns {
+		idx++
+	}
+	return idx
+}
+
+// Observe records one duration. Safe for concurrent use; atomics only.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// CountSum returns the observation count and the total observed time.
+func (h *Histogram) CountSum() (uint64, time.Duration) {
+	return h.Count(), time.Duration(h.sumNs.Load())
+}
+
+// Max returns the largest observation (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Mean returns the average observation, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / int64(n))
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed distribution: the upper bound of the bucket holding the
+// rank-⌈q·count⌉ observation, within the scheme's ~19% relative error.
+// Returns 0 when the histogram is empty; observations past the finite
+// range report the histogram's exact maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == histBuckets-1 {
+				return h.Max()
+			}
+			return histBounds[i]
+		}
+	}
+	return h.Max()
+}
+
+// snapshot copies the bucket counts (one atomic load each; the copy is
+// not a consistent cut, but counts are monotone so cumulative rendering
+// stays valid). The returned count is the sum of the returned buckets,
+// so _count always equals the +Inf cumulative exactly.
+func (h *Histogram) snapshot() (buckets [histBuckets]uint64, count uint64, sumNs int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		count += buckets[i]
+	}
+	return buckets, count, h.sumNs.Load()
+}

@@ -1,0 +1,302 @@
+// Package obs is the engine's production observability layer: a
+// lock-cheap metrics registry of atomic counters, gauges and log-bucketed
+// latency histograms, exported as Prometheus text exposition (see
+// WritePrometheus) and as point-in-time snapshots for ad-hoc JSON stats.
+//
+// The design constraint is the enumerate hot path: PathEnum answers a
+// query in hundreds of microseconds, so instrumentation must cost
+// nanoseconds. Every update path — Counter.Add, Gauge.Set,
+// Histogram.Observe — is a handful of atomic operations on pre-resolved
+// handles; no locks, no maps, no allocation. The registry's mutex guards
+// only metric *registration* and scrape-time iteration, both off the
+// query path. Metrics whose truth lives elsewhere (cache counters, pool
+// occupancy, the graph epoch) register as func metrics and are read at
+// scrape time, so the owning subsystem pays nothing between scrapes.
+//
+// Series names follow the Prometheus data model: a family name plus an
+// optional constant label set, built with L:
+//
+//	reqs := reg.Counter(obs.L("http_requests_total", "handler", "query"),
+//	        "HTTP requests served.")
+//	reqs.Inc()
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are safe for
+// concurrent use and lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates the exposition type of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one registered time series: a family member with a fixed
+// label set and exactly one backing store.
+type series struct {
+	name   string // full series name including labels
+	family string
+	labels string // label body without braces, "" when unlabeled
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // func metrics (scrape-time read)
+}
+
+// scalar returns the series' current value for snapshot/exposition;
+// histograms are excluded (rendered separately).
+func (s *series) scalar() float64 {
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return float64(s.gauge.Value())
+	case s.fn != nil:
+		return s.fn()
+	default:
+		return math.NaN()
+	}
+}
+
+// family groups series sharing a name for HELP/TYPE rendering.
+type family struct {
+	name string
+	kind metricKind
+	help string
+}
+
+// Registry holds the metric series of one process (typically one engine
+// plus its HTTP front end). Registration is idempotent: asking for an
+// existing series returns the same handle, so independent subsystems can
+// share a registry without coordination. A family's kind is fixed by its
+// first registration; a conflicting re-registration panics (it is a
+// programming error, like a duplicate flag).
+//
+// The zero value is not usable; create one with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	series   map[string]*series
+	ordered  []*series // registration order; sorted at scrape time
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		series:   make(map[string]*series),
+	}
+}
+
+// L builds a series name from a family name and label key/value pairs:
+// L("x_total", "op", "query") == `x_total{op="query"}`. Keys are rendered
+// in the order given; callers must use one consistent order per family so
+// identical series resolve to identical names.
+func L(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: L needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// splitSeries separates a full series name into family and label body.
+func splitSeries(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// register resolves or creates the series under the family contract.
+func (r *Registry) register(name, help string, kind metricKind, mk func(*series)) *series {
+	fam, labels := splitSeries(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[fam]
+	if !ok {
+		f = &family{name: fam, kind: kind, help: help}
+		r.families[fam] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: family %q registered as %v, re-registered as %v", fam, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := &series{name: name, family: fam, labels: labels}
+	mk(s)
+	r.series[name] = s
+	r.ordered = append(r.ordered, s)
+	return s
+}
+
+// Counter returns (creating if needed) the counter series name.
+func (r *Registry) Counter(name, help string) *Counter {
+	s := r.register(name, help, kindCounter, func(s *series) { s.counter = &Counter{} })
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: series %q exists as a func metric", name))
+	}
+	return s.counter
+}
+
+// Gauge returns (creating if needed) the gauge series name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	s := r.register(name, help, kindGauge, func(s *series) { s.gauge = &Gauge{} })
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: series %q exists as a func metric", name))
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating if needed) the latency histogram series
+// name. See Histogram for the bucketing scheme.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	s := r.register(name, help, kindHistogram, func(s *series) { s.hist = newHistogram() })
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for cumulative counts owned by another subsystem (e.g. the
+// frontier cache's hit counter). fn must be safe for concurrent use and
+// must be monotone for the exposition type to hold.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounter, func(s *series) { s.fn = fn })
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time — for
+// point-in-time values owned by another subsystem (pool occupancy, the
+// graph epoch, resident bytes). fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, func(s *series) { s.fn = fn })
+}
+
+// Snapshot returns the current value of every scalar series (counters,
+// gauges and func metrics) keyed by full series name; histograms
+// contribute their count and sum as <name>_count and <name>_sum (sum in
+// seconds). This is the backing read for ad-hoc JSON stats endpoints that
+// predate the registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	ss := append([]*series(nil), r.ordered...)
+	r.mu.Unlock()
+	out := make(map[string]float64, len(ss))
+	for _, s := range ss {
+		if s.hist != nil {
+			count, sum := s.hist.CountSum()
+			out[s.name+"_count"] = float64(count)
+			out[s.name+"_sum"] = sum.Seconds()
+			continue
+		}
+		out[s.name] = s.scalar()
+	}
+	return out
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// exposition format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// snapshotOrdered returns families and series sorted for deterministic
+// exposition.
+func (r *Registry) snapshotOrdered() ([]*family, map[string][]*series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	byFam := make(map[string][]*series, len(r.families))
+	for _, s := range r.ordered {
+		byFam[s.family] = append(byFam[s.family], s)
+	}
+	for _, ss := range byFam {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+	}
+	return fams, byFam
+}

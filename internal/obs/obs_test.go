@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Idempotent registration returns the same handle.
+	if c2 := reg.Counter("x_total", "help"); c2 != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := reg.Gauge("y", "help")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	reg.Gauge("z_total", "")
+}
+
+func TestLabelBuilder(t *testing.T) {
+	if got := L("a_total", "op", "query", "code", "200"); got != `a_total{op="query",code="200"}` {
+		t.Fatalf("L = %q", got)
+	}
+	if got := L("a_total"); got != "a_total" {
+		t.Fatalf("L no labels = %q", got)
+	}
+	if got := L("a", "k", `v"with\stuff`); !strings.Contains(got, `\"`) || !strings.Contains(got, `\\`) {
+		t.Fatalf("L did not escape: %q", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 1000 observations uniform on 1..1000 ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d", got)
+	}
+	// Quantile returns a bucket upper bound within the scheme's ~19%
+	// relative error of the true quantile (from above).
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want {
+			t.Errorf("q%v = %v below true quantile %v", tc.q, got, tc.want)
+		}
+		if float64(got) > float64(tc.want)*1.2 {
+			t.Errorf("q%v = %v more than 20%% above true quantile %v", tc.q, got, tc.want)
+		}
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("max = %v, want 1s", h.Max())
+	}
+	if mean := h.Mean(); mean < 490*time.Millisecond || mean > 510*time.Millisecond {
+		t.Fatalf("mean = %v, want ~500ms", mean)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(0)                 // clamps into bucket 0
+	h.Observe(-time.Second)      // negative clamps to 0
+	h.Observe(500 * time.Second) // overflow bucket
+	h.Observe(10 * time.Second)  // large but finite
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d", got)
+	}
+	// The overflow observation reports the exact max.
+	if got := h.Quantile(1.0); got != 500*time.Second {
+		t.Fatalf("q1.0 = %v, want exact max 500s", got)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{
+		0, time.Nanosecond, time.Microsecond, 2 * time.Microsecond,
+		10 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+		time.Second, 10 * time.Second, time.Minute, time.Hour,
+	} {
+		idx := bucketIndex(d.Nanoseconds())
+		if idx < prev {
+			t.Fatalf("bucketIndex(%v) = %d < previous %d", d, idx, prev)
+		}
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%v) = %d out of range", d, idx)
+		}
+		prev = idx
+	}
+	// Bounds are inclusive: an exact bound lands at its own bucket, the
+	// next nanosecond in the next.
+	for i, b := range histBounds {
+		if got := bucketIndex(b.Nanoseconds()); got != i {
+			t.Fatalf("bucketIndex(bound %d = %v) = %d", i, b, got)
+		}
+	}
+}
+
+func TestExpositionValidAndComplete(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(L("req_total", "op", "query"), "requests").Add(3)
+	reg.Counter(L("req_total", "op", "stream"), "requests").Add(5)
+	reg.Gauge("pool_workers", "workers").Set(8)
+	reg.GaugeFunc("epoch", "graph epoch", func() float64 { return 17 })
+	reg.CounterFunc("cache_hits_total", "hits", func() float64 { return 9 })
+	h := reg.Histogram(L("latency_seconds", "op", "query"), "latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		`req_total{op="query"} 3`,
+		`req_total{op="stream"} 5`,
+		"pool_workers 8",
+		"epoch 17",
+		"cache_hits_total 9",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{op="query",le="+Inf"} 100`,
+		`latency_seconds_count{op="query"} 100`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	for name, bad := range map[string]string{
+		"malformed sample":  "# TYPE a counter\na{ 1\n",
+		"no type":           "a_total 1\n",
+		"bad value":         "# TYPE a counter\na not-a-number\n",
+		"missing inf":       "# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_count 1\n",
+		"count mismatch":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n",
+		"decreasing bucket": "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+	} {
+		if err := ValidateExposition([]byte(bad)); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(2)
+	reg.Gauge("g", "").Set(-5)
+	reg.GaugeFunc("f", "", func() float64 { return 1.5 })
+	reg.Histogram("h_seconds", "").Observe(2 * time.Second)
+	snap := reg.Snapshot()
+	if snap["c_total"] != 2 || snap["g"] != -5 || snap["f"] != 1.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap["h_seconds_count"] != 1 || math.Abs(snap["h_seconds_sum"]-2) > 1e-9 {
+		t.Fatalf("histogram snapshot = %v", snap)
+	}
+}
+
+// TestConcurrentObserveAndScrape races updates against scrapes under
+// -race: counters stay monotone across scrapes and every exposition is
+// valid mid-flight.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "")
+	h := reg.Histogram("lat_seconds", "")
+	g := reg.Gauge("inflight", "")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(seed*i%1000) * time.Microsecond)
+				g.Add(-1)
+			}
+		}(w + 1)
+	}
+	var lastCount, lastTotal float64
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateExposition(buf.Bytes()); err != nil {
+			t.Fatalf("scrape %d invalid: %v", i, err)
+		}
+		snap := reg.Snapshot()
+		if snap["ops_total"] < lastTotal {
+			t.Fatalf("counter went backwards: %v < %v", snap["ops_total"], lastTotal)
+		}
+		if snap["lat_seconds_count"] < lastCount {
+			t.Fatalf("histogram count went backwards: %v < %v", snap["lat_seconds_count"], lastCount)
+		}
+		lastTotal, lastCount = snap["ops_total"], snap["lat_seconds_count"]
+	}
+	close(stop)
+	wg.Wait()
+}

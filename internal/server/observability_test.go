@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathenum"
+	"pathenum/internal/gen"
+	"pathenum/internal/obs"
+)
+
+func TestMetricsEndpointCoversStack(t *testing.T) {
+	ts := testServer(t, nil)
+	// Exercise every layer once so the series exist with data: a query
+	// with paths, a stream, a batch, a write.
+	postQuery(t, ts, `{"s":0,"t":3,"k":3,"paths":true}`)
+	ndjsonLines(t, ts, "/paths", `{"s":0,"t":3,"k":3}`)
+	postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3},{"s":1,"t":3,"k":3}]}`)
+	resp, err := http.Post(ts.URL+"/insert", "application/json",
+		strings.NewReader(`{"edges":[{"from":1,"to":2}],"flush":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, body)
+	}
+	text := string(body)
+	// The acceptance surface: request latency, first-path, stage
+	// timings, cache, pool, epoch and write-path lag all present.
+	for _, want := range []string{
+		`pathenum_request_duration_seconds_count{op="execute"}`,
+		`pathenum_request_duration_seconds_count{op="stream"}`,
+		`pathenum_first_path_seconds_count{op="stream"}`,
+		`pathenum_stage_duration_seconds_count{stage="bfs"}`,
+		`pathenum_stage_duration_seconds_count{stage="enumerate"}`,
+		"pathenum_frontier_cache_hits_total",
+		"pathenum_frontier_cache_misses_total",
+		"pathenum_pool_workers 2",
+		"pathenum_pool_utilization",
+		"pathenum_graph_epoch 1",
+		"pathenum_inserts_total 1",
+		"pathenum_insert_lag_seconds 0",
+		"pathenum_snapshots_published_total 1",
+		`pathenum_http_requests_total{handler="query",code="200"}`,
+		`pathenum_http_request_duration_seconds_count{handler="paths"}`,
+		"pathenum_http_inflight_requests",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsUnderConcurrency scrapes /metrics while streams, batches
+// and writes are racing: every scrape must be valid exposition and the
+// cumulative counters must be monotone scrape-over-scrape. Run with
+// -race in CI.
+func TestMetricsUnderConcurrency(t *testing.T) {
+	g, err := pathenum.NewGraph(4, []pathenum.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2},
+		{From: 1, To: 3}, {From: 2, To: 3},
+		{From: 3, To: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine, nil, Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	post := func(path, body string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	workloads := []func(){
+		func() { post("/query", `{"s":0,"t":3,"k":3,"paths":true}`) },
+		func() { post("/paths", `{"s":0,"t":3,"k":3}`) },
+		func() { post("/batch", `{"queries":[{"s":0,"t":3,"k":3},{"s":1,"t":3,"k":3}]}`) },
+		func() { post("/insert", `{"edges":[{"from":1,"to":2},{"from":2,"to":1}]}`); post("/flush", `{}`) },
+	}
+	for _, work := range workloads {
+		wg.Add(1)
+		go func(work func()) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					work()
+				}
+			}
+		}(work)
+	}
+
+	var lastRequests, lastPaths float64
+	for i := 0; i < 25; i++ {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateExposition(body); err != nil {
+			t.Fatalf("scrape %d invalid: %v", i, err)
+		}
+		snap := engine.Metrics().Snapshot()
+		total := snap[`pathenum_requests_total{op="execute"}`] + snap[`pathenum_requests_total{op="stream"}`] +
+			snap[`pathenum_requests_total{op="batch"}`]
+		if total < lastRequests {
+			t.Fatalf("requests went backwards: %v < %v", total, lastRequests)
+		}
+		if snap["pathenum_paths_emitted_total"] < lastPaths {
+			t.Fatalf("paths went backwards: %v < %v", snap["pathenum_paths_emitted_total"], lastPaths)
+		}
+		lastRequests, lastPaths = total, snap["pathenum_paths_emitted_total"]
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestReadyzLivenessSplit(t *testing.T) {
+	ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle readyz = %d", resp.StatusCode)
+	}
+	var body struct {
+		Ready         bool    `json:"ready"`
+		Epoch         *uint64 `json:"epoch"`
+		PendingWrites *int    `json:"pendingWrites"`
+		Utilization   float64 `json:"utilization"`
+		Workers       int     `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Ready || body.Epoch == nil || body.PendingWrites == nil || body.Workers != 2 {
+		t.Fatalf("readyz body = %+v", body)
+	}
+}
+
+// TestReadyzShedsWhenSaturated holds a stream open so the pool reports
+// occupancy past a tiny shed threshold: /readyz must 503 with a reason
+// while /healthz stays 200 — a saturated replica is alive, not ready.
+func TestReadyzShedsWhenSaturated(t *testing.T) {
+	g := gen.Layered(10, 5)
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine, nil, Config{ShedUtilization: 0.4}).Handler())
+	t.Cleanup(ts.Close)
+
+	// Open a stream and read one line; the query stays in flight
+	// (utilization 0.5 with 2 workers) until the body is closed.
+	resp, err := http.Post(ts.URL+"/paths", "application/json", strings.NewReader(`{"s":0,"t":1,"k":6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(ready.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable || shed.Ready || shed.Reason == "" {
+		t.Fatalf("saturated readyz = %d %+v, want 503 with reason", ready.StatusCode, shed)
+	}
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d while saturated, want 200", live.StatusCode)
+	}
+
+	resp.Body.Close()
+	// The disconnect cancels the stream; readiness recovers.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz did not recover after the stream ended")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestInsertFlushEndpoint(t *testing.T) {
+	g, err := pathenum.NewGraph(4, []pathenum.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2},
+		{From: 1, To: 3}, {From: 2, To: 3},
+		{From: 3, To: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2, SnapshotEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine, nil, Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	post := func(path, body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+
+	// 1->2 is new; 0->1 is a duplicate; buffered by SnapshotEvery.
+	resp, out := post("/insert", `{"edges":[{"from":1,"to":2},{"from":0,"to":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status = %d: %v", resp.StatusCode, out)
+	}
+	if out["applied"].(float64) != 1 || out["ignored"].(float64) != 1 || out["pending"].(float64) != 1 {
+		t.Fatalf("insert response = %v", out)
+	}
+	// Unknown vertex is a clean 400 with nothing applied.
+	resp, _ = post("/insert", `{"edges":[{"from":1,"to":99}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown vertex insert = %d, want 400", resp.StatusCode)
+	}
+	// Flush publishes; the new edge becomes queryable (path 0-1-2).
+	resp, out = post("/flush", `{}`)
+	if resp.StatusCode != http.StatusOK || out["pending"].(float64) != 0 {
+		t.Fatalf("flush = %d %v", resp.StatusCode, out)
+	}
+	_, qr := postQuery(t, ts, `{"s":0,"t":2,"k":2}`)
+	if qr.Count != 2 { // 0->2 direct and 0->1->2
+		t.Fatalf("post-insert count = %d, want 2", qr.Count)
+	}
+	// "flush":true publishes inline.
+	resp, out = post("/insert", `{"edges":[{"from":2,"to":1}],"flush":true}`)
+	if resp.StatusCode != http.StatusOK || out["pending"].(float64) != 0 {
+		t.Fatalf("insert+flush = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestAccessLogLines(t *testing.T) {
+	g, err := pathenum.NewGraph(4, []pathenum.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2},
+		{From: 1, To: 3}, {From: 2, To: 3},
+		{From: 3, To: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ts := httptest.NewServer(New(engine, nil, Config{AccessLog: &buf}).Handler())
+	t.Cleanup(ts.Close)
+
+	postQuery(t, ts, `{"s":0,"t":3,"k":3,"paths":true}`)
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d access-log lines, want 2: %q", len(lines), buf.String())
+	}
+	var ok accessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &ok); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if ok.ID == "" || ok.Method != "POST" || ok.Path != "/query" || ok.Status != 200 {
+		t.Fatalf("line 1 = %+v", ok)
+	}
+	if ok.Plan == "" || ok.Paths != 2 || ok.Millis < 0 {
+		t.Fatalf("line 1 missing run annotations: %+v", ok)
+	}
+	var bad accessRecord
+	if err := json.Unmarshal([]byte(lines[1]), &bad); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if bad.Status != 400 || bad.ID == ok.ID {
+		t.Fatalf("line 2 = %+v", bad)
+	}
+}
+
+// TestStatsMatchesRegistry pins the /stats back-compat contract: the
+// JSON shape predates the registry but is now assembled from it, so the
+// two views must agree.
+func TestStatsMatchesRegistry(t *testing.T) {
+	ts := testServer(t, nil)
+	postQuery(t, ts, `{"s":0,"t":3,"k":3}`)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Vertices      int        `json:"vertices"`
+		Edges         int64      `json:"edges"`
+		AvgDegree     float64    `json:"avgDegree"`
+		Epoch         uint64     `json:"epoch"`
+		FrontierCache cacheStats `json:"frontierCache"`
+		Pool          poolStats  `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vertices != 4 || stats.Edges != 5 || stats.AvgDegree != 1.25 {
+		t.Fatalf("graph stats = %+v", stats)
+	}
+	if stats.Pool.Workers != 2 || stats.FrontierCache.Capacity <= 0 {
+		t.Fatalf("pool/cache stats = %+v", stats)
+	}
+	if stats.FrontierCache.Misses == 0 {
+		t.Fatal("cold query should have missed the frontier cache")
+	}
+}

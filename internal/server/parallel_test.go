@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"encoding/json"
@@ -21,7 +21,7 @@ func parallelTestServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(engine, nil).handler())
+	ts := httptest.NewServer(New(engine, nil, Config{}).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -1,8 +1,17 @@
-package main
+// Package server is the HTTP face of the engine, shared by the
+// pathenumd daemon and in-process harnesses (the loadpath self-serve
+// mode, httptest-based tests). It wires the query surfaces (/query,
+// /paths, /batch), the engine write path (/insert, /flush), and the
+// production observability layer: GET /metrics in Prometheus text
+// exposition, a liveness/readiness split (/healthz, /readyz with
+// load-shedding), a structured NDJSON access log, and GET /stats
+// assembled from the engine's metrics registry.
+package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -32,19 +41,56 @@ type queryResponse struct {
 	Paths     [][]int64 `json:"paths,omitempty"`
 }
 
-// server wires the engine behind an HTTP API. All handlers are safe for
+// Config tunes the HTTP layer; the zero value serves with the defaults.
+type Config struct {
+	// MaxPaths caps the materialized paths per /query response
+	// (default 1000). Streaming endpoints are not capped.
+	MaxPaths uint64
+	// AccessLog, when non-nil, receives one JSON line per request:
+	// request id, method, path, status, duration, and the handler
+	// annotations (plan, path count). Writes are serialized.
+	AccessLog io.Writer
+	// ShedUtilization is the pool-utilization threshold at which
+	// GET /readyz reports 503 so a load balancer drains traffic
+	// (default 2.0 — in-flight demand at twice the worker count).
+	// Negative disables shedding.
+	ShedUtilization float64
+}
+
+// DefaultShedUtilization is the /readyz shedding threshold used when
+// Config.ShedUtilization is 0.
+const DefaultShedUtilization = 2.0
+
+// Server wires the engine behind an HTTP API. All handlers are safe for
 // concurrent use: query state is per request.
-type server struct {
+type Server struct {
 	engine *pathenum.Engine
 	// orig maps dense ids back to the input file's ids (nil = identity).
 	orig    []int64
 	toDense map[int64]pathenum.VertexID
 	// maxPaths caps the number of materialized paths per response.
 	maxPaths uint64
+	shed     float64
+	log      *accessLogger
+	metrics  *httpMetrics
 }
 
-func newServer(engine *pathenum.Engine, orig []int64) *server {
-	s := &server{engine: engine, orig: orig, maxPaths: 1000}
+// New builds a server over engine. orig maps dense vertex ids back to
+// the input file's ids (nil = identity). The server registers its HTTP
+// series on the engine's metrics registry, so one /metrics scrape
+// covers both layers.
+func New(engine *pathenum.Engine, orig []int64, cfg Config) *Server {
+	s := &Server{engine: engine, orig: orig, maxPaths: cfg.MaxPaths, shed: cfg.ShedUtilization}
+	if s.maxPaths == 0 {
+		s.maxPaths = 1000
+	}
+	if s.shed == 0 {
+		s.shed = DefaultShedUtilization
+	}
+	if cfg.AccessLog != nil {
+		s.log = newAccessLogger(cfg.AccessLog)
+	}
+	s.metrics = newHTTPMetrics(engine.Metrics())
 	if orig != nil {
 		s.toDense = make(map[int64]pathenum.VertexID, len(orig))
 		for dense, raw := range orig {
@@ -54,7 +100,7 @@ func newServer(engine *pathenum.Engine, orig []int64) *server {
 	return s
 }
 
-func (s *server) dense(raw int64) (pathenum.VertexID, bool) {
+func (s *Server) dense(raw int64) (pathenum.VertexID, bool) {
 	if s.toDense == nil {
 		n := int64(s.engine.Graph().NumVertices())
 		if raw < 0 || raw >= n {
@@ -66,7 +112,7 @@ func (s *server) dense(raw int64) (pathenum.VertexID, bool) {
 	return v, ok
 }
 
-func (s *server) raw(dense pathenum.VertexID) int64 {
+func (s *Server) raw(dense pathenum.VertexID) int64 {
 	if s.orig == nil {
 		return int64(dense)
 	}
@@ -74,7 +120,7 @@ func (s *server) raw(dense pathenum.VertexID) int64 {
 }
 
 // rawPath maps a result path back to the input file's vertex ids.
-func (s *server) rawPath(p pathenum.Path) []int64 {
+func (s *Server) rawPath(p pathenum.Path) []int64 {
 	out := make([]int64, len(p))
 	for i, v := range p {
 		out[i] = s.raw(v)
@@ -82,14 +128,22 @@ func (s *server) rawPath(p pathenum.Path) []int64 {
 	return out
 }
 
-// handler builds the route table.
-func (s *server) handler() http.Handler {
+// Handler builds the route table, each route wrapped in the
+// access-log + HTTP-metrics middleware.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /paths", s.handlePaths)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.observe(name, h))
+	}
+	route("POST /query", "query", s.handleQuery)
+	route("POST /paths", "paths", s.handlePaths)
+	route("POST /batch", "batch", s.handleBatch)
+	route("POST /insert", "insert", s.handleInsert)
+	route("POST /flush", "flush", s.handleFlush)
+	route("GET /healthz", "healthz", s.handleHealth)
+	route("GET /readyz", "readyz", s.handleReady)
+	route("GET /stats", "stats", s.handleStats)
+	route("GET /metrics", "metrics", s.engine.Metrics().Handler().ServeHTTP)
 	return mux
 }
 
@@ -102,9 +156,36 @@ const ndjsonContentType = "application/x-ndjson"
 // encode/flush latency without buffering a result set.
 const streamBuffer = 32
 
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// handleHealth is the liveness probe: the process is up and the handler
+// loop runs. Readiness (should this replica receive traffic?) is
+// /readyz — a saturated or write-lagged server is alive but not ready.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is the readiness probe: 200 while the replica should
+// receive traffic, 503 when the pool is saturated past the shedding
+// threshold. The body carries the signals a load balancer (or operator)
+// sheds on — epoch, pending writes, pool occupancy — in both states.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	ps := s.engine.PoolStats()
+	util := ps.Utilization()
+	body := map[string]any{
+		"ready":           true,
+		"epoch":           s.engine.Epoch(),
+		"pendingWrites":   s.engine.PendingWrites(),
+		"utilization":     util,
+		"workers":         ps.Workers,
+		"inFlightQueries": ps.InFlightQueries,
+	}
+	if s.shed >= 0 && util >= s.shed {
+		body["ready"] = false
+		body["reason"] = fmt.Sprintf("pool saturated: utilization %.2f >= %.2f", util, s.shed)
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // cacheStats is the wire form of the engine's frontier-cache counters.
@@ -118,18 +199,6 @@ type cacheStats struct {
 	Bytes         int64  `json:"bytes"`
 }
 
-func toCacheStats(cs pathenum.FrontierCacheStats) cacheStats {
-	return cacheStats{
-		Hits:          cs.Hits,
-		Misses:        cs.Misses,
-		Evictions:     cs.Evictions,
-		Invalidations: cs.Invalidations,
-		Entries:       cs.Entries,
-		Capacity:      cs.Capacity,
-		Bytes:         cs.Bytes,
-	}
-}
-
 // poolStats is the wire form of the engine's worker-pool occupancy: the
 // utilization of the pool and the intra-query parallel shards in flight,
 // so a parallel speedup is observable from the daemon, not just in
@@ -141,24 +210,132 @@ type poolStats struct {
 	Utilization     float64 `json:"utilization"`
 }
 
-func toPoolStats(ps pathenum.PoolStats) poolStats {
-	return poolStats{
-		Workers:         ps.Workers,
-		InFlightQueries: ps.InFlightQueries,
-		InFlightShards:  ps.InFlightShards,
-		Utilization:     ps.Utilization(),
+// handleStats serves the pre-registry JSON stats shape, now assembled
+// from the engine's metrics registry snapshot — one source of truth with
+// GET /metrics. avgDegree is derived (edges/vertices) rather than
+// registered; the response shape is unchanged for existing consumers.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.engine.Metrics().Snapshot()
+	vertices := snap["pathenum_graph_vertices"]
+	edges := snap["pathenum_graph_edges"]
+	avgDegree := 0.0
+	if vertices > 0 {
+		avgDegree = edges / vertices
 	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertices":  int(vertices),
+		"edges":     int64(edges),
+		"avgDegree": avgDegree,
+		"epoch":     uint64(snap["pathenum_graph_epoch"]),
+		"frontierCache": cacheStats{
+			Hits:          uint64(snap["pathenum_frontier_cache_hits_total"]),
+			Misses:        uint64(snap["pathenum_frontier_cache_misses_total"]),
+			Evictions:     uint64(snap["pathenum_frontier_cache_evictions_total"]),
+			Invalidations: uint64(snap["pathenum_frontier_cache_invalidations_total"]),
+			Entries:       int(snap["pathenum_frontier_cache_entries"]),
+			Capacity:      int(snap["pathenum_frontier_cache_capacity"]),
+			Bytes:         int64(snap["pathenum_frontier_cache_bytes"]),
+		},
+		"pool": poolStats{
+			Workers:         int(snap["pathenum_pool_workers"]),
+			InFlightQueries: int(snap["pathenum_pool_inflight_queries"]),
+			InFlightShards:  int(snap["pathenum_pool_inflight_shards"]),
+			Utilization:     snap["pathenum_pool_utilization"],
+		},
+	})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	g := s.engine.Graph()
+// insertRequest is the JSON body of POST /insert: edges in the input
+// file's vertex ids, applied through the engine write path. Vertices
+// must already exist (the graph's vertex set is fixed at load).
+type insertRequest struct {
+	Edges []insertEdge `json:"edges"`
+	// Flush forces the applied edges into the serving snapshot even if
+	// EngineConfig.SnapshotEvery would keep buffering them.
+	Flush bool `json:"flush,omitempty"`
+}
+
+type insertEdge struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+}
+
+// insertResponse reports what the write path did. Pending is the
+// insertions applied but not yet published (SnapshotEvery
+// amortization); Epoch identifies the serving graph after the call.
+type insertResponse struct {
+	Applied int    `json:"applied"`
+	Ignored int    `json:"ignored"` // duplicates and self-loops
+	Pending int    `json:"pending"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// maxInsertEdges bounds one POST /insert body.
+const maxInsertEdges = 10000
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		httpError(w, http.StatusBadRequest, "insert needs at least one edge")
+		return
+	}
+	if len(req.Edges) > maxInsertEdges {
+		httpError(w, http.StatusBadRequest, "insert of %d edges exceeds limit %d", len(req.Edges), maxInsertEdges)
+		return
+	}
+	// Resolve every endpoint before applying anything, so a bad edge is a
+	// clean 400 instead of a half-applied batch.
+	type densePair struct{ from, to pathenum.VertexID }
+	resolved := make([]densePair, len(req.Edges))
+	for i, e := range req.Edges {
+		from, ok := s.dense(e.From)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "edge %d: unknown source vertex %d", i, e.From)
+			return
+		}
+		to, ok := s.dense(e.To)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "edge %d: unknown target vertex %d", i, e.To)
+			return
+		}
+		resolved[i] = densePair{from, to}
+	}
+	var resp insertResponse
+	for _, e := range resolved {
+		added, err := s.engine.Insert(e.from, e.to)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "insert failed: %v", err)
+			return
+		}
+		if added {
+			resp.Applied++
+		} else {
+			resp.Ignored++
+		}
+	}
+	if req.Flush {
+		if err := s.engine.Flush(); err != nil {
+			httpError(w, http.StatusInternalServerError, "flush failed: %v", err)
+			return
+		}
+	}
+	resp.Pending = s.engine.PendingWrites()
+	resp.Epoch = s.engine.Epoch()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	if err := s.engine.Flush(); err != nil {
+		httpError(w, http.StatusInternalServerError, "flush failed: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"vertices":      g.NumVertices(),
-		"edges":         g.NumEdges(),
-		"avgDegree":     g.AvgDegree(),
-		"epoch":         s.engine.Epoch(),
-		"frontierCache": toCacheStats(s.engine.CacheStats()),
-		"pool":          toPoolStats(s.engine.PoolStats()),
+		"pending": s.engine.PendingWrites(),
+		"epoch":   s.engine.Epoch(),
 	})
 }
 
@@ -192,7 +369,7 @@ func parseOptions(method string, limit uint64, timeout string, parallel int) (pa
 }
 
 // resolveQuery maps wire-level (raw) endpoints to a dense query.
-func (s *server) resolveQuery(sRaw, tRaw int64, k int) (pathenum.Query, error) {
+func (s *Server) resolveQuery(sRaw, tRaw int64, k int) (pathenum.Query, error) {
 	src, ok := s.dense(sRaw)
 	if !ok {
 		return pathenum.Query{}, fmt.Errorf("unknown source vertex %d", sRaw)
@@ -207,7 +384,7 @@ func (s *server) resolveQuery(sRaw, tRaw int64, k int) (pathenum.Query, error) {
 // parseQuery converts the wire request to a dense query plus per-call
 // option overrides. Paths materialization is handled by the caller (it
 // needs a response-local Emit closure).
-func (s *server) parseQuery(req queryRequest) (pathenum.Query, pathenum.Options, error) {
+func (s *Server) parseQuery(req queryRequest) (pathenum.Query, pathenum.Options, error) {
 	q, err := s.resolveQuery(req.S, req.T, req.K)
 	if err != nil {
 		return pathenum.Query{}, pathenum.Options{}, err
@@ -234,7 +411,7 @@ func parallelOverride(r *http.Request, body int) (int, error) {
 	return v, nil
 }
 
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -275,6 +452,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "query failed: %v", err)
 		return
 	}
+	annotate(r, res.Plan.Method.String(), res.Counters.Results)
 	writeJSON(w, http.StatusOK, queryResponse{
 		Count:     res.Counters.Results,
 		Completed: res.Completed,
@@ -310,7 +488,7 @@ type doneLine struct {
 // Unlike /query, results are not capped at the server's maxPaths: delivery
 // is incremental, so the client bounds the response with "limit" or by
 // closing the connection.
-func (s *server) handlePaths(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -371,6 +549,7 @@ func (s *server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		line.Completed = sum.Completed
 		line.Plan = sum.Plan.Method.String()
 		line.Cut = sum.Plan.Cut
+		annotate(r, line.Plan, line.Count)
 	}
 	_ = enc.Encode(line)
 	if flusher != nil {
@@ -433,7 +612,7 @@ type batchResult struct {
 // maxBatchQueries bounds one POST /batch body.
 const maxBatchQueries = 10000
 
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -496,6 +675,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		results, errs, stats = s.engine.ExecuteBatch(r.Context(), queries, opts)
 	}
+	var delivered uint64
 	for j, i := range slots {
 		if errs[j] != nil {
 			out[i].Error = errs[j].Error()
@@ -506,7 +686,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Completed: results[j].Completed,
 			Plan:      results[j].Plan.Method.String(),
 		}
+		delivered += results[j].Counters.Results
 	}
+	annotate(r, "batch", delivered)
 	resp := map[string]any{
 		"results": out,
 		"ms":      float64(time.Since(start)) / float64(time.Millisecond),
@@ -521,7 +703,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // only saw the queries that survived wire-level resolution; totalQueries
 // and rejected reconcile the report with the client's batch (rejected
 // slots count as invalid).
-func (s *server) toBatchStats(stats *pathenum.BatchStats, totalQueries, rejected int) batchStats {
+func (s *Server) toBatchStats(stats *pathenum.BatchStats, totalQueries, rejected int) batchStats {
 	return batchStats{
 		Queries:        totalQueries,
 		Invalid:        stats.Invalid + rejected,
@@ -566,7 +748,7 @@ type batchDoneLine struct {
 // failures (client disconnect) abandon the stream, which cancels the
 // remaining work through the request context with the scheduler's
 // fail-fast semantics.
-func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, opts pathenum.Options, out []batchResult, queries []pathenum.Query, slots []int) {
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, opts pathenum.Options, out []batchResult, queries []pathenum.Query, slots []int) {
 	w.Header().Set("Content-Type", ndjsonContentType)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
@@ -588,6 +770,7 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, opts pathen
 	}
 
 	start := time.Now()
+	var delivered uint64
 	for item := range s.engine.StreamBatch(r.Context(), queries, opts) {
 		if item.Index == -1 {
 			done := batchDoneLine{Done: true, Millis: float64(time.Since(start)) / float64(time.Millisecond)}
@@ -595,6 +778,7 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, opts pathen
 				st := s.toBatchStats(item.Stats, len(out), rejected)
 				done.Stats = &st
 			}
+			annotate(r, "batch", delivered)
 			_ = enc.Encode(done)
 			flush()
 			return
@@ -606,6 +790,7 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, opts pathen
 			line.Count = item.Result.Counters.Results
 			line.Completed = item.Result.Completed
 			line.Plan = item.Result.Plan.Method.String()
+			delivered += line.Count
 		}
 		if err := enc.Encode(line); err != nil {
 			return

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bufio"
@@ -31,7 +31,7 @@ func testServer(t *testing.T, orig []int64) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(engine, orig).handler())
+	ts := httptest.NewServer(New(engine, orig, Config{}).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -203,9 +203,8 @@ func TestQueryPathsCapStopsEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(engine, nil)
-	srv.maxPaths = 3
-	ts := httptest.NewServer(srv.handler())
+	srv := New(engine, nil, Config{MaxPaths: 3})
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	resp, qr := postQuery(t, ts, `{"s":0,"t":1,"k":4,"paths":true}`)
 	if resp.StatusCode != http.StatusOK {
@@ -230,7 +229,7 @@ func TestQueryContextCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(engine, nil)
+	srv := New(engine, nil, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(20 * time.Millisecond)
@@ -599,7 +598,7 @@ func TestPathsClientDisconnectCancels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inner := newServer(engine, nil).handler()
+	inner := New(engine, nil, Config{}).Handler()
 	handlerDone := make(chan struct{})
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		inner.ServeHTTP(w, r)

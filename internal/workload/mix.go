@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MixClass is one weighted request class of a load mix.
+type MixClass struct {
+	Name   string
+	Weight float64
+}
+
+// Mix is a weighted set of request classes sampled by inverse-CDF
+// lookup: Pick(u) maps a uniform u in [0,1) to a class name with
+// probability proportional to its weight. Weights need not sum to 1 —
+// "query=60,stream=25,batch=10,insert=5" and "query=12,stream=5,..."
+// describe the same distribution.
+type Mix struct {
+	classes []MixClass
+	cdf     []float64 // cumulative, normalized; cdf[len-1] == 1
+}
+
+// NewMix builds a mix from weighted classes. Weights must be
+// non-negative with a positive sum; zero-weight classes are kept (they
+// appear in Classes but are never picked).
+func NewMix(classes []MixClass) (*Mix, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("workload: empty mix")
+	}
+	var sum float64
+	seen := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		if c.Name == "" {
+			return nil, fmt.Errorf("workload: mix class with empty name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("workload: duplicate mix class %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("workload: negative weight %v for mix class %q", c.Weight, c.Name)
+		}
+		sum += c.Weight
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("workload: mix weights sum to zero")
+	}
+	m := &Mix{classes: classes, cdf: make([]float64, len(classes))}
+	var cum float64
+	for i, c := range classes {
+		cum += c.Weight / sum
+		m.cdf[i] = cum
+	}
+	m.cdf[len(m.cdf)-1] = 1 // absorb rounding
+	return m, nil
+}
+
+// ParseMix parses "name=weight,name=weight,..." (e.g.
+// "query=60,stream=25,batch=10,insert=5"). Class order is preserved.
+func ParseMix(spec string) (*Mix, error) {
+	parts := strings.Split(spec, ",")
+	classes := make([]MixClass, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("workload: mix term %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(weight), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: mix weight in %q: %v", part, err)
+		}
+		classes = append(classes, MixClass{Name: strings.TrimSpace(name), Weight: w})
+	}
+	return NewMix(classes)
+}
+
+// Pick returns the class name for uniform u in [0,1). Out-of-range u is
+// clamped, so Pick(rng.Float64()) is always safe.
+func (m *Mix) Pick(u float64) string {
+	i := sort.SearchFloat64s(m.cdf, u)
+	// SearchFloat64s finds the first cdf >= u; u exactly on a boundary
+	// belongs to the next class (intervals are half-open [lo, hi)).
+	for i < len(m.cdf)-1 && m.cdf[i] == u {
+		i++
+	}
+	if i >= len(m.classes) {
+		i = len(m.classes) - 1
+	}
+	return m.classes[i].Name
+}
+
+// Classes returns the mix's classes in declaration order.
+func (m *Mix) Classes() []MixClass { return m.classes }
+
+// String renders the mix back to its spec form with normalized
+// percentages.
+func (m *Mix) String() string {
+	var b strings.Builder
+	prev := 0.0
+	for i, c := range m.classes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		frac := m.cdf[i] - prev
+		prev = m.cdf[i]
+		fmt.Fprintf(&b, "%s=%.3g", c.Name, frac)
+	}
+	return b.String()
+}

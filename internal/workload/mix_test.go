@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("query=60, stream=25,batch=10,insert=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := m.Classes()
+	if len(cs) != 4 || cs[0].Name != "query" || cs[3].Name != "insert" {
+		t.Fatalf("classes = %+v", cs)
+	}
+	// Boundary semantics: [0, .60) query, [.60, .85) stream, ...
+	for _, tc := range []struct {
+		u    float64
+		want string
+	}{
+		{0, "query"}, {0.599, "query"}, {0.6, "stream"}, {0.849, "stream"},
+		{0.85, "batch"}, {0.949, "batch"}, {0.95, "insert"}, {0.999, "insert"}, {1.0, "insert"},
+	} {
+		if got := m.Pick(tc.u); got != tc.want {
+			t.Errorf("Pick(%v) = %q, want %q", tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "query", "query=x", "query=-1", "query=0,insert=0", "query=1,query=2",
+	} {
+		if _, err := ParseMix(spec); err == nil {
+			t.Errorf("ParseMix(%q) should fail", spec)
+		}
+	}
+}
+
+func TestMixZeroWeightNeverPicked(t *testing.T) {
+	m, err := ParseMix("query=1,stream=0,insert=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if got := m.Pick(rng.Float64()); got == "stream" {
+			t.Fatal("picked a zero-weight class")
+		}
+	}
+}
+
+// TestMixDistribution: empirical frequencies track the weights within
+// a loose tolerance — the CDF sampling is statistically sound, not just
+// boundary-correct.
+func TestMixDistribution(t *testing.T) {
+	m, err := ParseMix("a=6,b=3,c=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[m.Pick(rng.Float64())]++
+	}
+	for name, want := range map[string]float64{"a": 0.6, "b": 0.3, "c": 0.1} {
+		got := float64(counts[name]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("class %s frequency = %.3f, want ~%.1f", name, got, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pathenum
 import (
 	"context"
 	"iter"
+	"sync"
 	"time"
 
 	"pathenum/internal/batch"
@@ -121,21 +122,16 @@ func (r Request) streamConfig() core.StreamConfig {
 // engine oracle; prefer it for repeated queries). See Engine.Stream for
 // the iteration contract.
 func Stream(ctx context.Context, g *Graph, req Request) iter.Seq2[Path, error] {
-	return func(yield func(Path, error) bool) {
-		var seq iter.Seq2[Path, error]
-		if req.constrained() {
-			cons := Constraints{Predicate: req.Predicate, Accumulate: req.Accumulate, Sequence: req.Sequence}
-			seq = core.StreamConstrained(ctx, g, req.Query(), cons, req.options(), req.streamConfig())
-		} else {
-			sc := req.streamConfig()
-			seq = core.NewSession(g, nil).StreamWith(ctx, req.Query(), req.options(), sc)
-		}
-		for p, err := range seq {
-			if !yield(p, err) {
-				return
-			}
-		}
+	// Building the stream runs nothing (both constructors are lazy), so
+	// it happens here rather than inside the iterator: under iter.Pull2
+	// the iterator runs the whole enumeration on a fresh coroutine stack
+	// that grows by copying, and every local this frame would pin there
+	// makes that growth more likely.
+	if req.constrained() {
+		cons := Constraints{Predicate: req.Predicate, Accumulate: req.Accumulate, Sequence: req.Sequence}
+		return core.StreamConstrained(ctx, g, req.Query(), cons, req.options(), req.streamConfig())
 	}
+	return core.NewSession(g, nil).StreamWith(ctx, req.Query(), req.options(), req.streamConfig())
 }
 
 // Stream executes one query and delivers its result paths incrementally:
@@ -172,32 +168,73 @@ func Stream(ctx context.Context, g *Graph, req Request) iter.Seq2[Path, error] {
 // Insert or UpdateGraph advances the engine mid-flight.
 func (e *Engine) Stream(ctx context.Context, req Request) iter.Seq2[Path, error] {
 	return func(yield func(Path, error) bool) {
-		merged := e.MergeOptions(req.options())
-		merged.Emit = nil // the yield is the emit; a default Emit must not fire
-		sc := req.streamConfig()
-		par := merged.Parallelism
-		if req.constrained() {
-			par = 0 // the constrained DFS runs sequentially
-		}
-		release := e.track(par)
-		defer release()
-		var seq iter.Seq2[Path, error]
-		if req.constrained() {
-			cons := Constraints{Predicate: merged.Predicate, Accumulate: req.Accumulate, Sequence: req.Sequence}
-			seq = core.StreamConstrained(ctx, e.Graph(), req.Query(), cons, merged, sc)
-		} else {
-			g, oracle, pool := e.view()
-			sc.Fwd, sc.Bwd = e.frontiers(ctx, g, oracle, req.Query(), merged)
-			sess := pool.Get().(*core.Session)
-			defer pool.Put(sess)
-			seq = sess.StreamWith(ctx, req.Query(), merged, sc)
-		}
+		// This frame hosts the whole enumeration — under iter.Pull2 that
+		// is a fresh coroutine stack that grows by copying, so the
+		// per-request setup (and its several hundred bytes of Options/
+		// StreamConfig locals) lives out of line in startStream and only
+		// the lease comes back.
+		seq, lease := e.startStream(ctx, req)
+		defer lease.end()
 		for p, err := range seq {
+			if err != nil {
+				// Terminal errors end the stream without a Result, so the
+				// Observer seam never fires for them; count them here.
+				e.metrics.errors[opStream].Inc()
+			}
 			if !yield(p, err) {
 				return
 			}
 		}
 	}
+}
+
+// streamLease is what an engine stream must give back when its iteration
+// ends: the load-tracking slot and, for unconstrained runs, the pooled
+// session. A value, not a deferred closure pair, so ending a stream
+// allocates nothing.
+type streamLease struct {
+	release func()
+	pool    *sync.Pool
+	sess    *core.Session
+}
+
+func (l *streamLease) end() {
+	if l.pool != nil {
+		l.pool.Put(l.sess)
+	}
+	l.release()
+}
+
+// startStream performs an engine stream's first-pull setup: the metrics
+// entry, the option merge, load tracking, and frontier/session
+// acquisition. Called lazily from the iterator (nothing may run before
+// the first pull), but kept out of its frame — see Engine.Stream.
+func (e *Engine) startStream(ctx context.Context, req Request) (iter.Seq2[Path, error], streamLease) {
+	e.metrics.requests[opStream].Inc()
+	start := time.Now()
+	merged := e.MergeOptions(req.options())
+	merged.Emit = nil // the yield is the emit; a default Emit must not fire
+	sc := req.streamConfig()
+	// The finish record rides the core Observer seam: a persistent
+	// hook (no per-request closure) fired exactly once after
+	// enumeration settles, abandoned streams included, with TTFP and
+	// total anchored at Began so they cover the engine's own dispatch.
+	sc.Began = start
+	sc.Observer = &e.metrics.streamObs
+	par := merged.Parallelism
+	if req.constrained() {
+		par = 0 // the constrained DFS runs sequentially
+	}
+	lease := streamLease{release: e.track(par)}
+	if req.constrained() {
+		cons := Constraints{Predicate: merged.Predicate, Accumulate: req.Accumulate, Sequence: req.Sequence}
+		return core.StreamConstrained(ctx, e.Graph(), req.Query(), cons, merged, sc), lease
+	}
+	g, oracle, pool := e.view()
+	sc.Fwd, sc.Bwd = e.frontiers(ctx, g, oracle, req.Query(), merged)
+	lease.pool = pool
+	lease.sess = pool.Get().(*core.Session)
+	return lease.sess.StreamWith(ctx, req.Query(), merged, sc), lease
 }
 
 // BatchItem is one delivery of a streaming batch execution: the result (or
@@ -234,6 +271,14 @@ type BatchItem struct {
 // BatchItem.
 func (e *Engine) StreamBatch(ctx context.Context, queries []Query, opts Options) iter.Seq[BatchItem] {
 	return func(yield func(BatchItem) bool) {
+		e.metrics.requests[opStreamBatch].Inc()
+		e.metrics.batchQueries.Add(uint64(len(queries)))
+		start := time.Now()
+		// Duration covers first pull to iterator exit, abandoned streams
+		// included — the consumer's drain is part of a streaming batch.
+		defer func() {
+			e.metrics.latency[opStreamBatch].Observe(time.Since(start))
+		}()
 		g, _, pool := e.view()
 		merged := e.MergeOptions(opts)
 		plan := batch.NewPlanner(g).Plan(queries)
@@ -271,6 +316,7 @@ func (e *Engine) StreamBatch(ctx context.Context, queries []Query, opts Options)
 			}
 		}()
 		for s := range ch {
+			e.metrics.observeRun(s.res) // once per unique execution, nil-safe
 			for _, i := range plan.Slots[s.u] {
 				if !yield(BatchItem{Index: i, Result: s.res, Err: s.err}) {
 					return
