@@ -25,7 +25,7 @@ func BenchmarkCacheRepeatHubBatch(b *testing.B) {
 		// deposits its frontiers.
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			e, err := NewEngine(g, EngineConfig{Workers: 4, FrontierCache: 2 * len(queries)})
+			e, err := NewEngine(g, EngineConfig{Workers: 4, FrontierCache: 2 * len(queries), CacheAdmitDegree: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -37,7 +37,7 @@ func BenchmarkCacheRepeatHubBatch(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		e, err := NewEngine(g, EngineConfig{Workers: 4, FrontierCache: 2 * len(queries)})
+		e, err := NewEngine(g, EngineConfig{Workers: 4, FrontierCache: 2 * len(queries), CacheAdmitDegree: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func BenchmarkCacheSingleQueryWarm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	warm, err := NewEngine(g, EngineConfig{Workers: 4, FrontierCache: 2 * len(queries)})
+	warm, err := NewEngine(g, EngineConfig{Workers: 4, FrontierCache: 2 * len(queries), CacheAdmitDegree: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

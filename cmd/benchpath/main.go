@@ -11,11 +11,13 @@
 //	benchpath -plan join -json stream   # join-planned streaming, JSON report
 //
 // Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
-// fig10 fig12 fig13 fig16 fig17 fig18 ext batch cache stream parallel
+// fig10 fig12 fig13 fig16 fig17 fig18 ext batch batch2 cache stream
+// parallel
 // (fig10 covers figure 11; fig13 covers figures 14 and 15; ext is this
 // repository's extension ablation; batch compares the shared-computation
 // batch subsystem against the naive per-query fan-out on shared-endpoint
-// workloads; cache repeats a shared-hub batch to show the second call
+// workloads; batch2 runs a cold hub-to-hub grid through the two-sided
+// planner — one BFS per distinct endpoint; cache repeats a shared-hub batch to show the second call
 // served from the cross-batch frontier cache with zero BFS passes;
 // stream measures time-to-first-path of the pull-based path stream
 // against full enumeration — the real-time delivery metric; -plan forces
@@ -62,6 +64,7 @@ var experiments = []struct {
 	{"fig18", func(c bench.Config) (renderable, error) { return bench.Fig18(c) }},
 	{"ext", func(c bench.Config) (renderable, error) { return bench.Extensions(c) }},
 	{"batch", func(c bench.Config) (renderable, error) { return bench.Batch(c) }},
+	{"batch2", func(c bench.Config) (renderable, error) { return bench.BatchTwoSided(c) }},
 	{"cache", func(c bench.Config) (renderable, error) { return bench.Cache(c) }},
 	{"stream", func(c bench.Config) (renderable, error) { return bench.Stream(c) }},
 	{"parallel", func(c bench.Config) (renderable, error) { return bench.Parallel(c) }},

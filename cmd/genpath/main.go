@@ -14,6 +14,11 @@
 //	# (one "s t k" line per query, 20% exact duplicates):
 //	genpath -family ba -n 10000 -out g.txt \
 //	        -batch 64 -batchout q.txt -batchk 6 -batchgroup 8 -batchdup 0.2
+//
+//	# hub-to-hub grid: 8 source hubs x 8 target hubs, every query shares
+//	# both its source and its target with other queries in the batch:
+//	genpath -family ba -n 10000 -out g.txt \
+//	        -batch 64 -batchout q.txt -batchk 6 -two-sided
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 		batchK     = flag.Int("batchk", 6, "batch: hop constraint per query")
 		batchGroup = flag.Int("batchgroup", 8, "batch: queries per shared-endpoint cluster")
 		batchDup   = flag.Float64("batchdup", 0, "batch: fraction of exact-duplicate queries")
+		twoSided   = flag.Bool("two-sided", false, "batch: hub-to-hub grid (every query shares both endpoints)")
 	)
 	flag.Parse()
 
@@ -55,7 +61,7 @@ func main() {
 	}
 	g, err := run(*dataset, *scale, *family, *n, *davg, *layers, *seed, *out)
 	if err == nil && *batch > 0 {
-		err = runBatch(g, *batch, *batchK, *batchGroup, *batchDup, *seed, *batchOut)
+		err = runBatch(g, *batch, *batchK, *batchGroup, *batchDup, *twoSided, *seed, *batchOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genpath:", err)
@@ -103,7 +109,7 @@ func run(dataset string, scale float64, family string, n int, davg float64, laye
 // runBatch generates a shared-endpoint batch query set over g and writes
 // one "s t k" line per query — the input format of benchpath's batch mode
 // and of scripted POST /batch clients.
-func runBatch(g *graph.Graph, count, k, groupSize int, dupFrac float64, seed int64, out string) error {
+func runBatch(g *graph.Graph, count, k, groupSize int, dupFrac float64, twoSided bool, seed int64, out string) error {
 	if out == "" {
 		return fmt.Errorf("-batchout is required with -batch")
 	}
@@ -112,6 +118,7 @@ func runBatch(g *graph.Graph, count, k, groupSize int, dupFrac float64, seed int
 		K:         k,
 		GroupSize: groupSize,
 		DupFrac:   dupFrac,
+		TwoSided:  twoSided,
 		Seed:      seed,
 	})
 	if err != nil {

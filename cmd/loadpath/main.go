@@ -370,6 +370,10 @@ func resolveTarget(cfg driverConfig) (*target, error) {
 			return nil, oerr
 		}
 		ecfg.Oracle = oracle
+		// Keep the oracle alive under an insert-bearing mix: publishing
+		// inserts hand reconstruction to the engine's background worker
+		// instead of dropping the oracle for good (or stalling the write).
+		ecfg.OracleLandmarks = cfg.landmarks
 	}
 	engine, err := pathenum.NewEngine(g, ecfg)
 	if err != nil {

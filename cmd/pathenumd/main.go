@@ -109,6 +109,10 @@ func main() {
 			log.Fatal("pathenumd: oracle: ", oerr)
 		}
 		cfg.Oracle = oracle
+		// Publishing inserts hand oracle reconstruction to the engine's
+		// background worker; without this the first write would drop the
+		// oracle for the rest of the process lifetime.
+		cfg.OracleLandmarks = *landmarks
 	}
 	engine, err := pathenum.NewEngine(g, cfg)
 	if err != nil {

@@ -55,14 +55,17 @@ type EngineConfig struct {
 	// cache serves repeat endpoints — a hot fraud hub queried in every
 	// batch — with zero BFS passes; see internal/cache.
 	FrontierCache int
-	// CacheAdmitDegree gates single-query frontier deposits: a single
-	// query that misses the cache builds and deposits a shareable
-	// frontier only when the endpoint's degree (out-degree of S for the
-	// forward side, in-degree of T for the backward side) is at least
-	// this threshold, so only hub-grade endpoints — the ones likely to
-	// repeat — pay the deposit's O(|V|) allocation. 0 uses
-	// DefaultCacheAdmitDegree; negative disables single-query deposits
-	// (batch deposits are unconditional either way).
+	// CacheAdmitDegree gates frontier deposits: a frontier built on a
+	// cache miss is deposited only when the endpoint's degree
+	// (out-degree of S for the forward side, in-degree of T for the
+	// backward side) is at least this threshold, so only hub-grade
+	// endpoints — the ones likely to repeat — pay the deposit's O(|V|)
+	// allocation. The check applies to single queries and to batch
+	// per-member sides alike; a batch side the planner proved shared
+	// (two or more members need it) is admitted regardless of degree —
+	// reuse within the batch is already evidence. 0 uses
+	// DefaultCacheAdmitDegree; negative restricts deposits to
+	// planner-proved shared frontiers only.
 	CacheAdmitDegree int
 	// SnapshotEvery amortizes the engine write path: Engine.Insert
 	// publishes a fresh immutable snapshot (an O(E log E) rebuild) only
@@ -77,12 +80,18 @@ type EngineConfig struct {
 	// front end so a single /metrics scrape covers both. Nil creates a
 	// private registry, readable via Engine.Metrics.
 	Metrics *MetricsRegistry
-	// OracleLandmarks, when positive, makes the write path rebuild the
-	// distance oracle on every published snapshot with this many
-	// landmarks, keeping oracle pruning continuously available on a
-	// mutating graph. When 0, a version-aware oracle is simply dropped
-	// at the first publish that invalidates it (queries keep working,
-	// unpruned, until SetOracle re-installs one).
+	// OracleLandmarks, when positive, keeps oracle pruning available on a
+	// mutating graph: every published snapshot schedules a distance-oracle
+	// rebuild with this many landmarks on a single-flight background
+	// worker. The snapshot serves immediately — publishing inserts never
+	// block on the O(landmarks x BFS) rebuild — and queries run unpruned
+	// (stale oracle dropped, epoch-checked) until the fresh oracle lands;
+	// WaitOracle blocks until it does, and OracleLag reports how long the
+	// engine has been serving degraded. Rapid publishes coalesce: a
+	// rebuild superseded by a newer snapshot is discarded, not installed.
+	// When 0, a version-aware oracle is simply dropped at the first
+	// publish that invalidates it (queries keep working, unpruned, until
+	// SetOracle re-installs one).
 	OracleLandmarks int
 }
 
@@ -101,15 +110,16 @@ const DefaultCacheAdmitDegree = 16
 //
 // The engine owns two cross-query structures keyed by graph version: the
 // optional distance oracle and the frontier cache (an LRU of shared BFS
-// labelings consulted and — behind a degree-based admission check —
-// deposited by single queries, and deposited unconditionally by
-// ExecuteBatch). Dynamic workloads advance the engine either through the
-// engine-owned write path (Insert/Flush: the engine owns the Dynamic,
+// labelings consulted by every surface and deposited behind a
+// degree-based admission check — single queries and batch per-member
+// sides alike, with planner-proved shared frontiers admitted on their
+// batch reuse alone). Dynamic workloads advance the engine either through
+// the engine-owned write path (Insert/Flush: the engine owns the Dynamic,
 // amortizes snapshotting per SnapshotEvery and refreshes the oracle per
-// OracleLandmarks) or with caller-built snapshots via UpdateGraph; both
-// bump the graph epoch, so cached frontiers invalidate lazily on lookup —
-// no sweep — and a stale oracle is rebuilt or dropped rather than
-// consulted.
+// OracleLandmarks on a background single-flight worker) or with
+// caller-built snapshots via UpdateGraph; both bump the graph epoch, so
+// cached frontiers invalidate lazily on lookup — no sweep — and a stale
+// oracle is rebuilt in the background or dropped rather than consulted.
 //
 // The zero Engine is not usable; create one with NewEngine.
 type Engine struct {
@@ -148,6 +158,20 @@ type Engine struct {
 	// written under wmu, read lock-free by the insert-lag gauge.
 	metrics         *engineMetrics
 	oldestPendingNs atomic.Int64
+
+	// Background oracle rebuild state (OracleLandmarks > 0). rebuildMu
+	// guards the target/active/done fields; the single-flight rebuild
+	// loop drains rebuildTarget until nil, so rapid publishes coalesce
+	// onto the newest snapshot. degradedSinceNs is the unix-nano
+	// timestamp since which the engine has been serving without a fresh
+	// oracle (0 when not degraded) — read lock-free by the
+	// oracle-lag gauge. Lock order: rebuildMu is a leaf — never held
+	// while taking wmu or mu.
+	rebuildMu     sync.Mutex
+	rebuildTarget *Graph
+	rebuildActive bool
+	rebuildDone   chan struct{}
+	degradedSince atomic.Int64
 }
 
 // NewEngine creates an engine over g.
@@ -181,6 +205,12 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 		reg = NewMetricsRegistry()
 	}
 	e.metrics = newEngineMetrics(reg, e)
+	if cfg.OracleLandmarks > 0 && e.oracle == nil {
+		// Continuous pruning was requested but no oracle was supplied:
+		// build the first one in the background too, so construction cost
+		// never sits on the caller's startup path.
+		e.scheduleRebuild(g)
+	}
 	return e, nil
 }
 
@@ -244,6 +274,9 @@ func (e *Engine) UpdateGraph(g *Graph) error {
 	e.pending = 0
 	e.oldestPendingNs.Store(0)
 	e.installGraph(g, nil, false)
+	if e.cfg.OracleLandmarks > 0 {
+		e.scheduleRebuild(g)
+	}
 	return nil
 }
 
@@ -333,28 +366,115 @@ func (e *Engine) PendingWrites() int {
 	return e.pending
 }
 
-// publishLocked materializes the Dynamic's current state, optionally
-// rebuilds the oracle for it, and swaps the serving view. Caller holds
-// e.wmu. The oracle rebuild (two BFS passes per landmark) happens before
-// the swap, and graph and oracle install in one critical section, so
-// queries never observe the new graph without its oracle.
+// publishLocked materializes the Dynamic's current state and swaps the
+// serving view immediately. Caller holds e.wmu. With OracleLandmarks set
+// the oracle rebuild (two BFS passes per landmark) no longer sits on this
+// path: the snapshot serves right away — a version-aware oracle for the
+// previous graph is dropped by installGraph — and a single-flight
+// background worker rebuilds the oracle for the new snapshot, installing
+// it via the SetOracle path only if the snapshot is still the serving
+// graph when the build finishes.
 func (e *Engine) publishLocked() error {
 	snap := e.dyn.Snapshot()
-	var oracle DistanceOracle
-	if e.cfg.OracleLandmarks > 0 {
-		var err error
-		oracle, err = landmark.Build(snap, e.cfg.OracleLandmarks)
-		if err != nil {
-			return fmt.Errorf("pathenum: oracle rebuild on publish: %w", err)
-		}
-	}
 	e.pending = 0
 	if oldest := e.oldestPendingNs.Swap(0); oldest != 0 {
 		e.metrics.publishLag.Observe(time.Since(time.Unix(0, oldest)))
 	}
 	e.metrics.publishes.Inc()
-	e.installGraph(snap, oracle, oracle != nil)
+	e.installGraph(snap, nil, false)
+	if e.cfg.OracleLandmarks > 0 {
+		e.scheduleRebuild(snap)
+	}
 	return nil
+}
+
+// scheduleRebuild hands snap to the background oracle rebuild worker,
+// starting one if none is running. Only the newest target survives: a
+// worker mid-build on an older snapshot picks this one up next and the
+// superseded result is discarded at install time.
+func (e *Engine) scheduleRebuild(snap *Graph) {
+	e.rebuildMu.Lock()
+	e.rebuildTarget = snap
+	if e.degradedSince.Load() == 0 {
+		e.degradedSince.Store(time.Now().UnixNano())
+	}
+	if !e.rebuildActive {
+		e.rebuildActive = true
+		e.rebuildDone = make(chan struct{})
+		go e.rebuildLoop(e.rebuildDone)
+	}
+	e.rebuildMu.Unlock()
+}
+
+// rebuildLoop is the single-flight background oracle worker: it drains
+// rebuildTarget — always building against the newest scheduled snapshot —
+// and installs each finished oracle only while its snapshot is still the
+// serving graph (pointer identity), so coalesced publishes never regress
+// the oracle to an older epoch. The engine is degraded (serving unpruned)
+// from the first schedule until an install lands on the serving graph.
+func (e *Engine) rebuildLoop(done chan struct{}) {
+	for {
+		e.rebuildMu.Lock()
+		target := e.rebuildTarget
+		e.rebuildTarget = nil
+		if target == nil {
+			e.rebuildActive = false
+			e.rebuildMu.Unlock()
+			close(done)
+			return
+		}
+		e.rebuildMu.Unlock()
+
+		start := time.Now()
+		oracle, err := landmark.Build(target, e.cfg.OracleLandmarks)
+		if err != nil {
+			// Build failures leave the engine unpruned but serving; the
+			// next publish schedules a fresh attempt.
+			continue
+		}
+		e.metrics.observeOracleRebuild(time.Since(start))
+		e.mu.Lock()
+		if e.g == target {
+			e.oracle = oracle
+			e.sessions = newSessionPool(e.g, oracle)
+			e.degradedSince.Store(0)
+		}
+		e.mu.Unlock()
+	}
+}
+
+// WaitOracle blocks until the background oracle rebuild queue is idle (or
+// ctx is done) — after it returns nil, the most recently published
+// snapshot's oracle has been installed unless a newer publish raced in.
+// Returns immediately when no rebuild is pending; tests and benchmarks
+// use it to observe the asynchronous rebuild deterministically.
+func (e *Engine) WaitOracle(ctx context.Context) error {
+	for {
+		e.rebuildMu.Lock()
+		active, done := e.rebuildActive, e.rebuildDone
+		e.rebuildMu.Unlock()
+		if !active {
+			return nil
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// OracleLag reports how long the engine has been serving without a fresh
+// oracle while OracleLandmarks expects one — 0 when the oracle is
+// current. A non-zero lag means queries run unpruned (correct, slower);
+// it is exported as the pathenum_oracle_lag_seconds gauge and noted in
+// the server's /readyz body.
+func (e *Engine) OracleLag() time.Duration {
+	since := e.degradedSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, since))
 }
 
 // Oracle returns the engine's currently installed distance oracle (nil
@@ -375,6 +495,9 @@ func (e *Engine) SetOracle(oracle DistanceOracle) error {
 	}
 	e.oracle = oracle
 	e.sessions = newSessionPool(e.g, oracle)
+	if oracle != nil {
+		e.degradedSince.Store(0)
+	}
 	return nil
 }
 
@@ -455,10 +578,7 @@ func (e *Engine) frontiers(ctx context.Context, g *Graph, engineOracle DistanceO
 	ver := g.Version()
 	fwd = e.cache.Get(cache.Key{Origin: q.S, Forward: true, Pred: opts.PredicateToken}, q.K, ver)
 	bwd = e.cache.Get(cache.Key{Origin: q.T, Forward: false, Pred: opts.PredicateToken}, q.K, ver)
-	admit := e.cfg.CacheAdmitDegree
-	if admit == 0 {
-		admit = DefaultCacheAdmitDegree
-	}
+	admit := e.admitDegree()
 	if admit < 0 || (fwd != nil && bwd != nil) || ctx.Err() != nil {
 		return fwd, bwd
 	}
@@ -651,18 +771,37 @@ type BatchStats = batch.Stats
 
 // frontierCacheProvider adapts the engine cache to the batch scheduler's
 // FrontierProvider seam, pinning the graph version and predicate token of
-// one batch execution.
+// one batch execution. Deposits follow the same degree-based admission
+// policy as single queries (EngineConfig.CacheAdmitDegree), except that a
+// frontier the planner proved shared — two or more members of this batch
+// use it — is admitted on that evidence alone.
 type frontierCacheProvider struct {
-	c   *cache.FrontierCache
-	ver graph.Version
-	tok core.PredicateToken
+	c     *cache.FrontierCache
+	g     *Graph
+	ver   graph.Version
+	tok   core.PredicateToken
+	admit int
 }
 
 func (p *frontierCacheProvider) Lookup(origin VertexID, forward bool, k int) *core.Frontier {
 	return p.c.Get(cache.Key{Origin: origin, Forward: forward, Pred: p.tok}, k, p.ver)
 }
 
-func (p *frontierCacheProvider) Store(f *core.Frontier) { p.c.Put(f) }
+func (p *frontierCacheProvider) Store(f *core.Frontier, uses int) {
+	if uses < 2 {
+		if p.admit < 0 {
+			return
+		}
+		deg := p.g.OutDegree(f.Origin())
+		if !f.IsForward() {
+			deg = p.g.InDegree(f.Origin())
+		}
+		if deg < p.admit {
+			return
+		}
+	}
+	p.c.Put(f)
+}
 
 // ExecuteBatch runs the queries through the shared-computation batch
 // subsystem (internal/batch): exact-duplicate queries are answered once
@@ -710,9 +849,21 @@ func (e *Engine) newScheduler(g *Graph, pool *sync.Pool, merged Options) *batch.
 		Release: func(s *core.Session) { pool.Put(s) },
 	}
 	if e.cache != nil && (merged.Predicate == nil || merged.PredicateToken != core.PredicateNone) {
-		sch.Frontiers = &frontierCacheProvider{c: e.cache, ver: g.Version(), tok: merged.PredicateToken}
+		sch.Frontiers = &frontierCacheProvider{
+			c: e.cache, g: g, ver: g.Version(), tok: merged.PredicateToken,
+			admit: e.admitDegree(),
+		}
 	}
 	return sch
+}
+
+// admitDegree resolves EngineConfig.CacheAdmitDegree with its default.
+func (e *Engine) admitDegree() int {
+	admit := e.cfg.CacheAdmitDegree
+	if admit == 0 {
+		admit = DefaultCacheAdmitDegree
+	}
+	return admit
 }
 
 // CountAll returns per-query path counts in input order; the first query

@@ -22,7 +22,10 @@ func repeatHubBatch(g *Graph, hub VertexID, count, k int, seed int64) []Query {
 	queries := make([]Query, 0, count)
 	for len(queries) < count {
 		v := VertexID(rng.Intn(n))
-		if v == hub {
+		// Skip partners isolated in the direction their side's BFS needs:
+		// a zero-degree endpoint is refused by any deposit admission
+		// threshold, which would break the warm-zero-pass pins.
+		if v == hub || g.OutDegree(v) == 0 || g.InDegree(v) == 0 {
 			continue
 		}
 		if len(queries)%2 == 0 {
@@ -40,7 +43,10 @@ func repeatHubBatch(g *Graph, hub VertexID, count, k int, seed int64) []Query {
 // counters — while reporting the same per-query counts.
 func TestExecuteBatchWarmCacheZeroBFS(t *testing.T) {
 	g := gen.BarabasiAlbert(400, 3, 9)
-	e, err := NewEngine(g, EngineConfig{Workers: 4})
+	// CacheAdmitDegree 1 admits the low-degree partner endpoints too —
+	// this test pins full warm service, not admission policy (covered by
+	// TestBatchDepositAdmission).
+	e, err := NewEngine(g, EngineConfig{Workers: 4, CacheAdmitDegree: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,6 +163,120 @@ func TestBatchCacheHitPathSetEquality(t *testing.T) {
 	}
 }
 
+// TestBatchTwoSidedPathSetEquality: a hub-to-hub grid batch — every query
+// sharing both its source and its target with other queries — must emit
+// exactly the paths of a cache-disabled engine, cold and warm, and the
+// warm repeat must run zero BFS passes.
+func TestBatchTwoSidedPathSetEquality(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 61)
+	var queries []Query
+	for s := VertexID(0); s < 4; s++ {
+		for tgt := VertexID(4); tgt < 8; tgt++ {
+			queries = append(queries, Query{S: s, T: tgt, K: 4})
+		}
+	}
+
+	noCache, err := NewEngine(g, EngineConfig{Workers: 3, FrontierCache: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewEngine(g, EngineConfig{Workers: 3, CacheAdmitDegree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := collectBatchPaths(t, noCache, queries)
+	cold := collectBatchPaths(t, cached, queries)
+	warm := collectBatchPaths(t, cached, queries)
+	if len(want) == 0 {
+		t.Fatal("grid workload produced no paths; test is vacuous")
+	}
+	for name, got := range map[string][]string{"cold": cold, "warm": warm} {
+		if len(got) != len(want) {
+			t.Fatalf("%s path count %d != uncached %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s path[%d] = %q, want %q", name, i, got[i], want[i])
+			}
+		}
+	}
+	// The warm stats repeat pin: every side of the grid was deposited.
+	_, errs, stats := cached.ExecuteBatch(context.Background(), queries, Options{})
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	if stats.BFSPassesRun != 0 {
+		t.Fatalf("warm two-sided batch ran %d passes, want 0", stats.BFSPassesRun)
+	}
+	if stats.SharedFrontiers != 8 || stats.TwoSidedFrontiers != 4 {
+		t.Fatalf("grid sharing stats = %d shared / %d two-sided, want 8/4", stats.SharedFrontiers, stats.TwoSidedFrontiers)
+	}
+}
+
+// TestBatchDepositAdmission: under the default admission threshold a
+// fringe-to-hub batch deposits only the planner-proved shared hub side;
+// the fringe member sides are refused, so the warm repeat still rebuilds
+// them while the hub side hits.
+func TestBatchDepositAdmission(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 9)
+	hub := VertexID(2) // the biggest attachment hub of this seed
+	if g.InDegree(hub) < DefaultCacheAdmitDegree {
+		t.Fatalf("hub in-degree %d below the default admission threshold; premise broken", g.InDegree(hub))
+	}
+	// Fringe partners: able to source a path but below the admission
+	// threshold on both sides, so their forward frontiers are refused.
+	var queries []Query
+	for v := VertexID(1); v < VertexID(g.NumVertices()) && len(queries) < 8; v++ {
+		if g.OutDegree(v) >= 1 && g.OutDegree(v) < DefaultCacheAdmitDegree &&
+			g.InDegree(v) < DefaultCacheAdmitDegree {
+			queries = append(queries, Query{S: v, T: hub, K: 4})
+		}
+	}
+	if len(queries) < 4 {
+		t.Fatalf("only %d fringe partners found", len(queries))
+	}
+
+	// Default admission (CacheAdmitDegree 0 -> DefaultCacheAdmitDegree).
+	e, err := NewEngine(g, EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs, cold := e.ExecuteBatch(context.Background(), queries, Options{})
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	if cold.BFSPassesRun == 0 {
+		t.Fatal("cold batch cannot run zero passes")
+	}
+	// Only the shared hub side (uses >= 2, admitted regardless of degree)
+	// may land in the cache.
+	if cs := e.CacheStats(); cs.Entries != 1 {
+		t.Fatalf("admission deposited %d entries, want 1 (the hub side)", cs.Entries)
+	}
+
+	_, errs, warm := e.ExecuteBatch(context.Background(), queries, Options{})
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	if warm.FrontierCacheHits == 0 {
+		t.Fatal("warm repeat did not hit the deposited hub side")
+	}
+	// The refused fringe sides run again: one backward pass per unique.
+	if warm.BFSPassesRun != warm.Unique {
+		t.Fatalf("warm repeat ran %d passes, want %d (one refused fringe side per unique)", warm.BFSPassesRun, warm.Unique)
+	}
+	if cs := e.CacheStats(); cs.Entries != 1 {
+		t.Fatalf("warm repeat changed the entry count to %d", cs.Entries)
+	}
+}
+
 // TestSingleQueryServedFromWarmCache: a single ExecuteWith on a hub warmed
 // by a batch must hit the cache (and agree with a plain Enumerate).
 func TestSingleQueryServedFromWarmCache(t *testing.T) {
@@ -195,7 +315,9 @@ func TestSingleQueryServedFromWarmCache(t *testing.T) {
 func TestUpdateGraphInvalidatesLazily(t *testing.T) {
 	d := NewDynamic(gen.BarabasiAlbert(300, 3, 29))
 	snap0 := d.Snapshot()
-	e, err := NewEngine(snap0, EngineConfig{Workers: 4})
+	// CacheAdmitDegree 1: the warm-zero precondition needs the low-degree
+	// partner endpoints cached too.
+	e, err := NewEngine(snap0, EngineConfig{Workers: 4, CacheAdmitDegree: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +560,9 @@ func TestExecuteBatchOpaquePredicate(t *testing.T) {
 	pred := func(from, to VertexID) bool { return (int(from)+int(to))%3 != 0 }
 	queries := repeatHubBatch(g, 0, 10, 4, 19)
 
-	e, err := NewEngine(g, EngineConfig{Workers: 3})
+	// CacheAdmitDegree 1: the warm-zero check needs the low-degree partner
+	// endpoints cached too.
+	e, err := NewEngine(g, EngineConfig{Workers: 3, CacheAdmitDegree: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

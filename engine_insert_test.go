@@ -162,8 +162,16 @@ func TestEngineInsertOracleLifecycle(t *testing.T) {
 	if _, err := refresh.Insert(0, 149); err != nil {
 		t.Fatal(err)
 	}
+	// The rebuild runs on the background worker now — the publish itself
+	// never blocks on it. WaitOracle observes the fresh install.
+	if err := refresh.WaitOracle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if refresh.Oracle() == nil {
 		t.Fatal("publish must rebuild the oracle when OracleLandmarks > 0")
+	}
+	if lag := refresh.OracleLag(); lag != 0 {
+		t.Fatalf("oracle lag = %v after rebuild landed, want 0", lag)
 	}
 	q := Query{S: 0, T: 9, K: 4}
 	if _, err := refresh.ExecuteWith(context.Background(), q, Options{}); err != nil {
@@ -189,7 +197,9 @@ func TestEngineInsertOracleLifecycle(t *testing.T) {
 // carries over to the write path.
 func TestEngineInsertInvalidatesFrontierCache(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 3, 79)
-	e, err := NewEngine(g, EngineConfig{Workers: 2})
+	// CacheAdmitDegree 1: the warm-zero precondition needs the low-degree
+	// partner endpoints cached too.
+	e, err := NewEngine(g, EngineConfig{Workers: 2, CacheAdmitDegree: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,14 +66,34 @@ func (k GroupKind) String() string {
 // frontier cache plugs into. Lookup returns a frontier valid for the
 // current graph version with the given origin, direction and bound >= k,
 // or nil on a miss; Store deposits a freshly built frontier for later
-// batches. Implementations must be safe for concurrent use (the scheduler
-// calls from every worker) and are responsible for version invalidation —
-// a frontier returned by Lookup is still re-validated by the core
-// executor, so a misbehaving provider fails queries rather than
-// corrupting them.
+// batches, with uses reporting how many planned executions of this batch
+// reuse it (>= 2 for a planned-shared frontier, 1 for a per-member side)
+// so the provider can apply an admission policy — the engine refuses
+// once-used low-degree endpoints rather than bloating its LRU.
+// Implementations must be safe for concurrent use (the scheduler calls
+// from every worker) and are responsible for version invalidation — a
+// frontier returned by Lookup is still re-validated by the core executor,
+// so a misbehaving provider fails queries rather than corrupting them.
 type FrontierProvider interface {
 	Lookup(origin graph.VertexID, forward bool, k int) *core.Frontier
-	Store(f *core.Frontier)
+	Store(f *core.Frontier, uses int)
+}
+
+// FrontierSpec names one planned-shared BFS side of a batch: a (origin,
+// direction) endpoint that two or more planned executions need, detected
+// by the planner's two-sided pass over the (source, target) co-occurrence
+// of the unique queries. The scheduler builds each spec at most once
+// (single-flight) and serves every user from the result, so a cold batch
+// pays one BFS per distinct endpoint — group hubs and second sides alike —
+// instead of one per group plus one per member.
+type FrontierSpec struct {
+	Origin  graph.VertexID
+	Forward bool
+	// MaxK is the largest hop constraint among the spec's users; the
+	// frontier is built to this bound so every user can reuse it.
+	MaxK int
+	// Uses counts the planned executions that reuse this side (>= 2).
+	Uses int
 }
 
 // GroupTiming reports how one scheduled group spent its time.
@@ -90,7 +110,14 @@ type GroupTiming struct {
 	// CacheHit reports that the group's shared frontier came from the
 	// FrontierProvider instead of a BFS pass.
 	CacheHit bool
-	// Elapsed is the wall time from group start to the last member done.
+	// Estimate is the cardinality-feedback signal recorded after the
+	// group's probe member ran: the probe's preliminary search-space
+	// estimate (Equation 5), or the group's static Cost when the probe
+	// failed. Remaining members across the whole batch are re-ranked by
+	// this value, cheapest first.
+	Estimate float64
+	// Elapsed is the wall time from group start to the last member done
+	// (zero when the batch was cancelled before the group finished).
 	Elapsed time.Duration
 }
 
@@ -119,8 +146,10 @@ type Stats struct {
 	// BFSPassesNaive is what the naive fan-out would run: two passes per
 	// valid query, duplicates included.
 	BFSPassesNaive int
-	// BFSPasses is the plan's nominal pass count: per shared group one
-	// frontier pass plus one per member; two per singleton.
+	// BFSPasses is the plan's nominal pass count under two-sided sharing:
+	// one per shared frontier spec (a side two or more unique queries
+	// need) plus one per side only a single query needs — at most one BFS
+	// per distinct (endpoint, direction) in the batch.
 	BFSPasses int
 	// BFSPassesSaved = BFSPassesNaive - BFSPasses.
 	BFSPassesSaved int
@@ -133,10 +162,16 @@ type Stats struct {
 	// infeasibility certificate skips are still counted.
 	BFSPassesRun int
 	// FrontierCacheHits / FrontierCacheMisses count FrontierProvider
-	// lookups during this batch (shared-group and per-member sides);
+	// lookups during this batch (shared-spec and per-member sides);
 	// both stay zero without a provider.
 	FrontierCacheHits   int
 	FrontierCacheMisses int
+	// SharedFrontiers is the number of planned shared frontier specs
+	// (Plan.Shared); TwoSidedFrontiers counts the subset that is not a
+	// group's own hub side — the cross-group and second-side sharing the
+	// two-sided pass finds beyond single-endpoint grouping.
+	SharedFrontiers   int
+	TwoSidedFrontiers int
 	// SharedBFS is the total time spent building shared frontiers.
 	SharedBFS time.Duration
 	// Elapsed is the wall time of the whole batch execution.

@@ -30,8 +30,8 @@ type Group struct {
 }
 
 // Plan is the output of the Planner: the deduplicated query list, the
-// fan-out map back to original batch positions, and the shared-computation
-// groups.
+// fan-out map back to original batch positions, the shared-computation
+// groups, and the two-sided shared-frontier specs.
 type Plan struct {
 	// Queries is the original batch size.
 	Queries int
@@ -43,8 +43,15 @@ type Plan struct {
 	// Groups covers every unique query exactly once, sorted by descending
 	// Cost (the scheduling order).
 	Groups []Group
+	// Shared lists every BFS side (origin, direction) that two or more
+	// unique queries need — group hubs and, for hub-to-hub batches, the
+	// members' second sides too. The scheduler builds each exactly once
+	// and serves all users from the result, in first-seen order over
+	// Unique (forward side before backward per query).
+	Shared []FrontierSpec
 
-	invalid []error // per original position; nil when the query is valid
+	invalid   []error // per original position; nil when the query is valid
+	soloSides int     // BFS sides needed by exactly one unique query
 }
 
 // Planner canonicalizes and groups query batches for one graph.
@@ -59,13 +66,18 @@ func NewPlanner(g *graph.Graph) *Planner { return &Planner{g: g} }
 // errors, exact duplicates (same s, t, k) collapse onto one execution, and
 // the surviving unique queries are grouped for shared-BFS execution.
 //
-// Grouping is the common-computation detection heuristic: every unique
-// query joins its source group or its target group, whichever has more
-// potential members (ties prefer the source side), and any group left with
-// fewer than two members degenerates to singletons. A query can share only
-// one endpoint's BFS — the other side still runs per query — so the
-// heuristic maximizes members of large groups rather than solving the
-// (NP-hard) optimal cover.
+// Grouping is a bipartite-greedy cover of the (source, target)
+// co-occurrence graph: repeatedly commit the endpoint bucket — source or
+// target side — holding the most still-unassigned queries (ties prefer the
+// source side, then the lower hub id), until no bucket holds two; the
+// leftovers are singletons. Greedy max-coverage rather than the (NP-hard)
+// optimal cover, but it dominates any single fixed side assignment.
+//
+// A separate two-sided pass then records every BFS side that two or more
+// unique queries need — across group boundaries and including members'
+// second sides — as Plan.Shared specs, so a hub-to-hub batch costs one
+// frontier per distinct endpoint rather than one per group plus one per
+// member.
 func (p *Planner) Plan(queries []core.Query) *Plan {
 	plan := &Plan{
 		Queries: len(queries),
@@ -94,36 +106,71 @@ func (p *Planner) Plan(queries []core.Query) *Plan {
 		plan.Slots[u] = append(plan.Slots[u], i)
 	}
 
-	// Pass 2: count sharing potential per endpoint over unique queries.
-	srcCount := make(map[graph.VertexID]int)
-	tgtCount := make(map[graph.VertexID]int)
-	for _, q := range plan.Unique {
-		srcCount[q.S]++
-		tgtCount[q.T]++
+	// Passes 2+3: bipartite-greedy grouping. Each round recounts the
+	// endpoint buckets over still-unassigned queries and commits the
+	// largest one (>= 2 members) as a group; committing a bucket shrinks
+	// its members' opposite-side buckets, so the recount is what makes
+	// the cover greedy rather than a fixed one-shot assignment. O(rounds
+	// x unique) with rounds <= groups — fine at batch sizes.
+	assigned := make([]bool, len(plan.Unique))
+	remaining := len(plan.Unique)
+	for remaining > 0 {
+		srcCount := make(map[graph.VertexID]int)
+		tgtCount := make(map[graph.VertexID]int)
+		for u, q := range plan.Unique {
+			if assigned[u] {
+				continue
+			}
+			srcCount[q.S]++
+			tgtCount[q.T]++
+		}
+		// Deterministic argmax: more members wins, ties prefer the source
+		// side, then the lower hub id.
+		bestN, bestFwd, bestHub := 1, false, graph.VertexID(0)
+		better := func(n int, fwd bool, hub graph.VertexID) bool {
+			if n != bestN {
+				return n > bestN
+			}
+			if fwd != bestFwd {
+				return fwd
+			}
+			return hub < bestHub
+		}
+		for u, q := range plan.Unique {
+			if assigned[u] {
+				continue
+			}
+			if n := srcCount[q.S]; n > 1 && better(n, true, q.S) {
+				bestN, bestFwd, bestHub = n, true, q.S
+			}
+			if n := tgtCount[q.T]; n > 1 && better(n, false, q.T) {
+				bestN, bestFwd, bestHub = n, false, q.T
+			}
+		}
+		if bestN < 2 {
+			break
+		}
+		var members []int
+		for u, q := range plan.Unique {
+			if assigned[u] {
+				continue
+			}
+			if (bestFwd && q.S == bestHub) || (!bestFwd && q.T == bestHub) {
+				members = append(members, u)
+				assigned[u] = true
+				remaining--
+			}
+		}
+		kind := KindSharedTarget
+		if bestFwd {
+			kind = KindSharedSource
+		}
+		plan.Groups = append(plan.Groups, p.shared(kind, bestHub, members, plan.Unique))
 	}
-
-	// Pass 3: assign each query to the more promising side.
-	srcGroups := make(map[graph.VertexID][]int)
-	tgtGroups := make(map[graph.VertexID][]int)
 	for u, q := range plan.Unique {
-		switch {
-		case srcCount[q.S] >= 2 && srcCount[q.S] >= tgtCount[q.T]:
-			srcGroups[q.S] = append(srcGroups[q.S], u)
-		case tgtCount[q.T] >= 2:
-			tgtGroups[q.T] = append(tgtGroups[q.T], u)
-		default:
+		if !assigned[u] {
 			plan.Groups = append(plan.Groups, p.singleton(u, q))
 		}
-	}
-
-	// Pass 4: materialize shared groups; assignment can leave a bucket
-	// with a single member (its peers chose the other endpoint), which
-	// degenerates to a singleton.
-	for hub, members := range srcGroups {
-		plan.Groups = append(plan.Groups, p.shared(KindSharedSource, hub, members, plan.Unique))
-	}
-	for hub, members := range tgtGroups {
-		plan.Groups = append(plan.Groups, p.shared(KindSharedTarget, hub, members, plan.Unique))
 	}
 
 	// Scheduling order: most expensive first, with a deterministic
@@ -138,6 +185,44 @@ func (p *Planner) Plan(queries []core.Query) *Plan {
 		}
 		return gi.Hub < gj.Hub
 	})
+
+	// Pass 4: two-sided sharing. Every unique query needs a forward BFS
+	// from its source and a backward BFS to its target; any (origin,
+	// direction) needed twice — by a group's members, or across group
+	// boundaries — becomes a shared spec built once at the largest bound
+	// its users require. Group hub sides always qualify; in a hub-to-hub
+	// batch the members' second sides do too.
+	type sideKey struct {
+		origin  graph.VertexID
+		forward bool
+	}
+	sides := make(map[sideKey]*FrontierSpec, 2*len(plan.Unique))
+	var order []sideKey
+	record := func(origin graph.VertexID, forward bool, k int) {
+		sk := sideKey{origin, forward}
+		spec := sides[sk]
+		if spec == nil {
+			spec = &FrontierSpec{Origin: origin, Forward: forward}
+			sides[sk] = spec
+			order = append(order, sk)
+		}
+		spec.Uses++
+		if k > spec.MaxK {
+			spec.MaxK = k
+		}
+	}
+	for _, q := range plan.Unique {
+		record(q.S, true, q.K)
+		record(q.T, false, q.K)
+	}
+	for _, sk := range order {
+		spec := sides[sk]
+		if spec.Uses >= 2 {
+			plan.Shared = append(plan.Shared, *spec)
+		} else {
+			plan.soloSides++
+		}
+	}
 	return plan
 }
 
@@ -225,15 +310,28 @@ func (p *Plan) Stats() *Stats {
 		switch g.Kind {
 		case KindSingleton:
 			st.Singletons++
-			st.BFSPasses += 2
 		case KindSharedSource:
 			st.SharedSourceGroups++
-			st.BFSPasses += 1 + len(g.Members)
 		case KindSharedTarget:
 			st.SharedTargetGroups++
-			st.BFSPasses += 1 + len(g.Members)
 		}
 	}
+	// Nominal passes under two-sided sharing: one per shared spec plus
+	// one per side only a single query needs.
+	st.BFSPasses = len(p.Shared) + p.soloSides
 	st.BFSPassesSaved = st.BFSPassesNaive - st.BFSPasses
+	st.SharedFrontiers = len(p.Shared)
+	hubKeys := make(map[FrontierSpec]bool, len(p.Groups))
+	for _, g := range p.Groups {
+		if g.Kind == KindSingleton {
+			continue
+		}
+		hubKeys[FrontierSpec{Origin: g.Hub, Forward: g.Kind == KindSharedSource}] = true
+	}
+	for _, spec := range p.Shared {
+		if !hubKeys[FrontierSpec{Origin: spec.Origin, Forward: spec.Forward}] {
+			st.TwoSidedFrontiers++
+		}
+	}
 	return st
 }

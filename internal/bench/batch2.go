@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"pathenum/internal/batch"
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+	"pathenum/internal/workload"
+)
+
+// BatchTwoSidedRow is the per-dataset report of a cold hub-to-hub batch:
+// the acceptance target is BFSRun == Endpoints — one pass per distinct
+// endpoint, however the queries cross-pair them.
+type BatchTwoSidedRow struct {
+	Dataset string
+	Queries int
+	Unique  int
+
+	// Endpoints is the number of distinct BFS sides the batch touches
+	// (distinct sources + distinct targets).
+	Endpoints int
+	// BFSNaive is the 2-per-query baseline; BFSRun is what the scheduler
+	// actually executed cold.
+	BFSNaive int
+	BFSRun   int
+	// Shared/TwoSided are the planner's spec accounting: specs total, and
+	// the subset shared across group boundaries (the frontiers one-sided
+	// grouping could never share).
+	Shared   int
+	TwoSided int
+
+	NaiveMs  float64
+	SharedMs float64
+	Speedup  float64
+}
+
+// BatchTwoSidedResult is the two-sided batch experiment report.
+type BatchTwoSidedResult struct {
+	K         int
+	BatchSize int
+	Rows      []BatchTwoSidedRow
+}
+
+// BatchTwoSided measures the cold two-sided path: a hub-to-hub grid
+// batch (workload.GenerateBatch with TwoSided) executed once, no cache,
+// against the naive per-query fan-out. Where the one-sided planner would
+// build one frontier per group plus one per member, the two-sided plan
+// builds exactly one BFS per distinct endpoint.
+func BatchTwoSided(cfg Config) (*BatchTwoSidedResult, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"up", "db", "ep", "wt"}
+	}
+	res := &BatchTwoSidedResult{K: cfg.K, BatchSize: cfg.Queries}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		bqs, err := workload.GenerateBatch(g, workload.BatchOptions{
+			Count:     cfg.Queries,
+			K:         cfg.K,
+			GroupSize: 8,
+			TwoSided:  true,
+			Seed:      cfg.Seed,
+		})
+		if err != nil && len(bqs) == 0 {
+			continue // dataset yields no two-sided grid at this scale
+		}
+		queries := make([]core.Query, len(bqs))
+		srcs := make(map[graph.VertexID]bool)
+		tgts := make(map[graph.VertexID]bool)
+		for i, q := range bqs {
+			queries[i] = core.Query{S: q.S, T: q.T, K: q.K}
+			srcs[q.S] = true
+			tgts[q.T] = true
+		}
+		opts := core.Options{Timeout: cfg.TimeLimit}
+
+		pool := &sync.Pool{New: func() any { return core.NewSession(g, nil) }}
+		acquire := func() *core.Session { return pool.Get().(*core.Session) }
+		release := func(s *core.Session) { pool.Put(s) }
+		warm := make([]*core.Session, batchWorkers)
+		for i := range warm {
+			warm[i] = acquire()
+		}
+		for _, s := range warm {
+			release(s)
+		}
+
+		naiveStart := time.Now()
+		runNaive(queries, opts, acquire, release)
+		naiveMs := ms(time.Since(naiveStart))
+
+		sch := &batch.Scheduler{Workers: batchWorkers, Acquire: acquire, Release: release}
+		sharedStart := time.Now()
+		plan := batch.NewPlanner(g).Plan(queries)
+		_, _, stats := sch.Execute(context.Background(), g, plan, opts)
+		sharedMs := ms(time.Since(sharedStart))
+
+		row := BatchTwoSidedRow{
+			Dataset:   name,
+			Queries:   stats.Queries,
+			Unique:    stats.Unique,
+			Endpoints: len(srcs) + len(tgts),
+			BFSNaive:  stats.BFSPassesNaive,
+			BFSRun:    stats.BFSPassesRun,
+			Shared:    stats.SharedFrontiers,
+			TwoSided:  stats.TwoSidedFrontiers,
+			NaiveMs:   naiveMs,
+			SharedMs:  sharedMs,
+		}
+		if sharedMs > 0 {
+			row.Speedup = naiveMs / sharedMs
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the two-sided batch report.
+func (r *BatchTwoSidedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Two-sided batch: cold hub-to-hub grid, one BFS per distinct endpoint (%d-query batches, k=%d, %d workers)\n",
+		r.BatchSize, r.K, batchWorkers)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tqueries\tunique\tendpoints\tBFS naive\tBFS run\tshared\ttwo-sided\tnaive ms\tshared ms\tspeedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3g\t%.3g\t%.2fx\n",
+			row.Dataset, row.Queries, row.Unique, row.Endpoints,
+			row.BFSNaive, row.BFSRun, row.Shared, row.TwoSided,
+			row.NaiveMs, row.SharedMs, row.Speedup)
+	}
+	w.Flush()
+	return b.String()
+}

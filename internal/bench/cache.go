@@ -56,7 +56,9 @@ func (p *cacheProvider) Lookup(origin graph.VertexID, forward bool, k int) *core
 	return p.c.Get(cache.Key{Origin: origin, Forward: forward}, k, p.ver)
 }
 
-func (p *cacheProvider) Store(f *core.Frontier) { p.c.Put(f) }
+// Store deposits unconditionally: the bench isolates cache mechanics, so
+// no admission policy applies (the engine's provider layers one on).
+func (p *cacheProvider) Store(f *core.Frontier, uses int) { p.c.Put(f) }
 
 // Cache measures the cross-batch frontier cache: one generated
 // shared-endpoint batch (workload.GenerateBatch) executed twice through

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -379,5 +380,68 @@ func TestStatsMatchesRegistry(t *testing.T) {
 	}
 	if stats.FrontierCache.Misses == 0 {
 		t.Fatal("cold query should have missed the frontier cache")
+	}
+}
+
+// TestReadyzOracleRebuildNote: while a background oracle rebuild is in
+// flight the replica stays ready (degraded capacity is not drained
+// capacity) but /readyz carries the degraded note; once the rebuild
+// lands the note disappears.
+func TestReadyzOracleRebuildNote(t *testing.T) {
+	g := gen.BarabasiAlbert(30000, 5, 121)
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2, OracleLandmarks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine, nil, Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	getReady := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Catch the degraded window: a publishing insert opens it, and the
+	// 64-landmark build over 30k vertices keeps it open across an HTTP
+	// round trip. Retry with fresh inserts in case a window closes early.
+	caught := false
+	for to := pathenum.VertexID(1); to <= 32 && !caught; to++ {
+		if _, err := engine.Insert(0, to); err != nil {
+			t.Fatal(err)
+		}
+		if engine.OracleLag() <= 0 {
+			continue // rebuild already landed; open another window
+		}
+		code, body := getReady()
+		if code != http.StatusOK {
+			t.Fatalf("degraded readyz = %d, want 200 (degraded is not drained)", code)
+		}
+		if body["oracleDegraded"] != true {
+			continue // window closed between the lag check and the GET
+		}
+		if lag, ok := body["oracleLagSeconds"].(float64); !ok || lag <= 0 {
+			t.Fatalf("degraded readyz lag = %v, want > 0", body["oracleLagSeconds"])
+		}
+		caught = true
+	}
+	if !caught {
+		t.Fatal("never observed a degraded readyz window across 32 inserts")
+	}
+
+	if err := engine.WaitOracle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, body := getReady()
+	if _, present := body["oracleDegraded"]; present {
+		t.Fatalf("readyz still carries the degraded note after rebuild: %v", body)
 	}
 }

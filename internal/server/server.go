@@ -179,6 +179,13 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		"workers":         ps.Workers,
 		"inFlightQueries": ps.InFlightQueries,
 	}
+	// Informational only: a rebuild in flight means queries serve unpruned
+	// (correct, slower) until the background worker lands a fresh oracle.
+	// The replica stays ready — degraded capacity is not drained capacity.
+	if lag := s.engine.OracleLag(); lag > 0 {
+		body["oracleDegraded"] = true
+		body["oracleLagSeconds"] = lag.Seconds()
+	}
 	if s.shed >= 0 && util >= s.shed {
 		body["ready"] = false
 		body["reason"] = fmt.Sprintf("pool saturated: utilization %.2f >= %.2f", util, s.shed)
@@ -594,6 +601,8 @@ type batchStats struct {
 	BFSPassesNaive int     `json:"bfsPassesNaive"`
 	BFSPassesSaved int     `json:"bfsPassesSaved"`
 	BFSPassesRun   int     `json:"bfsPassesRun"`
+	SharedFront    int     `json:"sharedFrontiers"`
+	TwoSidedFront  int     `json:"twoSidedFrontiers"`
 	CacheHits      int     `json:"cacheHits"`
 	CacheMisses    int     `json:"cacheMisses"`
 	SharedBFSMs    float64 `json:"sharedBfsMs"`
@@ -717,6 +726,8 @@ func (s *Server) toBatchStats(stats *pathenum.BatchStats, totalQueries, rejected
 		BFSPassesNaive: stats.BFSPassesNaive,
 		BFSPassesSaved: stats.BFSPassesSaved,
 		BFSPassesRun:   stats.BFSPassesRun,
+		SharedFront:    stats.SharedFrontiers,
+		TwoSidedFront:  stats.TwoSidedFrontiers,
 		CacheHits:      stats.FrontierCacheHits,
 		CacheMisses:    stats.FrontierCacheMisses,
 		SharedBFSMs:    float64(stats.SharedBFS) / float64(time.Millisecond),

@@ -27,7 +27,10 @@ func testServer(t *testing.T, orig []int64) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	// CacheAdmitDegree 1: every vertex of the tiny test graph sits below
+	// the default admission degree; these tests exercise cache serving,
+	// not admission policy.
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2, CacheAdmitDegree: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,6 +321,28 @@ func TestBatchStats(t *testing.T) {
 	// Duplicate slots both answer.
 	if br.Results[0].Count != br.Results[1].Count || br.Results[0].Count == 0 {
 		t.Fatalf("duplicate slots disagree: %+v", br.Results)
+	}
+}
+
+// TestBatchStatsTwoSided: the wire stats surface the two-sided planner
+// accounting — total shared specs and the subset shared across group
+// boundaries.
+func TestBatchStatsTwoSided(t *testing.T) {
+	ts := testServer(t, nil)
+	// Source 0 hosts a group; target 3 is additionally shared across the
+	// group boundary by the singleton (1,3).
+	resp, br := postBatch(t, ts, `{"queries":[{"s":0,"t":3,"k":3},{"s":0,"t":1,"k":3},{"s":1,"t":3,"k":3}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if br.Stats == nil {
+		t.Fatal("default batch must report stats")
+	}
+	if br.Stats.SharedFront != 2 || br.Stats.TwoSidedFront != 1 {
+		t.Fatalf("stats = %+v, want sharedFrontiers=2 twoSidedFrontiers=1 (hub side + cross-group target)", br.Stats)
+	}
+	if br.Stats.BFSPasses != 4 {
+		t.Fatalf("stats = %+v, want bfsPasses=4 (2 shared + 2 solo)", br.Stats)
 	}
 }
 

@@ -55,6 +55,65 @@ func TestGenerateBatchStructure(t *testing.T) {
 	}
 }
 
+func TestGenerateBatchTwoSided(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 5, 17)
+	queries, err := GenerateBatch(g, BatchOptions{Count: 64, K: 6, GroupSize: 8, TwoSided: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 64 {
+		t.Fatalf("got %d queries, want 64", len(queries))
+	}
+	srcs := make(map[graph.VertexID]int)
+	tgts := make(map[graph.VertexID]int)
+	b := newBoundedBFS(g)
+	for _, q := range queries {
+		if q.S == q.T {
+			t.Fatalf("degenerate query %+v", q)
+		}
+		if !b.within(q.S, q.T, 3) {
+			t.Fatalf("query %+v: dist > default MaxDist", q)
+		}
+		srcs[q.S]++
+		tgts[q.T]++
+	}
+	// An 8x8 grid: 8 distinct sources each used 8 times, 8 distinct
+	// targets each used 8 times — every query shares both endpoints.
+	if len(srcs) != 8 || len(tgts) != 8 {
+		t.Fatalf("got %d sources x %d targets, want 8x8", len(srcs), len(tgts))
+	}
+	for v, c := range srcs {
+		if c != 8 {
+			t.Errorf("source %d used %d times, want 8", v, c)
+		}
+	}
+	for v, c := range tgts {
+		if c != 8 {
+			t.Errorf("target %d used %d times, want 8", v, c)
+		}
+	}
+
+	// DupFrac composes: a salted grid still only touches the grid hubs.
+	salted, err := GenerateBatch(g, BatchOptions{Count: 64, K: 6, GroupSize: 8, TwoSided: true, DupFrac: 0.25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq := make(map[BatchQuery]bool)
+	for _, q := range salted {
+		uniq[q] = true
+	}
+	if len(salted) != 64 || len(uniq) >= 64 {
+		t.Fatalf("DupFrac=0.25: %d queries, %d unique — expected duplicates", len(salted), len(uniq))
+	}
+	for q := range uniq {
+		if srcs[q.S] == 0 && tgts[q.S] == 0 {
+			// Sources may differ across seeds of the two calls only if the
+			// rng stream diverged; same seed + same opts prefix keeps it.
+			t.Fatalf("salted query %+v uses a non-grid source", q)
+		}
+	}
+}
+
 func TestGenerateBatchFeasible(t *testing.T) {
 	g := gen.BarabasiAlbert(200, 4, 29)
 	queries, err := GenerateBatch(g, BatchOptions{Count: 24, K: 4, MaxDist: 3, Seed: 8})

@@ -87,6 +87,11 @@ type engineMetrics struct {
 	// amortization); the live counterpart is the
 	// pathenum_insert_lag_seconds gauge.
 	publishLag *obs.Histogram
+	// oracleRebuilds / oracleRebuildDur count and time the background
+	// oracle rebuilds (OracleLandmarks); the live degraded-window
+	// counterpart is the pathenum_oracle_lag_seconds gauge.
+	oracleRebuilds   *obs.Counter
+	oracleRebuildDur *obs.Histogram
 
 	// stageTick drives the deterministic 1-in-stageSample gate on the
 	// stage histograms (see observeRun); the very first run is always
@@ -158,6 +163,10 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 		"Serving-snapshot publishes from the engine write path.")
 	m.publishLag = reg.Histogram("pathenum_insert_publish_lag_seconds",
 		"Age of the oldest buffered insertion at each snapshot publish.")
+	m.oracleRebuilds = reg.Counter("pathenum_oracle_rebuilds_total",
+		"Background distance-oracle rebuilds completed.")
+	m.oracleRebuildDur = reg.Histogram("pathenum_oracle_rebuild_seconds",
+		"Background distance-oracle rebuild duration.")
 	reg.GaugeFunc("pathenum_stage_sample_rate",
 		"Run-sampling rate of the stage histograms (1 run in N is observed).",
 		func() float64 { return stageSample })
@@ -206,7 +215,16 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 			}
 			return time.Since(time.Unix(0, oldest)).Seconds()
 		})
+	reg.GaugeFunc("pathenum_oracle_lag_seconds",
+		"How long the engine has served without a fresh oracle while a background rebuild is owed (0 when current).",
+		func() float64 { return e.OracleLag().Seconds() })
 	return m
+}
+
+// observeOracleRebuild records one completed background oracle rebuild.
+func (m *engineMetrics) observeOracleRebuild(d time.Duration) {
+	m.oracleRebuilds.Inc()
+	m.oracleRebuildDur.Observe(d)
 }
 
 // finish records one settled request: end-to-end latency, the error/
