@@ -7,13 +7,18 @@
 // The experiment benches run the same harness as cmd/benchpath at a scale
 // chosen so a single iteration stays in the hundreds of milliseconds; use
 // cmd/benchpath for full-size runs.
-package pathenum
+//
+// This file lives in the external test package: internal/bench now
+// imports the root package (the shard experiment constructs engines), so
+// an in-package test file importing internal/bench would cycle.
+package pathenum_test
 
 import (
 	"context"
 	"testing"
 	"time"
 
+	"pathenum"
 	"pathenum/internal/baseline"
 	"pathenum/internal/bench"
 	"pathenum/internal/core"
@@ -120,7 +125,7 @@ func BenchmarkFig18Cardinality(b *testing.B) {
 
 // benchGraphAndQuery builds a standard heavy workload: an ep-like social
 // graph and one high-degree query pair.
-func benchGraphAndQuery(b *testing.B, k int) (*Graph, core.Query) {
+func benchGraphAndQuery(b *testing.B, k int) (*pathenum.Graph, core.Query) {
 	b.Helper()
 	d, err := gen.Lookup("ep")
 	if err != nil {
@@ -341,7 +346,7 @@ func BenchmarkPublicAPI(b *testing.B) {
 	g, q := benchGraphAndQuery(b, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Enumerate(g, q, Options{}); err != nil {
+		if _, err := pathenum.Enumerate(g, q, pathenum.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

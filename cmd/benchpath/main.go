@@ -12,7 +12,7 @@
 //
 // Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
 // fig10 fig12 fig13 fig16 fig17 fig18 ext batch batch2 cache stream
-// parallel
+// parallel shard
 // (fig10 covers figure 11; fig13 covers figures 14 and 15; ext is this
 // repository's extension ablation; batch compares the shared-computation
 // batch subsystem against the naive per-query fan-out on shared-endpoint
@@ -25,7 +25,11 @@
 // tuple-at-a-time join's first-path latency, and the -json report
 // carries the plan kind per row; parallel sweeps intra-query fan-out —
 // Options.Parallelism doubling 1, 2, ... up to -parallel — reporting
-// drain speedup and first-path latency per fan-out).
+// drain speedup and first-path latency per fan-out; shard runs
+// partition-aware intra and cross query classes through the sharded
+// engine at P=1/2/4 against an unsharded baseline on the same graph —
+// the P=1 overhead column prices the routing layer, the cross rows the
+// boundary join).
 package main
 
 import (
@@ -68,6 +72,7 @@ var experiments = []struct {
 	{"cache", func(c bench.Config) (renderable, error) { return bench.Cache(c) }},
 	{"stream", func(c bench.Config) (renderable, error) { return bench.Stream(c) }},
 	{"parallel", func(c bench.Config) (renderable, error) { return bench.Parallel(c) }},
+	{"shard", func(c bench.Config) (renderable, error) { return bench.Shard(c) }},
 }
 
 func main() {

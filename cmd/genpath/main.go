@@ -19,6 +19,11 @@
 //	# both its source and its target with other queries in the batch:
 //	genpath -family ba -n 10000 -out g.txt \
 //	        -batch 64 -batchout q.txt -batchk 6 -two-sided
+//
+//	# partition-aware set for the sharded engine: endpoints classified by
+//	# the engine's hashed ownership at P=4, 30% cross-shard queries:
+//	genpath -family ba -n 10000 -out g.txt \
+//	        -batch 64 -batchout q.txt -batchk 6 -partition 4 -cross-frac 0.3
 package main
 
 import (
@@ -49,6 +54,8 @@ func main() {
 		batchGroup = flag.Int("batchgroup", 8, "batch: queries per shared-endpoint cluster")
 		batchDup   = flag.Float64("batchdup", 0, "batch: fraction of exact-duplicate queries")
 		twoSided   = flag.Bool("two-sided", false, "batch: hub-to-hub grid (every query shares both endpoints)")
+		partition  = flag.Int("partition", 0, "batch: classify endpoints by this shard count and control the intra/cross mix")
+		crossFrac  = flag.Float64("cross-frac", 0.5, "batch: fraction of cross-shard queries (with -partition)")
 	)
 	flag.Parse()
 
@@ -61,7 +68,11 @@ func main() {
 	}
 	g, err := run(*dataset, *scale, *family, *n, *davg, *layers, *seed, *out)
 	if err == nil && *batch > 0 {
-		err = runBatch(g, *batch, *batchK, *batchGroup, *batchDup, *twoSided, *seed, *batchOut)
+		if *partition > 0 {
+			err = runPartition(g, *batch, *batchK, *partition, *crossFrac, *seed, *batchOut)
+		} else {
+			err = runBatch(g, *batch, *batchK, *batchGroup, *batchDup, *twoSided, *seed, *batchOut)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genpath:", err)
@@ -140,5 +151,44 @@ func runBatch(g *graph.Graph, count, k, groupSize int, dupFrac float64, twoSided
 		return err
 	}
 	fmt.Printf("wrote %d batch queries to %s\n", len(queries), out)
+	return nil
+}
+
+// runPartition generates a partition-aware query set — endpoints
+// classified by the sharded engine's hashed ownership at the given shard
+// count, with the requested cross-shard fraction — and writes the same
+// "s t k" line format as runBatch, so sharded benchmarks replay a
+// reproducible routing mix.
+func runPartition(g *graph.Graph, count, k, shards int, crossFrac float64, seed int64, out string) error {
+	if out == "" {
+		return fmt.Errorf("-batchout is required with -batch")
+	}
+	queries, err := workload.GeneratePartitioned(g, workload.PartitionOptions{
+		Count:     count,
+		K:         k,
+		Shards:    shards,
+		CrossFrac: crossFrac,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, q := range queries {
+		fmt.Fprintf(w, "%d %d %d\n", q.S, q.T, q.K)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d partitioned queries (%d shards, %.0f%% cross) to %s\n",
+		len(queries), shards, crossFrac*100, out)
 	return nil
 }

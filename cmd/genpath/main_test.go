@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pathenum/internal/graph"
+	"pathenum/internal/shard"
 )
 
 func TestRunDataset(t *testing.T) {
@@ -132,5 +133,53 @@ func TestRunBatchErrors(t *testing.T) {
 	}
 	if err := runBatch(g, 8, 5, 4, 0, false, 3, "/nonexistent-dir/q.txt"); err == nil {
 		t.Error("unwritable: expected error")
+	}
+}
+
+func TestRunPartition(t *testing.T) {
+	dir := t.TempDir()
+	g, err := run("", 1, "ba", 800, 5, 0, 7, filepath.Join(dir, "g.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qfile := filepath.Join(dir, "q.txt")
+	if err := runPartition(g, 32, 5, 4, 0.25, 7, qfile); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(qfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	owner := shard.HashOwner(4)
+	lines, cross := 0, 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s, tt, k int
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d %d", &s, &tt, &k); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if k != 5 || s == tt {
+			t.Fatalf("bad query line %q", sc.Text())
+		}
+		if owner(graph.VertexID(s)) != owner(graph.VertexID(tt)) {
+			cross++
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 32 {
+		t.Fatalf("got %d partitioned queries, want 32", lines)
+	}
+	if cross != 8 {
+		t.Fatalf("got %d cross-shard queries, want 8 (25%% of 32)", cross)
+	}
+	if err := runPartition(g, 8, 5, 0, 0.5, 7, qfile); err == nil {
+		t.Error("shards=0: expected error")
+	}
+	if err := runPartition(g, 8, 5, 2, 0.5, 7, ""); err == nil {
+		t.Error("missing -batchout: expected error")
 	}
 }

@@ -42,12 +42,19 @@
 // histograms, per-stage timings (BFS, index build, join build/probe),
 // frontier-cache and pool gauges, graph epoch and write-path lag. GET
 // /healthz is pure liveness; GET /readyz reports readiness and returns
-// 503 past the -shed-utilization pool saturation threshold so a load
-// balancer drains the replica. -access-log writes one JSON line per
+// 503 past the -shed-utilization pool saturation threshold — or past the
+// -shed-oracle-lag rebuild-lag threshold — so a load balancer drains the
+// replica. -access-log writes one JSON line per
 // request (id, method, path, status, duration, plan, path count) to
 // stderr. POST /insert and /flush drive the engine-owned write path over
 // the wire (edges between existing vertices; the epoch advances and
 // cached frontiers invalidate lazily).
+//
+// -shards N serves the graph through the sharded engine (internal/shard):
+// the edge list splits into N edge-cut partitions, intra-shard queries
+// delegate to per-shard engine spines, cross-shard queries join at the
+// partition boundary, and pathenum_shard_* series land on the same
+// /metrics scrape. -shard-degree-aware keeps hub out-edges co-resident.
 package main
 
 import (
@@ -60,6 +67,7 @@ import (
 	"pathenum"
 	"pathenum/internal/gen"
 	"pathenum/internal/server"
+	"pathenum/internal/shard"
 )
 
 func main() {
@@ -73,6 +81,12 @@ func main() {
 		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
 		shedUtil  = flag.Float64("shed-utilization", 0,
 			"pool utilization at which /readyz sheds (0 = default, negative disables)")
+		shedOracleLag = flag.Duration("shed-oracle-lag", 0,
+			"oracle rebuild lag past which /readyz sheds with 503 (0 disables)")
+		shards = flag.Int("shards", 1,
+			"partition the graph into N edge-cut shards with per-shard engines")
+		shardDegreeAware = flag.Bool("shard-degree-aware", false,
+			"use degree-aware partitioning (hub out-edges co-resident) instead of hashed ownership")
 	)
 	flag.Parse()
 
@@ -114,12 +128,27 @@ func main() {
 		// oracle for the rest of the process lifetime.
 		cfg.OracleLandmarks = *landmarks
 	}
-	engine, err := pathenum.NewEngine(g, cfg)
-	if err != nil {
-		log.Fatal("pathenumd: ", err)
+	var engine server.Engine
+	if *shards > 1 {
+		strategy := shard.Hash
+		if *shardDegreeAware {
+			strategy = shard.DegreeAware
+		}
+		sharded, serr := shard.New(g, *shards, shard.Config{Strategy: strategy, Engine: cfg})
+		if serr != nil {
+			log.Fatal("pathenumd: ", serr)
+		}
+		log.Printf("pathenumd: %d shards, %d cut edges", sharded.Shards(), sharded.CutEdges())
+		engine = sharded
+	} else {
+		single, serr := pathenum.NewEngine(g, cfg)
+		if serr != nil {
+			log.Fatal("pathenumd: ", serr)
+		}
+		engine = single
 	}
 
-	scfg := server.Config{ShedUtilization: *shedUtil}
+	scfg := server.Config{ShedUtilization: *shedUtil, ShedOracleLag: *shedOracleLag}
 	if *accessLog {
 		scfg.AccessLog = os.Stderr
 	}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"pathenum"
+	"pathenum/internal/shard"
+	"pathenum/internal/workload"
+)
+
+// ShardRow reports the sharded-engine experiment for one (dataset, P,
+// query class) triple: mean time-to-first-path and mean drain time over
+// the class's query set through the sharded engine, against the same
+// queries through an unsharded engine on the same graph. Overhead is the
+// sharded drain over the unsharded drain — the acceptance bar is P=1
+// within 10% of 1.0 (the sharding layer costs one classification when it
+// routes everything to a single spine), and the cross rows price the
+// boundary join against single-image enumeration.
+type ShardRow struct {
+	Dataset string
+	P       int
+	// Class is "intra" (endpoints co-owned) or "cross" (endpoints in
+	// different shards; absent at P=1).
+	Class   string
+	Queries int
+	Paths   uint64
+
+	FirstMs         float64
+	TotalMs         float64
+	P99FirstMs      float64
+	BaselineFirstMs float64
+	BaselineTotalMs float64
+	// Overhead is TotalMs / BaselineTotalMs (1.0 = free sharding).
+	Overhead float64
+}
+
+// ShardResult is the sharded-engine experiment report.
+type ShardResult struct {
+	K    int
+	Rows []ShardRow
+}
+
+// shardClassStats is one measured pass over a query class.
+type shardClassStats struct {
+	firstMs, totalMs, p99Ms float64
+	paths                   uint64
+}
+
+// drainClass streams every query through stream, timing first path and
+// drain per query.
+func drainClass(qs []workload.BatchQuery, k int, timeout time.Duration,
+	stream func(context.Context, pathenum.Request) iter.Seq2[pathenum.Path, error]) (shardClassStats, error) {
+	var out shardClassStats
+	// Warm the engine before timing — session-pool and routing state
+	// initialize lazily, and at microsecond query scale that cold start
+	// would dominate the overhead column.
+	for _, wq := range qs[:min(4, len(qs))] {
+		req := pathenum.Request{S: wq.S, T: wq.T, K: k, Timeout: timeout}
+		for _, serr := range stream(context.Background(), req) {
+			if serr != nil {
+				return out, fmt.Errorf("warmup %v: %w", wq, serr)
+			}
+		}
+	}
+	var firstSum, totalSum time.Duration
+	var firsts []time.Duration
+	for _, wq := range qs {
+		req := pathenum.Request{S: wq.S, T: wq.T, K: k, Timeout: timeout}
+		start := time.Now()
+		first := time.Duration(-1)
+		for _, serr := range stream(context.Background(), req) {
+			if serr != nil {
+				return out, fmt.Errorf("query %v: %w", wq, serr)
+			}
+			if first < 0 {
+				first = time.Since(start)
+			}
+			out.paths++
+		}
+		totalSum += time.Since(start)
+		if first >= 0 {
+			firstSum += first
+			firsts = append(firsts, first)
+		}
+	}
+	if len(firsts) > 0 {
+		out.firstMs = ms(firstSum) / float64(len(firsts))
+		out.p99Ms = ms(Percentile(firsts, 0.99))
+	}
+	if len(qs) > 0 {
+		out.totalMs = ms(totalSum) / float64(len(qs))
+	}
+	return out, nil
+}
+
+// Shard measures the sharded engine against the unsharded baseline: for
+// each dataset and P in {1, 2, 4}, partition-aware query sets (pure
+// intra and pure cross per the engine's hashed ownership at that P) run
+// through shard.Engine.Stream and through a plain pathenum.Engine on the
+// same graph, reporting first-path and drain per class. P=1 prices the
+// routing layer itself; the cross rows price the boundary join.
+func Shard(cfg Config) (*ShardResult, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"up", "db", "ep", "wt"}
+	}
+	maxDist := 3
+	if cfg.K < maxDist {
+		maxDist = cfg.K
+	}
+	res := &ShardResult{K: cfg.K}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		base, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 4})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range []int{1, 2, 4} {
+			eng, err := shard.New(g, p, shard.Config{Engine: pathenum.EngineConfig{Workers: 4}})
+			if err != nil {
+				return nil, err
+			}
+			classes := []struct {
+				name      string
+				crossFrac float64
+			}{{"intra", 0}}
+			if p > 1 {
+				classes = append(classes, struct {
+					name      string
+					crossFrac float64
+				}{"cross", 1})
+			}
+			for _, class := range classes {
+				qs, err := workload.GeneratePartitioned(g, workload.PartitionOptions{
+					Count:     cfg.Queries,
+					K:         cfg.K,
+					Shards:    p,
+					Owner:     shard.HashOwner(p),
+					CrossFrac: class.crossFrac,
+					MaxDist:   maxDist,
+					Seed:      cfg.Seed,
+				})
+				if err != nil {
+					if errors.Is(err, workload.ErrNoQueries) {
+						continue // class unpopulated at this scale
+					}
+					return nil, err
+				}
+				sharded, err := drainClass(qs, cfg.K, cfg.TimeLimit, eng.Stream)
+				if err != nil {
+					return nil, fmt.Errorf("%s P=%d %s sharded: %w", name, p, class.name, err)
+				}
+				baseline, err := drainClass(qs, cfg.K, cfg.TimeLimit, base.Stream)
+				if err != nil {
+					return nil, fmt.Errorf("%s P=%d %s baseline: %w", name, p, class.name, err)
+				}
+				if sharded.paths != baseline.paths {
+					return nil, fmt.Errorf("%s P=%d %s: sharded drained %d paths, baseline %d — differential broken",
+						name, p, class.name, sharded.paths, baseline.paths)
+				}
+				row := ShardRow{
+					Dataset: name, P: p, Class: class.name,
+					Queries:         len(qs),
+					Paths:           sharded.paths,
+					FirstMs:         sharded.firstMs,
+					TotalMs:         sharded.totalMs,
+					P99FirstMs:      sharded.p99Ms,
+					BaselineFirstMs: baseline.firstMs,
+					BaselineTotalMs: baseline.totalMs,
+				}
+				if baseline.totalMs > 0 {
+					row.Overhead = sharded.totalMs / baseline.totalMs
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats the sharded-engine experiment report.
+func (r *ShardResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded engine vs unsharded baseline: first-path and drain by shard count and query class (k=%d)\n", r.K)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tP\tclass\tqueries\tpaths\tfirst ms\tp99 first ms\tdrain ms\tbase first ms\tbase drain ms\toverhead\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%.2fx\n",
+			row.Dataset, row.P, row.Class, row.Queries, row.Paths,
+			row.FirstMs, row.P99FirstMs, row.TotalMs,
+			row.BaselineFirstMs, row.BaselineTotalMs, row.Overhead)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -63,6 +63,9 @@ type httpMetrics struct {
 	reg      *obs.Registry
 	inflight *obs.Gauge
 	duration map[string]*obs.Histogram
+	// oracleShed counts /readyz responses shed because the oracle
+	// rebuild lag crossed Config.ShedOracleLag.
+	oracleShed *obs.Counter
 }
 
 // handlerNames is the fixed label set of the HTTP series — one per
@@ -75,6 +78,8 @@ func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
 		reg:      reg,
 		inflight: reg.Gauge("pathenum_http_inflight_requests", "HTTP requests currently being served."),
 		duration: make(map[string]*obs.Histogram, len(handlerNames)),
+		oracleShed: reg.Counter("pathenum_oracle_lag_shed_total",
+			"Readiness probes shed because oracle rebuild lag crossed the threshold."),
 	}
 	for _, h := range handlerNames {
 		m.duration[h] = reg.Histogram(obs.L("pathenum_http_request_duration_seconds", "handler", h),

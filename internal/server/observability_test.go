@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"pathenum"
 	"pathenum/internal/gen"
 	"pathenum/internal/obs"
+	"pathenum/internal/shard"
 )
 
 func TestMetricsEndpointCoversStack(t *testing.T) {
@@ -443,5 +445,140 @@ func TestReadyzOracleRebuildNote(t *testing.T) {
 	_, body := getReady()
 	if _, present := body["oracleDegraded"]; present {
 		t.Fatalf("readyz still carries the degraded note after rebuild: %v", body)
+	}
+}
+
+// laggedEngine pins OracleLag so the shed threshold is testable without
+// racing a real rebuild window.
+type laggedEngine struct {
+	*pathenum.Engine
+	lag time.Duration
+}
+
+func (l *laggedEngine) OracleLag() time.Duration { return l.lag }
+
+// TestReadyzShedsOnOracleLag: past Config.ShedOracleLag the replica
+// stops reporting ready — a rebuild stuck that long is backpressure a
+// load balancer should route around — and the shed counter ticks.
+func TestReadyzShedsOnOracleLag(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 3, 5)
+	engine, err := pathenum.NewEngine(g, pathenum.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagged := &laggedEngine{Engine: engine}
+	ts := httptest.NewServer(New(lagged, nil, Config{ShedOracleLag: 100 * time.Millisecond}).Handler())
+	t.Cleanup(ts.Close)
+
+	getReady := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Below the threshold: degraded note, still ready.
+	lagged.lag = 50 * time.Millisecond
+	code, body := getReady()
+	if code != http.StatusOK || body["oracleDegraded"] != true {
+		t.Fatalf("sub-threshold readyz = %d %v, want 200 with degraded note", code, body)
+	}
+	if engine.Metrics().Snapshot()["pathenum_oracle_lag_shed_total"] != 0 {
+		t.Fatal("shed counter ticked below the threshold")
+	}
+
+	// Past the threshold: 503 with a reason, counter ticks.
+	lagged.lag = 150 * time.Millisecond
+	code, body = getReady()
+	if code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("lagged readyz = %d %v, want 503 not-ready", code, body)
+	}
+	if reason, _ := body["reason"].(string); !strings.Contains(reason, "oracle rebuild lag") {
+		t.Fatalf("lagged readyz reason = %v", body["reason"])
+	}
+	if got := engine.Metrics().Snapshot()["pathenum_oracle_lag_shed_total"]; got != 1 {
+		t.Fatalf("pathenum_oracle_lag_shed_total = %v, want 1", got)
+	}
+
+	// Recovery: lag clears, the replica is ready again.
+	lagged.lag = 0
+	if code, _ = getReady(); code != http.StatusOK {
+		t.Fatalf("recovered readyz = %d, want 200", code)
+	}
+}
+
+// TestServerServesShardEngine pins the Engine interface: the HTTP layer
+// must serve a sharded engine through the same mux, cross-shard queries
+// included.
+func TestServerServesShardEngine(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 9)
+	reg := pathenum.NewMetricsRegistry()
+	eng, err := shard.New(g, 2, shard.Config{Engine: pathenum.EngineConfig{Workers: 2, Metrics: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, nil, Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	// Find one cross-shard pair with a non-empty answer.
+	var q pathenum.Query
+	found := false
+	for s := 0; s < 200 && !found; s++ {
+		for tt := 0; tt < 200 && !found; tt++ {
+			if s == tt || eng.Owner(pathenum.VertexID(s)) == eng.Owner(pathenum.VertexID(tt)) {
+				continue
+			}
+			cand := pathenum.Query{S: pathenum.VertexID(s), T: pathenum.VertexID(tt), K: 4}
+			if c, cerr := pathenum.Count(g, cand); cerr == nil && c > 0 {
+				q, found = cand, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no cross-shard query with results")
+	}
+	want, err := pathenum.Count(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"s":%d,"t":%d,"k":%d}`, q.S, q.T, q.K)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Count     uint64 `json:"count"`
+		Completed bool   `json:"completed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || qr.Count != want || !qr.Completed {
+		t.Fatalf("sharded /query = %d %+v, want %d paths", resp.StatusCode, qr, want)
+	}
+
+	// One scrape covers the shard layer too.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"pathenum_shard_count", "pathenum_shard_cross_queries_total"} {
+		if !bytes.Contains(mbody, []byte(series)) {
+			t.Fatalf("/metrics missing %s", series)
+		}
 	}
 }

@@ -9,15 +9,37 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"strconv"
 	"time"
 
 	"pathenum"
 )
+
+// Engine is the query/write surface the HTTP layer serves. Both
+// pathenum.Engine and the sharded shard.Engine implement it, so the
+// daemon switches images with a constructor choice — no handler knows
+// which one is behind the mux.
+type Engine interface {
+	Graph() *pathenum.Graph
+	Epoch() uint64
+	PendingWrites() int
+	PoolStats() pathenum.PoolStats
+	OracleLag() time.Duration
+	Metrics() *pathenum.MetricsRegistry
+	Insert(from, to pathenum.VertexID) (bool, error)
+	Flush() error
+	ExecuteWith(ctx context.Context, q pathenum.Query, opts pathenum.Options) (*pathenum.Result, error)
+	ExecuteAllContext(ctx context.Context, queries []pathenum.Query, opts pathenum.Options) ([]*pathenum.Result, []error)
+	ExecuteBatch(ctx context.Context, queries []pathenum.Query, opts pathenum.Options) ([]*pathenum.Result, []error, *pathenum.BatchStats)
+	Stream(ctx context.Context, req pathenum.Request) iter.Seq2[pathenum.Path, error]
+	StreamBatch(ctx context.Context, queries []pathenum.Query, opts pathenum.Options) iter.Seq[pathenum.BatchItem]
+}
 
 // queryRequest is the JSON body of POST /query.
 type queryRequest struct {
@@ -55,6 +77,11 @@ type Config struct {
 	// (default 2.0 — in-flight demand at twice the worker count).
 	// Negative disables shedding.
 	ShedUtilization float64
+	// ShedOracleLag is the oracle rebuild lag past which GET /readyz
+	// sheds with 503: a replica serving unpruned for that long is
+	// degraded enough to drain. Zero disables lag shedding (rebuild lag
+	// stays informational in the /readyz body).
+	ShedOracleLag time.Duration
 }
 
 // DefaultShedUtilization is the /readyz shedding threshold used when
@@ -64,23 +91,25 @@ const DefaultShedUtilization = 2.0
 // Server wires the engine behind an HTTP API. All handlers are safe for
 // concurrent use: query state is per request.
 type Server struct {
-	engine *pathenum.Engine
+	engine Engine
 	// orig maps dense ids back to the input file's ids (nil = identity).
 	orig    []int64
 	toDense map[int64]pathenum.VertexID
 	// maxPaths caps the number of materialized paths per response.
 	maxPaths uint64
 	shed     float64
+	shedLag  time.Duration
 	log      *accessLogger
 	metrics  *httpMetrics
 }
 
-// New builds a server over engine. orig maps dense vertex ids back to
-// the input file's ids (nil = identity). The server registers its HTTP
-// series on the engine's metrics registry, so one /metrics scrape
-// covers both layers.
-func New(engine *pathenum.Engine, orig []int64, cfg Config) *Server {
-	s := &Server{engine: engine, orig: orig, maxPaths: cfg.MaxPaths, shed: cfg.ShedUtilization}
+// New builds a server over engine — a pathenum.Engine or a sharded
+// shard.Engine. orig maps dense vertex ids back to the input file's ids
+// (nil = identity). The server registers its HTTP series on the
+// engine's metrics registry, so one /metrics scrape covers both layers.
+func New(engine Engine, orig []int64, cfg Config) *Server {
+	s := &Server{engine: engine, orig: orig, maxPaths: cfg.MaxPaths,
+		shed: cfg.ShedUtilization, shedLag: cfg.ShedOracleLag}
 	if s.maxPaths == 0 {
 		s.maxPaths = 1000
 	}
@@ -179,16 +208,26 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		"workers":         ps.Workers,
 		"inFlightQueries": ps.InFlightQueries,
 	}
-	// Informational only: a rebuild in flight means queries serve unpruned
-	// (correct, slower) until the background worker lands a fresh oracle.
-	// The replica stays ready — degraded capacity is not drained capacity.
-	if lag := s.engine.OracleLag(); lag > 0 {
+	// A rebuild in flight means queries serve unpruned (correct, slower)
+	// until the background worker lands a fresh oracle. By default that is
+	// informational — degraded capacity is not drained capacity — but past
+	// the configured ShedOracleLag the replica sheds: a rebuild stuck that
+	// long is backpressure a load balancer should route around.
+	lag := s.engine.OracleLag()
+	if lag > 0 {
 		body["oracleDegraded"] = true
 		body["oracleLagSeconds"] = lag.Seconds()
 	}
 	if s.shed >= 0 && util >= s.shed {
 		body["ready"] = false
 		body["reason"] = fmt.Sprintf("pool saturated: utilization %.2f >= %.2f", util, s.shed)
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	if s.shedLag > 0 && lag >= s.shedLag {
+		s.metrics.oracleShed.Inc()
+		body["ready"] = false
+		body["reason"] = fmt.Sprintf("oracle rebuild lag %s >= %s", lag, s.shedLag)
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}

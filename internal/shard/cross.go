@@ -1,0 +1,324 @@
+// The cross-shard enumerator: the partition boundary treated as the join
+// cut. For s owned by shard A and t by shard B, every simple path from s
+// to t decomposes at its FIRST cut edge — the prefix before it uses only
+// A-internal edges. The class this enumerator covers exactly is the
+// single-crossing shape A⁺B⁺ (a prefix inside G_A, one cut edge A→B, a
+// suffix inside G_B): prefixes enumerate in G_A against the boundary
+// vertices and materialize as the build side, suffixes enumerate lazily
+// in G_B per boundary vertex as the probe side, and each joined path is
+// emitted before the probe advances — the same build/bucket/lazy-probe
+// shape as core's tuple-at-a-time join (EnumerateJoinSide), indexed by
+// boundary vertex instead of hop position. Because shard vertex sets are
+// disjoint, a joined A⁺B⁺ path is simple by construction: no seam
+// validation pass is needed. Paths of any other owner shape (a third
+// shard, re-entering A, multiple crossings) are the remainder class the
+// engine routes through filtered full-image execution.
+package shard
+
+import (
+	"context"
+	"time"
+
+	"pathenum/internal/core"
+	"pathenum/internal/graph"
+)
+
+// crossJoin is one boundary-join execution. Emit receives each joined
+// path s..t in a reused buffer (copy to retain) and returns false to stop
+// the run.
+type crossJoin struct {
+	gA, gB *graph.Graph
+	cuts   []graph.Edge // A→B cut edges
+	s, t   graph.VertexID
+	k      int
+	pred   core.EdgePredicate
+	emit   func(path []graph.VertexID) bool
+
+	ctx      context.Context
+	deadline time.Time // zero = none
+
+	// Results, filled by run.
+	counters core.Counters
+	stats    core.JoinStats
+	stopped  bool // emit returned false, ctx done, or deadline hit
+
+	tick uint64
+}
+
+// leftTuple is one materialized prefix: s..u plus the cut edge's target
+// boundary vertex v (verts ends with v), hops edges long.
+type leftTuple struct {
+	verts []graph.VertexID
+	hops  int
+}
+
+// shouldStop amortizes the context/deadline check over expansion events,
+// mirroring the core enumerators' event-counter polling.
+func (cj *crossJoin) shouldStop() bool {
+	if cj.stopped {
+		return true
+	}
+	cj.tick++
+	if cj.tick&255 == 0 {
+		if cj.ctx != nil && cj.ctx.Err() != nil {
+			cj.stopped = true
+		} else if !cj.deadline.IsZero() && time.Now().After(cj.deadline) {
+			cj.stopped = true
+		}
+	}
+	return cj.stopped
+}
+
+// run executes the boundary join. Sequential and goroutine-free: the
+// consumer's goroutine drives both sides, so an abandoned run leaks
+// nothing by construction.
+func (cj *crossJoin) run() {
+	if cj.k < 1 || len(cj.cuts) == 0 {
+		return
+	}
+	buildStart := time.Now()
+	defer func() {
+		if cj.stats.ProbeTime == 0 && cj.stats.BuildTime == 0 {
+			cj.stats.BuildTime = time.Since(buildStart)
+		}
+	}()
+
+	// distB: minimum hops v→t inside G_B, bounded by the suffix budget.
+	distB := cj.bwdBFS(cj.gB, cj.t, cj.k-1)
+
+	// Admissible cut edges u→v: v reaches t in G_B within budget and the
+	// predicate admits the edge. seed[u] is the cheapest single-crossing
+	// completion from u: 1 (the cut edge) + min distB over u's targets.
+	cutAdj := make(map[graph.VertexID][]graph.VertexID)
+	seed := make(map[graph.VertexID]int)
+	for _, e := range cj.cuts {
+		d := distB[e.To]
+		if d < 0 || 1+int(d) > cj.k {
+			continue
+		}
+		if cj.pred != nil && !cj.pred(e.From, e.To) {
+			continue
+		}
+		cutAdj[e.From] = append(cutAdj[e.From], e.To)
+		if c, ok := seed[e.From]; !ok || 1+int(d) < c {
+			seed[e.From] = 1 + int(d)
+		}
+	}
+	if len(cutAdj) == 0 {
+		return
+	}
+
+	// lb[x]: minimum hops x→t through a single crossing — a multi-source
+	// backward bucket BFS over G_A from the seeded cut sources. Prunes the
+	// prefix DFS exactly like the per-query index's backward labeling.
+	lb := cj.crossingBound(seed)
+	if lb[cj.s] < 0 || int(lb[cj.s]) > cj.k {
+		return
+	}
+
+	// Build side: DFS from s over G_A, recording one tuple per admissible
+	// (prefix, cut edge) pair, bucketed by boundary vertex in first-
+	// appearance order — the probe visits boundary vertices in the order
+	// the build discovered them, so early tuples join early.
+	n := cj.gA.NumVertices()
+	var (
+		tuples  []leftTuple
+		buckets = make(map[graph.VertexID][]int32)
+		order   []graph.VertexID
+	)
+	onPath := make([]bool, n)
+	path := make([]graph.VertexID, 1, cj.k+1)
+	path[0] = cj.s
+	onPath[cj.s] = true
+	var build func(u graph.VertexID, depth int)
+	build = func(u graph.VertexID, depth int) {
+		if cj.shouldStop() {
+			return
+		}
+		for _, v := range cutAdj[u] {
+			// Per-target feasibility: this tuple joins some suffix iff
+			// depth + 1 + distB[v] <= k.
+			if depth+1+int(distB[v]) > cj.k {
+				continue
+			}
+			verts := make([]graph.VertexID, depth+2)
+			copy(verts, path)
+			verts[depth+1] = v
+			if _, seen := buckets[v]; !seen {
+				order = append(order, v)
+			}
+			buckets[v] = append(buckets[v], int32(len(tuples)))
+			tuples = append(tuples, leftTuple{verts: verts, hops: depth + 1})
+			cj.stats.PartialBytes += int64(len(verts)) * 4
+		}
+		for _, w := range cj.gA.OutNeighbors(u) {
+			cj.counters.EdgesAccessed++
+			if onPath[w] || lb[w] < 0 || depth+1+int(lb[w]) > cj.k {
+				continue
+			}
+			if cj.pred != nil && !cj.pred(u, w) {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			build(w, depth+1)
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+	}
+	build(cj.s, 0)
+	cj.stats.BuildLeft = true
+	cj.stats.BuildTuples = int64(len(tuples))
+	cj.stats.LeftTuples = int64(len(tuples))
+	cj.stats.BuildTime = time.Since(buildStart)
+	if cj.stopped || len(tuples) == 0 {
+		return
+	}
+
+	// Probe side: per boundary vertex, a lazy DFS in G_B toward t pruned
+	// by distB; every completed suffix immediately joins its bucket's
+	// feasible tuples and each joined path is emitted before the probe
+	// advances — first-path latency is one prefix plus one suffix, not a
+	// materialized half side.
+	probeStart := time.Now()
+	defer func() { cj.stats.ProbeTime = time.Since(probeStart) }()
+	onPathB := make([]bool, n)
+	suffix := make([]graph.VertexID, 0, cj.k+1)
+	out := make([]graph.VertexID, 0, cj.k+1)
+	for _, v := range order {
+		idxs := buckets[v]
+		minHops := tuples[idxs[0]].hops
+		for _, i := range idxs[1:] {
+			if h := tuples[i].hops; h < minHops {
+				minHops = h
+			}
+		}
+		budget := cj.k - minHops // max suffix edges any tuple at v affords
+		suffix = append(suffix[:0], v)
+		onPathB[v] = true
+		var probe func(w graph.VertexID, r int)
+		probe = func(w graph.VertexID, r int) {
+			if cj.shouldStop() {
+				return
+			}
+			if w == cj.t {
+				// A simple path visits t only at its end, so the walk never
+				// expands past t: emit the joins and return.
+				cj.stats.ProbeWalks++
+				for _, i := range idxs {
+					if tuples[i].hops+r > cj.k {
+						continue
+					}
+					out = append(out[:0], tuples[i].verts...)
+					out = append(out, suffix[1:]...)
+					cj.counters.Results++
+					if !cj.emit(out) {
+						cj.stopped = true
+						return
+					}
+				}
+				return
+			}
+			for _, w2 := range cj.gB.OutNeighbors(w) {
+				cj.counters.EdgesAccessed++
+				if onPathB[w2] {
+					continue
+				}
+				if d := distB[w2]; d < 0 || r+1+int(d) > budget {
+					continue
+				}
+				if cj.pred != nil && !cj.pred(w, w2) {
+					continue
+				}
+				onPathB[w2] = true
+				suffix = append(suffix, w2)
+				probe(w2, r+1)
+				suffix = suffix[:len(suffix)-1]
+				onPathB[w2] = false
+				if cj.stopped {
+					return
+				}
+			}
+		}
+		probe(v, 0)
+		onPathB[v] = false
+		if cj.stopped {
+			return
+		}
+	}
+	cj.stats.RightTuples = cj.stats.ProbeWalks
+}
+
+// bwdBFS is a predicate-aware backward BFS from origin over g, bounded at
+// maxDepth: dist[v] is the minimum edges v→origin, -1 when unreachable
+// within the bound.
+func (cj *crossJoin) bwdBFS(g *graph.Graph, origin graph.VertexID, maxDepth int) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[origin] = 0
+	if maxDepth < 1 {
+		return dist
+	}
+	frontier := []graph.VertexID{origin}
+	for d := int32(1); len(frontier) > 0 && d <= int32(maxDepth); d++ {
+		var next []graph.VertexID
+		for _, u := range frontier {
+			for _, w := range g.InNeighbors(u) {
+				cj.counters.EdgesAccessed++
+				if dist[w] >= 0 {
+					continue
+				}
+				if cj.pred != nil && !cj.pred(w, u) {
+					continue
+				}
+				dist[w] = d
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// crossingBound runs the multi-source backward bucket BFS over G_A: each
+// cut source u starts at its seed cost (cut edge + cheapest suffix), and
+// levels settle in ascending order so lb[x] is the exact minimum hops
+// x→t using one crossing.
+func (cj *crossJoin) crossingBound(seed map[graph.VertexID]int) []int32 {
+	lb := make([]int32, cj.gA.NumVertices())
+	for i := range lb {
+		lb[i] = -1
+	}
+	buckets := make([][]graph.VertexID, cj.k+1)
+	push := func(u graph.VertexID, c int) {
+		if c > cj.k {
+			return
+		}
+		if lb[u] >= 0 && int(lb[u]) <= c {
+			return
+		}
+		lb[u] = int32(c)
+		buckets[c] = append(buckets[c], u)
+	}
+	for u, c := range seed {
+		push(u, c)
+	}
+	for c := 0; c <= cj.k; c++ {
+		for i := 0; i < len(buckets[c]); i++ { // push may grow later buckets only
+			u := buckets[c][i]
+			if int(lb[u]) != c {
+				continue // settled at a smaller level
+			}
+			for _, w := range cj.gA.InNeighbors(u) {
+				cj.counters.EdgesAccessed++
+				if cj.pred != nil && !cj.pred(w, u) {
+					continue
+				}
+				push(w, c+1)
+			}
+		}
+	}
+	return lb
+}

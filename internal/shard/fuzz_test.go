@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"context"
+	"iter"
+	"testing"
+
+	"pathenum"
+	"pathenum/internal/gen"
+)
+
+// FuzzShardAgreement is the differential oracle for the sharded engine:
+// for P ∈ {1,2,4}, every routed class (intra-shard, cross-shard, with
+// and without an insert landing mid-stream) must produce exactly the
+// single-engine path set. Paths are compared as sets — the sharded
+// engine emits in phase order, not the single enumerator's order.
+func FuzzShardAgreement(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(3), uint16(90), uint8(4), false)
+	f.Add(int64(2), uint8(1), uint16(10), uint16(55), uint8(5), false)
+	f.Add(int64(3), uint8(2), uint16(7), uint16(31), uint8(3), true)
+	f.Add(int64(4), uint8(1), uint16(0), uint16(99), uint8(6), true)
+	f.Fuzz(func(t *testing.T, seed int64, pSel uint8, sRaw, tRaw uint16, kRaw uint8, withInsert bool) {
+		p := []int{1, 2, 4}[int(pSel)%3]
+		g := gen.BarabasiAlbert(120, 3, seed)
+		n := g.NumVertices()
+		q := pathenum.Query{
+			S: pathenum.VertexID(int(sRaw) % n),
+			T: pathenum.VertexID(int(tRaw) % n),
+			K: 1 + int(kRaw)%5,
+		}
+		if q.S == q.T {
+			t.Skip()
+		}
+		e, err := New(g, p, Config{Engine: pathenum.EngineConfig{Workers: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		req := pathenum.Request{S: q.S, T: q.T, K: q.K}
+
+		set := func(seq iter.Seq2[pathenum.Path, error]) map[string]struct{} {
+			out := make(map[string]struct{})
+			for path, serr := range seq {
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				key := pathKey(path)
+				if _, dup := out[key]; dup {
+					t.Fatalf("duplicate path %s", key)
+				}
+				out[key] = struct{}{}
+			}
+			return out
+		}
+		equal := func(label string, want, got map[string]struct{}) {
+			if len(want) != len(got) {
+				t.Fatalf("%s: single %d paths, sharded %d", label, len(want), len(got))
+			}
+			for k := range want {
+				if _, ok := got[k]; !ok {
+					t.Fatalf("%s: sharded missing %s", label, k)
+				}
+			}
+		}
+
+		pre := set(pathenum.Stream(ctx, g, req))
+		if !withInsert {
+			equal("steady", pre, set(e.Stream(ctx, req)))
+			return
+		}
+
+		// Insert mid-stream: the first pull pins the capture, so the
+		// drained set must equal the pre-insert single-engine set even
+		// though the write lands while the stream is open.
+		u := pathenum.VertexID(int(mix32(uint32(seed))) % n)
+		v := pathenum.VertexID(int(mix32(uint32(seed)+1)) % n)
+		if u == v || e.Graph().HasEdge(u, v) {
+			t.Skip()
+		}
+		next, stop := iter.Pull2(e.Stream(ctx, req))
+		got := make(map[string]struct{})
+		path, serr, ok := next()
+		if ok {
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			got[pathKey(path)] = struct{}{}
+		}
+		if added, ierr := e.Insert(u, v); ierr != nil || !added {
+			t.Fatalf("insert: added=%v err=%v", added, ierr)
+		}
+		for {
+			path, serr, more := next()
+			if !more {
+				break
+			}
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			key := pathKey(path)
+			if _, dup := got[key]; dup {
+				t.Fatalf("duplicate path %s", key)
+			}
+			got[key] = struct{}{}
+		}
+		stop()
+		equal("mid-insert capture", pre, got)
+
+		// After the write publishes, both images agree again.
+		post := set(pathenum.Stream(ctx, e.Graph(), req))
+		equal("post-insert", post, set(e.Stream(ctx, req)))
+	})
+}

@@ -1,0 +1,167 @@
+// Package shard partitions a graph into P edge-cut shards and executes
+// hop-constrained s-t path queries against the partitioned image: queries
+// whose endpoints are co-resident delegate to that shard's untouched
+// engine spine, and cross-shard queries enumerate each side within its
+// shard sub-graph and join at the partition boundary — the boundary is a
+// cut of the hop automaton exactly like the join optimizer's cut position
+// (Algorithm 6), which is what makes the seam a streaming hash join
+// rather than a new algorithm. See DESIGN.md §13.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"pathenum/internal/graph"
+)
+
+// Strategy selects the vertex-ownership rule of a partition.
+type Strategy int
+
+const (
+	// Hash assigns owner(v) = mix(v) mod P — uniform, stateless, and the
+	// rule genpath's -partition workload mode reproduces.
+	Hash Strategy = iota
+	// DegreeAware starts from Hash and then pulls each hub's out-neighbors
+	// into the hub's shard (highest-degree hubs claim first), keeping hub
+	// out-edges co-resident so the heaviest adjacency lists stay internal
+	// instead of scattering across the boundary.
+	DegreeAware
+)
+
+// DefaultHubFrac is the fraction of highest-degree vertices DegreeAware
+// treats as hubs when Config.HubFrac is 0.
+const DefaultHubFrac = 0.01
+
+// mix32 is a splitmix-style avalanche over the vertex id, so consecutive
+// ids — dense loader output — spread across shards instead of striping.
+func mix32(v uint32) uint32 {
+	v ^= v >> 16
+	v *= 0x7feb352d
+	v ^= v >> 15
+	v *= 0x846ca68b
+	v ^= v >> 16
+	return v
+}
+
+// HashOwner returns the Hash-strategy ownership function for p shards.
+// genpath's -partition mode uses it to label queries intra/cross without
+// building a partition.
+func HashOwner(p int) func(graph.VertexID) int {
+	return func(v graph.VertexID) int { return int(mix32(uint32(v)) % uint32(p)) }
+}
+
+// Partition is the edge-cut split of one graph: P sub-graphs holding the
+// internal edges (both endpoints co-owned), and the cut edges recorded per
+// ordered shard pair. Sub-graphs keep the global vertex id space — no id
+// remapping, so paths from different shards concatenate directly; the
+// O(P·V) offset overhead that buys is a documented limit of the
+// single-process stepping stone.
+type Partition struct {
+	// P is the shard count.
+	P int
+	// Owners maps each vertex to its owning shard.
+	Owners []int32
+	// Subs are the per-shard sub-graphs over the global id space.
+	Subs []*graph.Graph
+	// Cuts[a][b] are the cut edges from shard a into shard b (a != b).
+	Cuts [][][]graph.Edge
+}
+
+// Owner returns v's owning shard.
+func (p *Partition) Owner(v graph.VertexID) int { return int(p.Owners[v]) }
+
+// CutEdges returns the total number of boundary edges.
+func (p *Partition) CutEdges() int {
+	n := 0
+	for a := range p.Cuts {
+		for b := range p.Cuts[a] {
+			n += len(p.Cuts[a][b])
+		}
+	}
+	return n
+}
+
+// NewPartition splits g into p edge-cut shards. hubFrac applies to the
+// DegreeAware strategy only (0 = DefaultHubFrac).
+func NewPartition(g *graph.Graph, p int, strategy Strategy, hubFrac float64) (*Partition, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: partition needs a graph")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be >= 1", p)
+	}
+	n := g.NumVertices()
+	owners := make([]int32, n)
+	own := HashOwner(p)
+	for v := 0; v < n; v++ {
+		owners[v] = int32(own(graph.VertexID(v)))
+	}
+	if strategy == DegreeAware && p > 1 {
+		degreeAwareOwners(g, owners, hubFrac)
+	}
+
+	internal := make([][]graph.Edge, p)
+	cuts := make([][][]graph.Edge, p)
+	for a := 0; a < p; a++ {
+		cuts[a] = make([][]graph.Edge, p)
+	}
+	for _, e := range g.Edges() {
+		a, b := owners[e.From], owners[e.To]
+		if a == b {
+			internal[a] = append(internal[a], e)
+		} else {
+			cuts[a][b] = append(cuts[a][b], e)
+		}
+	}
+	subs := make([]*graph.Graph, p)
+	for i := 0; i < p; i++ {
+		sub, err := graph.NewGraph(n, internal[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard: sub-graph %d: %w", i, err)
+		}
+		subs[i] = sub
+	}
+	return &Partition{P: p, Owners: owners, Subs: subs, Cuts: cuts}, nil
+}
+
+// degreeAwareOwners mutates the hash owners in place: the top hubFrac
+// vertices by total degree become hubs (keeping their hash owner), and
+// each hub claims its not-yet-claimed non-hub out-neighbors into its
+// shard, highest-degree hub first — so the densest out-adjacency lists
+// become internal edges. Deterministic: degree ties break on vertex id.
+func degreeAwareOwners(g *graph.Graph, owners []int32, hubFrac float64) {
+	if hubFrac <= 0 || hubFrac >= 1 {
+		hubFrac = DefaultHubFrac
+	}
+	n := g.NumVertices()
+	nHubs := int(hubFrac * float64(n))
+	if nHubs < 1 {
+		nHubs = 1
+	}
+	order := make([]int, n)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(graph.VertexID(order[i])), g.Degree(graph.VertexID(order[j]))
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	isHub := make([]bool, n)
+	for _, v := range order[:nHubs] {
+		isHub[v] = true
+	}
+	claimed := make([]bool, n)
+	for _, h := range order[:nHubs] {
+		for _, w := range g.OutNeighbors(graph.VertexID(h)) {
+			if isHub[w] || claimed[w] {
+				continue
+			}
+			claimed[w] = true
+			owners[w] = owners[h]
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+)
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := NewPartition(nil, 2, Hash, 0); err == nil {
+		t.Fatal("nil graph: expected error")
+	}
+	g := gen.BarabasiAlbert(50, 3, 1)
+	if _, err := NewPartition(g, 0, Hash, 0); err == nil {
+		t.Fatal("p=0: expected error")
+	}
+}
+
+// Every edge of the input must land exactly once: in its owner's
+// sub-graph when co-owned, in exactly one ordered cut list otherwise.
+func TestPartitionEdgeCoverage(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 7)
+	for _, p := range []int{1, 2, 4} {
+		part, err := NewPartition(g, p, Hash, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for i, sub := range part.Subs {
+			total += sub.NumEdges()
+			for _, e := range sub.Edges() {
+				if part.Owner(e.From) != i || part.Owner(e.To) != i {
+					t.Fatalf("P=%d: sub %d holds non-co-owned edge %v", p, i, e)
+				}
+				if !g.HasEdge(e.From, e.To) {
+					t.Fatalf("P=%d: sub %d invented edge %v", p, i, e)
+				}
+			}
+		}
+		for a := range part.Cuts {
+			for b := range part.Cuts[a] {
+				total += int64(len(part.Cuts[a][b]))
+				for _, e := range part.Cuts[a][b] {
+					if part.Owner(e.From) != a || part.Owner(e.To) != b {
+						t.Fatalf("P=%d: cut[%d][%d] misfiled edge %v", p, a, b, e)
+					}
+					if !g.HasEdge(e.From, e.To) {
+						t.Fatalf("P=%d: cut invented edge %v", p, e)
+					}
+				}
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("P=%d: partition covers %d edges, graph has %d", p, total, g.NumEdges())
+		}
+		if p == 1 && part.CutEdges() != 0 {
+			t.Fatalf("P=1 must have no cut edges, got %d", part.CutEdges())
+		}
+	}
+}
+
+// DegreeAware must pull the top hub's unclaimed non-hub out-neighbors
+// into the hub's shard, shrinking (or matching) the Hash cut.
+func TestPartitionDegreeAware(t *testing.T) {
+	// A star graph: vertex 0 fans out to everyone. Under Hash its
+	// out-edges scatter; DegreeAware must co-locate them.
+	n := 64
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{From: 0, To: graph.VertexID(v)})
+	}
+	g, err := graph.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := NewPartition(g, 4, Hash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hubFrac small enough that only vertex 0 (degree n-1) is a hub —
+	// a larger fraction would promote leaves to hubs, exempting them
+	// from being claimed.
+	da, err := NewPartition(g, 4, DegreeAware, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.CutEdges() > hash.CutEdges() {
+		t.Fatalf("DegreeAware cut %d exceeds Hash cut %d", da.CutEdges(), hash.CutEdges())
+	}
+	// With hubFrac small enough only vertex 0 (degree n-1) is a hub, so
+	// every leaf is claimed into shard Owner(0) and the cut is empty.
+	if da.CutEdges() != 0 {
+		t.Fatalf("star hub not co-located: %d cut edges remain", da.CutEdges())
+	}
+	for v := 1; v < n; v++ {
+		if da.Owner(graph.VertexID(v)) != da.Owner(0) {
+			t.Fatalf("leaf %d owned by %d, hub by %d", v, da.Owner(graph.VertexID(v)), da.Owner(0))
+		}
+	}
+}

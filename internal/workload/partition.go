@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathenum/internal/graph"
+)
+
+// PartitionOptions configures partition-aware query generation — the
+// workload the sharded engine (internal/shard) is benchmarked with:
+// query sets with a controlled intra/cross-shard mix under the same
+// hashed vertex ownership the engine's Hash strategy uses, so a file
+// generated here reproduces its routing mix on any engine with the same
+// shard count.
+type PartitionOptions struct {
+	// Count is the number of queries.
+	Count int
+	// K is the hop constraint assigned to every query.
+	K int
+	// Shards is the shard count P whose ownership classifies endpoints.
+	Shards int
+	// Owner maps a vertex to its shard (default: the engine's hashed
+	// ownership for Shards, shard.HashOwner).
+	Owner func(graph.VertexID) int
+	// CrossFrac is the fraction of queries whose endpoints land in
+	// different shards (default 0.5). With Shards == 1 every query is
+	// intra and CrossFrac must be 0.
+	CrossFrac float64
+	// MaxDist bounds dist(s, t) so queries are non-trivial (default 3).
+	MaxDist int
+	// Seed drives sampling.
+	Seed int64
+	// MaxTries bounds sampling attempts (default 200*Count).
+	MaxTries int
+}
+
+// GeneratePartitioned samples Count queries with the requested
+// intra/cross-shard mix: each query's endpoints are classified by the
+// ownership function, and sampling retries until the per-class quotas
+// fill. Every query is valid (s != t) and feasible
+// (dist(s,t) <= MaxDist).
+func GeneratePartitioned(g *graph.Graph, opts PartitionOptions) ([]BatchQuery, error) {
+	if opts.Count <= 0 {
+		return nil, fmt.Errorf("workload: non-positive partition count %d", opts.Count)
+	}
+	if opts.K < 1 {
+		return nil, fmt.Errorf("workload: partition k %d must be >= 1", opts.K)
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("workload: shard count %d must be >= 1", opts.Shards)
+	}
+	if opts.CrossFrac < 0 || opts.CrossFrac > 1 {
+		return nil, fmt.Errorf("workload: CrossFrac %v out of [0,1]", opts.CrossFrac)
+	}
+	if opts.Shards == 1 && opts.CrossFrac > 0 {
+		return nil, fmt.Errorf("workload: CrossFrac %v impossible with one shard", opts.CrossFrac)
+	}
+	if g.NumVertices() < 2 {
+		return nil, fmt.Errorf("workload: graph too small (%d vertices)", g.NumVertices())
+	}
+	if opts.MaxDist <= 0 {
+		opts.MaxDist = 3
+	}
+	if opts.MaxTries <= 0 {
+		opts.MaxTries = 200 * opts.Count
+	}
+	owner := opts.Owner
+	if owner == nil {
+		owner = hashOwner(opts.Shards)
+	}
+
+	wantCross := int(opts.CrossFrac * float64(opts.Count))
+	wantIntra := opts.Count - wantCross
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dist := newBoundedBFS(g)
+	n := g.NumVertices()
+
+	queries := make([]BatchQuery, 0, opts.Count)
+	gotIntra, gotCross := 0, 0
+	for tries := 0; gotIntra+gotCross < opts.Count && tries < opts.MaxTries; tries++ {
+		s := graph.VertexID(rng.Intn(n))
+		t := graph.VertexID(rng.Intn(n))
+		if s == t {
+			continue
+		}
+		cross := owner(s) != owner(t)
+		if cross && gotCross >= wantCross {
+			continue
+		}
+		if !cross && gotIntra >= wantIntra {
+			continue
+		}
+		if !dist.within(s, t, opts.MaxDist) {
+			continue
+		}
+		queries = append(queries, BatchQuery{S: s, T: t, K: opts.K})
+		if cross {
+			gotCross++
+		} else {
+			gotIntra++
+		}
+	}
+	if len(queries) < opts.Count {
+		return queries, fmt.Errorf("%w: got %d of %d (%d intra, %d cross)",
+			ErrNoQueries, len(queries), opts.Count, gotIntra, gotCross)
+	}
+	// Shuffle so the intra/cross classes interleave instead of arriving
+	// in quota-fill order.
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return queries, nil
+}
+
+// hashOwner mirrors the shard engine's Hash ownership (shard.HashOwner)
+// without importing internal/shard — workload sits below it in the
+// package graph. The mixer must stay bit-identical to shard.mix32.
+func hashOwner(p int) func(graph.VertexID) int {
+	return func(v graph.VertexID) int {
+		x := uint32(v)
+		x ^= x >> 16
+		x *= 0x7feb352d
+		x ^= x >> 15
+		x *= 0x846ca68b
+		x ^= x >> 16
+		return int(x % uint32(p))
+	}
+}

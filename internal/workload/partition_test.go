@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"pathenum/internal/gen"
+	"pathenum/internal/graph"
+	"pathenum/internal/shard"
+)
+
+// The workload generator's hashed ownership must stay bit-identical to
+// the shard engine's, or -partition files stop reproducing the engine's
+// routing mix.
+func TestHashOwnerMatchesShard(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8} {
+		ours, theirs := hashOwner(p), shard.HashOwner(p)
+		for v := 0; v < 10000; v++ {
+			if ours(graph.VertexID(v)) != theirs(graph.VertexID(v)) {
+				t.Fatalf("P=%d: owner(%d) diverges: workload %d, shard %d",
+					p, v, ours(graph.VertexID(v)), theirs(graph.VertexID(v)))
+			}
+		}
+	}
+}
+
+func TestGeneratePartitionedMix(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 5, 3)
+	for _, tc := range []struct {
+		shards    int
+		crossFrac float64
+	}{
+		{2, 0.5}, {4, 0.25}, {4, 1}, {1, 0}, {3, 0},
+	} {
+		opts := PartitionOptions{Count: 64, K: 4, Shards: tc.shards, CrossFrac: tc.crossFrac, Seed: 9}
+		qs, err := GeneratePartitioned(g, opts)
+		if err != nil {
+			t.Fatalf("P=%d cross=%v: %v", tc.shards, tc.crossFrac, err)
+		}
+		if len(qs) != opts.Count {
+			t.Fatalf("P=%d: got %d queries, want %d", tc.shards, len(qs), opts.Count)
+		}
+		owner := hashOwner(tc.shards)
+		cross := 0
+		for _, q := range qs {
+			if q.S == q.T {
+				t.Fatalf("P=%d: degenerate query %v", tc.shards, q)
+			}
+			if q.K != opts.K {
+				t.Fatalf("P=%d: query k %d, want %d", tc.shards, q.K, opts.K)
+			}
+			if owner(q.S) != owner(q.T) {
+				cross++
+			}
+		}
+		want := int(tc.crossFrac * float64(opts.Count))
+		if cross != want {
+			t.Fatalf("P=%d crossFrac=%v: %d cross queries, want %d", tc.shards, tc.crossFrac, cross, want)
+		}
+	}
+}
+
+func TestGeneratePartitionedValidation(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 3, 1)
+	for _, opts := range []PartitionOptions{
+		{Count: 0, K: 4, Shards: 2},
+		{Count: 8, K: 0, Shards: 2},
+		{Count: 8, K: 4, Shards: 0},
+		{Count: 8, K: 4, Shards: 2, CrossFrac: 1.5},
+		{Count: 8, K: 4, Shards: 1, CrossFrac: 0.5},
+	} {
+		if _, err := GeneratePartitioned(g, opts); err == nil {
+			t.Fatalf("opts %+v: expected error", opts)
+		}
+	}
+	// Unsatisfiable quotas surface ErrNoQueries, not a silent short set.
+	two := gen.Grid(2, 2)
+	_, err := GeneratePartitioned(two, PartitionOptions{Count: 1000, K: 4, Shards: 4, CrossFrac: 1, MaxTries: 500})
+	if !errors.Is(err, ErrNoQueries) {
+		t.Fatalf("unsatisfiable quota: got %v, want ErrNoQueries", err)
+	}
+}
