@@ -12,7 +12,7 @@
 //
 // Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
 // fig10 fig12 fig13 fig16 fig17 fig18 ext batch batch2 cache stream
-// parallel shard
+// parallel shard mem
 // (fig10 covers figure 11; fig13 covers figures 14 and 15; ext is this
 // repository's extension ablation; batch compares the shared-computation
 // batch subsystem against the naive per-query fan-out on shared-endpoint
@@ -29,7 +29,12 @@
 // partition-aware intra and cross query classes through the sharded
 // engine at P=1/2/4 against an unsharded baseline on the same graph —
 // the P=1 overhead column prices the routing layer, the cross rows the
-// boundary join).
+// boundary join; mem sweeps EngineConfig.MemoryBudgetBytes from
+// unbudgeted down to a pathological 1 byte, hard-erroring if any
+// budgeted run's path counts diverge from the unbudgeted baseline or
+// the ledger ever exceeds the effective budget — the report carries
+// peak resident bytes, join-to-DFS fallbacks and refused cache
+// deposits per budget point).
 package main
 
 import (
@@ -73,6 +78,7 @@ var experiments = []struct {
 	{"stream", func(c bench.Config) (renderable, error) { return bench.Stream(c) }},
 	{"parallel", func(c bench.Config) (renderable, error) { return bench.Parallel(c) }},
 	{"shard", func(c bench.Config) (renderable, error) { return bench.Shard(c) }},
+	{"mem", func(c bench.Config) (renderable, error) { return bench.Mem(c) }},
 }
 
 func main() {

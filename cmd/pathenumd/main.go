@@ -37,6 +37,12 @@
 // is served with zero BFS passes — watch bfsPassesRun and cacheHits in
 // the /batch stats.
 //
+// -mem-budget caps engine memory (frontier cache + session scratch + join
+// build sides) under one byte budget, e.g. -mem-budget 256MiB: the cache
+// evicts on bytes, join-planned queries whose predicted build side does
+// not fit degrade to the identical-result DFS plan, and pathenum_mem_*
+// gauges expose the ledger on /metrics.
+//
 // Observability: GET /metrics exposes the engine and HTTP series in
 // Prometheus text exposition — request latency and time-to-first-path
 // histograms, per-stage timings (BFS, index build, join build/probe),
@@ -63,12 +69,44 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"pathenum"
 	"pathenum/internal/gen"
 	"pathenum/internal/server"
 	"pathenum/internal/shard"
 )
+
+// parseBytes parses a human-friendly byte size: a plain integer is bytes;
+// KiB/MiB/GiB (or the loose KB/MB/GB, K/M/G — all binary) scale it.
+func parseBytes(s string) (int64, error) {
+	num := strings.TrimSpace(s)
+	var mult int64 = 1
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"GiB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MiB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KiB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(num, u.suffix) {
+			num = strings.TrimSpace(strings.TrimSuffix(num, u.suffix))
+			mult = u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if v <= 0 || v > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q out of range", s)
+	}
+	return v * mult, nil
+}
 
 func main() {
 	var (
@@ -78,6 +116,8 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		landmarks = flag.Int("landmarks", 8, "distance-oracle landmarks (0 disables)")
 		fcache    = flag.Int("frontier-cache", 0, "frontier-cache entries (0 = default, negative disables)")
+		memBudget = flag.String("mem-budget", "",
+			"byte budget for cache + scratch + join build sides, e.g. 256MiB (empty = unlimited)")
 		accessLog = flag.Bool("access-log", false, "write a JSON access-log line per request to stderr")
 		shedUtil  = flag.Float64("shed-utilization", 0,
 			"pool utilization at which /readyz sheds (0 = default, negative disables)")
@@ -117,6 +157,13 @@ func main() {
 	}
 
 	cfg := pathenum.EngineConfig{Workers: 8, FrontierCache: *fcache}
+	if *memBudget != "" {
+		n, perr := parseBytes(*memBudget)
+		if perr != nil {
+			log.Fatal("pathenumd: -mem-budget: ", perr)
+		}
+		cfg.MemoryBudgetBytes = n
+	}
 	if *landmarks > 0 {
 		oracle, oerr := pathenum.BuildOracle(g, *landmarks)
 		if oerr != nil {

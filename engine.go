@@ -12,6 +12,7 @@ import (
 	"pathenum/internal/core"
 	"pathenum/internal/graph"
 	"pathenum/internal/landmark"
+	"pathenum/internal/mem"
 )
 
 // DistanceOracle is the global offline index of §7.5: lower bounds on
@@ -32,8 +33,10 @@ func BuildOracle(g *Graph, numLandmarks int) (DistanceOracle, error) {
 
 // DefaultFrontierCacheSize is the frontier-cache entry bound used when
 // EngineConfig.FrontierCache is 0. Each entry holds one O(|V|) distance
-// labeling (4 bytes per vertex); size the cache explicitly on very large
-// graphs.
+// labeling (4 bytes per vertex), so the entry count alone does not bound
+// resident bytes — set EngineConfig.MemoryBudgetBytes on large graphs
+// and the cache becomes byte-bounded (half the budget), evicting and
+// refusing deposits instead of growing with the graph.
 const DefaultFrontierCacheSize = cache.DefaultCapacity
 
 // FrontierCacheStats snapshots the engine's frontier-cache counters:
@@ -80,6 +83,19 @@ type EngineConfig struct {
 	// front end so a single /metrics scrape covers both. Nil creates a
 	// private registry, readable via Engine.Metrics.
 	Metrics *MetricsRegistry
+	// MemoryBudgetBytes, when positive, bounds the engine's accounted
+	// resident memory: frontier-cache entries, pooled per-session scratch
+	// and join build sides all charge one shared byte ledger. The cache
+	// is additionally capped at half the budget and evicts/refuses
+	// deposits on bytes; a join whose estimator-predicted build side does
+	// not fit the remaining headroom degrades to the pinned-equal DFS
+	// plan (Result.MemFallback) instead of materializing; per-worker
+	// session scratch (core.SessionScratchBytes per session) is charged
+	// unconditionally — the engine floors the effective budget at that
+	// requirement, so a pathologically small budget serves correctly with
+	// every optional consumer degraded. 0 disables budgeting (unlimited).
+	// Observable via Engine.MemStats and the pathenum_mem_* gauges.
+	MemoryBudgetBytes int64
 	// OracleLandmarks, when positive, keeps oracle pruning available on a
 	// mutating graph: every published snapshot schedules a distance-oracle
 	// rebuild with this many landmarks on a single-flight background
@@ -126,6 +142,7 @@ type Engine struct {
 	cfg     EngineConfig
 	workers int
 	cache   *cache.FrontierCache // nil when disabled
+	budget  *mem.Budget          // nil when MemoryBudgetBytes is 0
 
 	// mu guards the mutable graph view: the current graph, the oracles
 	// valid for it (the engine-level one and the per-query default in
@@ -138,6 +155,10 @@ type Engine struct {
 	oracle   DistanceOracle
 	defaults Options
 	sessions *sync.Pool
+	// scratchBytes is the session scratch currently charged to the budget
+	// (workers x core.SessionScratchBytes of the serving graph), written
+	// under mu by graph swaps so the charge follows the graph size.
+	scratchBytes int64
 
 	// wmu serializes the engine-owned write path (Insert/Flush) and
 	// guards the Dynamic plus the count of insertions not yet published
@@ -189,16 +210,37 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 	if workers <= 0 {
 		workers = 4
 	}
+	// The budget's effective limit is floored at the mandatory session
+	// scratch (one set of O(|V|) buffers per worker) — the engine cannot
+	// serve without it, so a budget below that floor runs at the floor
+	// with every optional consumer (cache deposits, join build sides)
+	// starved rather than failing construction.
+	var budget *mem.Budget
+	var scratchBytes int64
+	if cfg.MemoryBudgetBytes > 0 {
+		scratchBytes = int64(workers) * core.SessionScratchBytes(g.NumVertices())
+		limit := cfg.MemoryBudgetBytes
+		if limit < scratchBytes {
+			limit = scratchBytes
+		}
+		budget = mem.New(limit)
+		budget.Must(mem.ClassScratch, scratchBytes)
+	}
 	e := &Engine{
-		cfg:      cfg,
-		workers:  workers,
-		g:        g,
-		oracle:   cfg.Oracle,
-		defaults: cfg.Options,
-		sessions: newSessionPool(g, cfg.Oracle),
+		cfg:          cfg,
+		workers:      workers,
+		budget:       budget,
+		scratchBytes: scratchBytes,
+		g:            g,
+		oracle:       cfg.Oracle,
+		defaults:     cfg.Options,
+		sessions:     newSessionPool(g, cfg.Oracle, budget),
 	}
 	if cfg.FrontierCache >= 0 {
-		e.cache = cache.New(cfg.FrontierCache)
+		// Budget split: the cache may hold at most half the budget, and
+		// every resident byte is charged to the shared ledger too, so
+		// scratch and build sides squeeze it further under pressure.
+		e.cache = cache.NewBudgeted(cfg.FrontierCache, budget.Limit()/2, budget)
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -214,8 +256,8 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
-func newSessionPool(g *Graph, oracle DistanceOracle) *sync.Pool {
-	return &sync.Pool{New: func() any { return core.NewSession(g, oracle) }}
+func newSessionPool(g *Graph, oracle DistanceOracle, budget *mem.Budget) *sync.Pool {
+	return &sync.Pool{New: func() any { return core.NewSessionBudget(g, oracle, budget) }}
 }
 
 // validateOracleFor rejects a version-aware oracle that does not match g.
@@ -303,7 +345,18 @@ func (e *Engine) installGraph(g *Graph, oracle DistanceOracle, replaceOracle boo
 		e.oracle = dropStale(e.oracle)
 	}
 	e.defaults.Oracle = dropStale(e.defaults.Oracle)
-	e.sessions = newSessionPool(g, e.oracle)
+	e.sessions = newSessionPool(g, e.oracle, e.budget)
+	// Re-account the mandatory scratch charge to the new graph's size.
+	// If the graph grew past what the configured budget anticipated, usage
+	// may exceed the limit (Budget.Must semantics): the engine keeps
+	// serving with cache deposits and join builds starved until the
+	// pressure clears.
+	if e.budget != nil {
+		newScratch := int64(e.workers) * core.SessionScratchBytes(g.NumVertices())
+		e.budget.Release(mem.ClassScratch, e.scratchBytes)
+		e.budget.Must(mem.ClassScratch, newScratch)
+		e.scratchBytes = newScratch
+	}
 }
 
 // Insert adds the directed edge (from, to) through the engine-owned write
@@ -436,7 +489,7 @@ func (e *Engine) rebuildLoop(done chan struct{}) {
 		e.mu.Lock()
 		if e.g == target {
 			e.oracle = oracle
-			e.sessions = newSessionPool(e.g, oracle)
+			e.sessions = newSessionPool(e.g, oracle, e.budget)
 			e.degradedSince.Store(0)
 		}
 		e.mu.Unlock()
@@ -494,7 +547,7 @@ func (e *Engine) SetOracle(oracle DistanceOracle) error {
 		return err
 	}
 	e.oracle = oracle
-	e.sessions = newSessionPool(e.g, oracle)
+	e.sessions = newSessionPool(e.g, oracle, e.budget)
 	if oracle != nil {
 		e.degradedSince.Store(0)
 	}
@@ -508,6 +561,103 @@ func (e *Engine) CacheStats() FrontierCacheStats {
 		return FrontierCacheStats{}
 	}
 	return e.cache.Stats()
+}
+
+// MemStats snapshots the engine's memory-budget ledger. The zero value
+// (BudgetBytes 0) means the engine runs unbudgeted. UsedBytes is the sum
+// of the per-class gauges and — join fallbacks aside — never exceeds
+// BudgetBytes; a graph swap onto a larger graph can push the mandatory
+// scratch charge past the configured budget (see
+// EngineConfig.MemoryBudgetBytes), which shows up here as
+// UsedBytes > BudgetBytes with cache and build starved to zero.
+type MemStats struct {
+	// BudgetBytes is the effective limit: the configured
+	// MemoryBudgetBytes floored at the mandatory session scratch.
+	BudgetBytes int64
+	// UsedBytes is the bytes currently charged across all classes.
+	UsedBytes int64
+	// CacheBytes / ScratchBytes / BuildBytes split UsedBytes by consumer:
+	// resident frontier-cache labelings, pooled per-session scratch, and
+	// join build sides currently materialized.
+	CacheBytes   int64
+	ScratchBytes int64
+	BuildBytes   int64
+	// JoinFallbacks counts join-planned runs demoted to DFS because the
+	// predicted build side did not fit the remaining budget.
+	JoinFallbacks uint64
+	// CacheRejected counts frontier deposits refused by the byte bound or
+	// the shared ledger.
+	CacheRejected uint64
+}
+
+// MemStats returns the engine's current memory accounting (see MemStats).
+func (e *Engine) MemStats() MemStats {
+	ms := MemStats{
+		BudgetBytes:  e.budget.Limit(),
+		UsedBytes:    e.budget.Used(),
+		CacheBytes:   e.budget.ClassBytes(mem.ClassCache),
+		ScratchBytes: e.budget.ClassBytes(mem.ClassScratch),
+		BuildBytes:   e.budget.ClassBytes(mem.ClassBuild),
+	}
+	if e.metrics != nil {
+		ms.JoinFallbacks = e.metrics.memFallbacks.Value()
+	}
+	if e.cache != nil {
+		ms.CacheRejected = e.cache.Stats().Rejected
+	}
+	return ms
+}
+
+// WarmEndpoint names one frontier to precompute for WarmCache: the BFS
+// origin, the direction (a forward frontier serves queries with S ==
+// Origin, a backward one queries with T == Origin) and the hop bound to
+// label to — a warmed bound serves every query with k <= K on that side.
+type WarmEndpoint struct {
+	Origin  VertexID
+	Forward bool
+	K       int
+}
+
+// WarmCache precomputes frontier labelings for the given endpoints and
+// deposits them in the frontier cache, returning how many were admitted.
+// This is the operator-intent warm path — a service that knows its hot
+// hubs (yesterday's top endpoints, a fraud ring under live
+// investigation) loads them before traffic arrives instead of paying
+// cold BFS passes on the first queries. Deposits bypass the degree-based
+// admission gate (explicitly named endpoints are their own evidence) but
+// remain subject to the cache's byte bound and the engine budget: a
+// warm set larger than the bound admits only what fits (LRU order, last
+// deposit wins). Endpoints are warmed against the current graph version;
+// ctx cancels the remaining work. With caching disabled it returns 0.
+func (e *Engine) WarmCache(ctx context.Context, endpoints []WarmEndpoint) (int, error) {
+	if e.cache == nil {
+		return 0, nil
+	}
+	g, _, _ := e.view()
+	warmed := 0
+	for _, ep := range endpoints {
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+		k := ep.K
+		if k <= 0 {
+			return warmed, fmt.Errorf("pathenum: WarmCache endpoint %v needs K > 0", ep)
+		}
+		var f *core.Frontier
+		var err error
+		if ep.Forward {
+			f, err = core.NewForwardFrontier(g, ep.Origin, k, nil, core.PredicateNone)
+		} else {
+			f, err = core.NewBackwardFrontier(g, ep.Origin, k, nil, core.PredicateNone)
+		}
+		if err != nil {
+			return warmed, fmt.Errorf("pathenum: WarmCache endpoint %v: %w", ep, err)
+		}
+		if e.cache.Put(f) {
+			warmed++
+		}
+	}
+	return warmed, nil
 }
 
 // Execute runs one query with the engine defaults (synchronously).
@@ -787,20 +937,20 @@ func (p *frontierCacheProvider) Lookup(origin VertexID, forward bool, k int) *co
 	return p.c.Get(cache.Key{Origin: origin, Forward: forward, Pred: p.tok}, k, p.ver)
 }
 
-func (p *frontierCacheProvider) Store(f *core.Frontier, uses int) {
+func (p *frontierCacheProvider) Store(f *core.Frontier, uses int) bool {
 	if uses < 2 {
 		if p.admit < 0 {
-			return
+			return false
 		}
 		deg := p.g.OutDegree(f.Origin())
 		if !f.IsForward() {
 			deg = p.g.InDegree(f.Origin())
 		}
 		if deg < p.admit {
-			return
+			return false
 		}
 	}
-	p.c.Put(f)
+	return p.c.Put(f)
 }
 
 // ExecuteBatch runs the queries through the shared-computation batch

@@ -69,14 +69,18 @@ func (k GroupKind) String() string {
 // batches, with uses reporting how many planned executions of this batch
 // reuse it (>= 2 for a planned-shared frontier, 1 for a per-member side)
 // so the provider can apply an admission policy — the engine refuses
-// once-used low-degree endpoints rather than bloating its LRU.
+// once-used low-degree endpoints rather than bloating its LRU, and a
+// byte-budgeted cache refuses deposits it has no room for. Store reports
+// whether the frontier was actually retained; the scheduler only counts
+// refusals (Stats.DepositsRefused) — the batch itself already holds the
+// frontier it built.
 // Implementations must be safe for concurrent use (the scheduler calls
 // from every worker) and are responsible for version invalidation — a
 // frontier returned by Lookup is still re-validated by the core executor,
 // so a misbehaving provider fails queries rather than corrupting them.
 type FrontierProvider interface {
 	Lookup(origin graph.VertexID, forward bool, k int) *core.Frontier
-	Store(f *core.Frontier, uses int)
+	Store(f *core.Frontier, uses int) bool
 }
 
 // FrontierSpec names one planned-shared BFS side of a batch: a (origin,
@@ -166,6 +170,11 @@ type Stats struct {
 	// both stay zero without a provider.
 	FrontierCacheHits   int
 	FrontierCacheMisses int
+	// DepositsRefused counts frontiers this batch built and offered that
+	// the provider declined to retain — admission policy or a memory
+	// budget out of headroom. The batch itself is unaffected (it holds
+	// what it built); later batches just start cold on those endpoints.
+	DepositsRefused int
 	// SharedFrontiers is the number of planned shared frontier specs
 	// (Plan.Shared); TwoSidedFrontiers counts the subset that is not a
 	// group's own hub side — the cross-group and second-side sharing the

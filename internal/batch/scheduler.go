@@ -60,9 +60,10 @@ func (sch *Scheduler) settle(results []*core.Result, errs []error, u int, res *c
 // passCounters tracks what the batch actually ran, aggregated across all
 // worker goroutines.
 type passCounters struct {
-	run    atomic.Int64 // BFS passes executed (frontier builds + session passes)
-	hits   atomic.Int64 // FrontierProvider lookups served
-	misses atomic.Int64 // FrontierProvider lookups missed
+	run     atomic.Int64 // BFS passes executed (frontier builds + session passes)
+	hits    atomic.Int64 // FrontierProvider lookups served
+	misses  atomic.Int64 // FrontierProvider lookups missed
+	refused atomic.Int64 // deposits the FrontierProvider declined
 }
 
 // frontierKey identifies one BFS side within a batch.
@@ -129,8 +130,8 @@ func (p *sharedPool) resolve(sch *Scheduler, g *graph.Graph, origin graph.Vertex
 		cell.buildNs = time.Since(start).Nanoseconds()
 		p.buildNs.Add(cell.buildNs)
 		passes.run.Add(1)
-		if sch.Frontiers != nil {
-			sch.Frontiers.Store(f, cell.spec.Uses)
+		if sch.Frontiers != nil && !sch.Frontiers.Store(f, cell.spec.Uses) {
+			passes.refused.Add(1)
 		}
 	})
 	return cell.f, cell
@@ -346,6 +347,7 @@ func (sch *Scheduler) Execute(ctx context.Context, g *graph.Graph, plan *Plan, o
 	stats.BFSPassesRun = int(st.passes.run.Load())
 	stats.FrontierCacheHits = int(st.passes.hits.Load())
 	stats.FrontierCacheMisses = int(st.passes.misses.Load())
+	stats.DepositsRefused = int(st.passes.refused.Load())
 	if st.pool != nil {
 		stats.SharedBFS = time.Duration(st.pool.buildNs.Load())
 	}
@@ -499,6 +501,8 @@ func (sch *Scheduler) memberFrontier(g *graph.Graph, origin graph.VertexID, forw
 		return nil
 	}
 	passes.run.Add(1)
-	sch.Frontiers.Store(f, 1)
+	if !sch.Frontiers.Store(f, 1) {
+		passes.refused.Add(1)
+	}
 	return f
 }

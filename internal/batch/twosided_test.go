@@ -108,10 +108,11 @@ func (p *mapProvider) Lookup(origin graph.VertexID, forward bool, k int) *core.F
 	return f
 }
 
-func (p *mapProvider) Store(f *core.Frontier, uses int) {
+func (p *mapProvider) Store(f *core.Frontier, uses int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.m[frontierKey{f.Origin(), f.IsForward()}] = f
+	return true
 }
 
 // TestExecuteTwoSidedDifferential: a cold hub-to-hub batch runs exactly

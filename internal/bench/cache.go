@@ -58,7 +58,7 @@ func (p *cacheProvider) Lookup(origin graph.VertexID, forward bool, k int) *core
 
 // Store deposits unconditionally: the bench isolates cache mechanics, so
 // no admission policy applies (the engine's provider layers one on).
-func (p *cacheProvider) Store(f *core.Frontier, uses int) { p.c.Put(f) }
+func (p *cacheProvider) Store(f *core.Frontier, uses int) bool { return p.c.Put(f) }
 
 // Cache measures the cross-batch frontier cache: one generated
 // shared-endpoint batch (workload.GenerateBatch) executed twice through

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"pathenum"
+	"pathenum/internal/core"
+)
+
+// memWorkers is the engine worker count for the memory experiment — small
+// enough that the mandatory per-worker scratch charge leaves headroom for
+// the cache and build classes at laptop-scale budgets.
+const memWorkers = 4
+
+// MemRow reports one (dataset, budget point) pair of the memory-budget
+// experiment: the sampled workload executed through a budgeted engine,
+// with the ledger polled after every query for the peak. Paths must equal
+// the unbudgeted baseline's — the budget changes residency and plans,
+// never answers — and PeakBytes must stay within EffectiveBytes; either
+// violation is a hard experiment error, not a report column.
+type MemRow struct {
+	Dataset string
+	// Budget labels the sweep point: "unbudgeted", "generous", "tight" or
+	// "pathological".
+	Budget string
+	// RequestedBytes is the configured MemoryBudgetBytes (0 = unlimited);
+	// EffectiveBytes is the engine's floor-adjusted limit (the mandatory
+	// session scratch can raise a pathological request).
+	RequestedBytes int64
+	EffectiveBytes int64
+	Queries        int
+	Paths          uint64
+
+	// PeakBytes is the highest MemStats.UsedBytes observed across the run
+	// (0 for the unbudgeted engine, which keeps no ledger).
+	PeakBytes int64
+	// PeakCacheBytes is the highest resident frontier-cache charge seen.
+	PeakCacheBytes int64
+	// JoinFallbacks counts join-planned queries demoted to DFS by build
+	// admission; CacheRejected counts frontier deposits the byte bound or
+	// ledger refused.
+	JoinFallbacks uint64
+	CacheRejected uint64
+}
+
+// MemResult is the memory-budget experiment report.
+type MemResult struct {
+	K    int
+	Rows []MemRow
+}
+
+// memRun executes qs through eng, polling the ledger per query. It
+// returns the per-query path counts alongside the row skeleton.
+func memRun(eng *pathenum.Engine, qs []pathenum.Query, opts pathenum.Options) ([]uint64, MemRow, error) {
+	row := MemRow{Queries: len(qs)}
+	counts := make([]uint64, len(qs))
+	ctx := context.Background()
+	for i, q := range qs {
+		res, err := eng.ExecuteWith(ctx, q, opts)
+		if err != nil {
+			return nil, row, fmt.Errorf("query %d %v: %w", i, q, err)
+		}
+		counts[i] = res.Counters.Results
+		row.Paths += res.Counters.Results
+		ms := eng.MemStats()
+		if ms.UsedBytes > row.PeakBytes {
+			row.PeakBytes = ms.UsedBytes
+		}
+		if ms.CacheBytes > row.PeakCacheBytes {
+			row.PeakCacheBytes = ms.CacheBytes
+		}
+		row.JoinFallbacks = ms.JoinFallbacks
+		row.CacheRejected = ms.CacheRejected
+	}
+	return counts, row, nil
+}
+
+// Mem sweeps the engine memory budget: per dataset, the same sampled
+// workload runs unbudgeted and then under budgets from comfortable to
+// pathological (1 byte — floored by the engine at the mandatory session
+// scratch, leaving nothing for cache or build sides). The experiment
+// hard-errors if any budgeted run's per-query path counts diverge from
+// the unbudgeted baseline, or if the polled ledger ever exceeds the
+// effective budget — those are the correctness claims of the budget
+// subsystem (degrade residency and plans, never answers), so a report
+// that merely printed them could pass silently broken.
+func Mem(cfg Config) (*MemResult, error) {
+	cfg = cfg.normalized()
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = []string{"up", "db", "ep", "wt"}
+	}
+	res := &MemResult{K: cfg.K}
+	opts := pathenum.Options{Timeout: cfg.TimeLimit}
+	for _, name := range datasets {
+		g, err := loadDataset(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		wqs, err := sampleQueries(g, cfg)
+		if err != nil {
+			continue // dataset yields no in-range workload at this scale
+		}
+		qs := make([]pathenum.Query, len(wqs))
+		for i, wq := range wqs {
+			qs[i] = pathenum.Query{S: wq.S, T: wq.T, K: cfg.K}
+		}
+
+		// The scratch floor anchors the sweep: "tight" leaves only a
+		// sliver past the mandatory charge, "generous" leaves room for
+		// real cache residency, "pathological" requests a single byte.
+		scratch := int64(memWorkers) * core.SessionScratchBytes(g.NumVertices())
+		budgets := []struct {
+			label string
+			bytes int64
+		}{
+			{"unbudgeted", 0},
+			{"generous", 4 * scratch},
+			{"tight", scratch + scratch/16 + 1},
+			{"pathological", 1},
+		}
+
+		var baseline []uint64
+		for _, b := range budgets {
+			eng, err := pathenum.NewEngine(g, pathenum.EngineConfig{
+				Workers:           memWorkers,
+				MemoryBudgetBytes: b.bytes,
+			})
+			if err != nil {
+				return nil, err
+			}
+			counts, row, err := memRun(eng, qs, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", name, b.label, err)
+			}
+			row.Dataset, row.Budget, row.RequestedBytes = name, b.label, b.bytes
+			row.EffectiveBytes = eng.MemStats().BudgetBytes
+			if baseline == nil {
+				baseline = counts
+			} else {
+				for i := range counts {
+					if counts[i] != baseline[i] {
+						return nil, fmt.Errorf(
+							"%s %s: query %d %v returned %d paths, unbudgeted baseline %d — budget changed answers",
+							name, b.label, i, qs[i], counts[i], baseline[i])
+					}
+				}
+				if row.PeakBytes > row.EffectiveBytes {
+					return nil, fmt.Errorf(
+						"%s %s: peak ledger %d bytes exceeds effective budget %d",
+						name, b.label, row.PeakBytes, row.EffectiveBytes)
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the memory-budget experiment report.
+func (r *MemResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory budget sweep: identical answers under shrinking byte budgets (k=%d, %d workers)\n", r.K, memWorkers)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "dataset\tbudget\trequested\teffective\tqueries\tpaths\tpeak bytes\tpeak cache\tjoin fallbacks\tdeposits rejected\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			row.Dataset, row.Budget, row.RequestedBytes, row.EffectiveBytes,
+			row.Queries, row.Paths, row.PeakBytes, row.PeakCacheBytes,
+			row.JoinFallbacks, row.CacheRejected)
+	}
+	w.Flush()
+	return b.String()
+}

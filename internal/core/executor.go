@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"math"
 	"time"
 
 	"pathenum/internal/graph"
+	"pathenum/internal/mem"
 )
 
 // executor owns the build → optimize → enumerate pipeline behind every
@@ -20,8 +22,10 @@ type executor struct {
 	g       *graph.Graph
 	scratch *bfsScratch
 	pos     []int32
-	onPath  []bool // allocated lazily by the first DFS enumeration
+	onPath  []bool  // allocated lazily by the first DFS enumeration
+	seen    []int32 // allocated lazily by the first join: path validation epochs
 	oracle  DistanceOracle
+	budget  *mem.Budget // nil = unbudgeted; admits join build sides
 }
 
 func newExecutor(g *graph.Graph, oracle DistanceOracle) *executor {
@@ -33,6 +37,16 @@ func newExecutor(g *graph.Graph, oracle DistanceOracle) *executor {
 		oracle:  oracle,
 	}
 }
+
+// SessionScratchBytes returns the worst-case resident size of one
+// session's pooled per-query scratch on an n-vertex graph: the two BFS
+// labelings, the BFS queue, the index position map, the DFS visited
+// bitmap and the join validation epochs (4+4+4+4+1+4 = 21 bytes per
+// vertex; the O(k) path buffers are noise against that). The engine
+// charges this per pooled session under mem.ClassScratch — the scratch
+// is not optional, so it is accounted with Budget.Must and the effective
+// budget is floored at the scratch requirement.
+func SessionScratchBytes(n int) int64 { return int64(n) * 21 }
 
 // execute runs one query through the full pipeline: oracle feasibility
 // check, index construction (Algorithm 3), plan selection (§6) and
@@ -124,10 +138,25 @@ func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd
 		return res, nil
 	}
 
-	// Phase 2: plan selection (§6).
+	// Phase 2: plan selection (§6), then memory admission: a join plan
+	// whose predicted build side (the Algorithm-5 estimate the planner
+	// already computed) does not fit the remaining budget is demoted to
+	// DFS *before* materializing anything. Path sets are pinned equal —
+	// DFS and join enumerate the same set — so the fallback degrades cost,
+	// never correctness. An admitted build side holds its reservation
+	// (mem.ClassBuild) for the duration of the enumeration.
 	optStart := time.Now()
 	res.Plan = selectPlan(ix, opts)
 	res.Timings.Optimize = time.Since(optStart)
+	if res.Plan.Method == MethodJoin && e.budget != nil && res.Plan.Full != nil {
+		need := predictedBuildBytes(res.Plan.Full, res.Plan.Cut, res.Plan.Build)
+		if e.budget.TryReserve(mem.ClassBuild, need) {
+			defer e.budget.Release(mem.ClassBuild, need)
+		} else {
+			res.Plan.Method = MethodDFS
+			res.MemFallback = true
+		}
+	}
 
 	// Phase 3: enumeration, fanned across shard goroutines when the
 	// caller requested intra-query parallelism (the fan-out covers only
@@ -146,7 +175,15 @@ func (e *executor) executeShared(ctx context.Context, q Query, opts Options, fwd
 		if par > 1 {
 			done, err = EnumerateJoinSideParallel(ix, res.Plan.Cut, res.Plan.Build, par, ctl, &res.Counters, &res.JoinStats)
 		} else {
-			done, err = EnumerateJoinSide(ix, res.Plan.Cut, res.Plan.Build, ctl, &res.Counters, &res.JoinStats)
+			// Sequential joins validate through the session's pooled seen
+			// buffer instead of a per-run O(|V|) make (cleared here: the
+			// enumerator's epoch counter restarts at zero every run).
+			if e.seen == nil {
+				e.seen = make([]int32, e.g.NumVertices())
+			} else {
+				clear(e.seen)
+			}
+			done, err = enumerateJoinSideSeen(ix, res.Plan.Cut, res.Plan.Build, e.seen, ctl, &res.Counters, &res.JoinStats)
 		}
 		if err != nil {
 			return nil, err
@@ -206,6 +243,30 @@ func selectPlan(ix *Index, opts Options) Plan {
 	default:
 		return ChoosePlan(ix, opts.Tau)
 	}
+}
+
+// predictedBuildBytes converts the estimator's tuple count at the cut
+// into the bytes EnumerateJoinSide would materialize for that side: the
+// flat walk storage (buildLen vertices per tuple) plus one bucket index
+// per tuple, 4 bytes each — the same shape JoinStats.PartialBytes reports
+// after the fact. Saturates instead of overflowing on pathological
+// estimates (which then only admit under an unlimited budget).
+func predictedBuildBytes(est *Estimate, cut int, side BuildSide) int64 {
+	k := len(est.SumFromS) - 1
+	if side == BuildAuto {
+		side = est.BuildSideAt(cut)
+	}
+	tuples := est.SumFromS[cut]
+	buildLen := cut + 1
+	if side == BuildRight {
+		tuples = est.SumToT[cut]
+		buildLen = k - cut + 1
+	}
+	per := uint64(buildLen+1) * 4
+	if per == 0 || tuples > math.MaxInt64/per {
+		return math.MaxInt64
+	}
+	return int64(tuples * per)
 }
 
 // enumerateDFS is EnumerateDFS with the executor's reusable visited bitmap.

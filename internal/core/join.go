@@ -169,6 +169,16 @@ func EnumerateJoin(ix *Index, cut int, ctl RunControl, ctr *Counters, stats *Joi
 // emission order differs). It returns true when the run completed (no
 // stop/limit) and fills stats — also on early stops — when non-nil.
 func EnumerateJoinSide(ix *Index, cut int, side BuildSide, ctl RunControl, ctr *Counters, stats *JoinStats) (bool, error) {
+	return enumerateJoinSideSeen(ix, cut, side, nil, ctl, ctr, stats)
+}
+
+// enumerateJoinSideSeen is EnumerateJoinSide with a caller-owned path
+// validation buffer: seen must be zeroed and at least |V| long (the
+// enumerator's epoch counter restarts at zero each run, so any zeroed
+// slice is clean). A nil seen allocates a throwaway one — that is the
+// public entry point's behavior; pooled sessions pass their own so the
+// hot path stops paying a per-run O(|V|) make.
+func enumerateJoinSideSeen(ix *Index, cut int, side BuildSide, seen []int32, ctl RunControl, ctr *Counters, stats *JoinStats) (bool, error) {
 	if ctr == nil {
 		ctr = &Counters{}
 	}
@@ -182,6 +192,9 @@ func EnumerateJoinSide(ix *Index, cut int, side BuildSide, ctl RunControl, ctr *
 	if side == BuildAuto {
 		side = FullEstimate(ix).BuildSideAt(cut)
 	}
+	if seen == nil {
+		seen = make([]int32, ix.g.NumVertices())
+	}
 	je := &joinEnumerator{
 		ix:        ix,
 		cut:       cut,
@@ -189,7 +202,7 @@ func EnumerateJoinSide(ix *Index, cut int, side BuildSide, ctl RunControl, ctr *
 		ctr:       ctr,
 		buildLeft: side == BuildLeft,
 		buckets:   make(map[graph.VertexID][]int32),
-		seen:      make([]int32, ix.g.NumVertices()),
+		seen:      seen,
 		joined:    make([]graph.VertexID, 0, k+1),
 	}
 	if je.buildLeft {

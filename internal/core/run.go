@@ -80,6 +80,11 @@ type Result struct {
 	IndexEdges    int64
 	IndexVertices int
 	IndexBytes    int64
+	// MemFallback reports that a join-planned run was demoted to DFS
+	// because the estimator predicted a build side exceeding the
+	// session's remaining memory budget. Path sets are unaffected — DFS
+	// and join enumerate the same set — only the cost profile changes.
+	MemFallback bool
 }
 
 // Run executes q on g per opts: build index, plan, enumerate. This is the

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"pathenum/internal/graph"
+	"pathenum/internal/mem"
 )
 
 // Session amortizes per-query allocations across repeated queries on the
@@ -28,6 +29,20 @@ type Session struct {
 // to every run that does not override it via Options.Oracle.
 func NewSession(g *graph.Graph, oracle DistanceOracle) *Session {
 	return &Session{ex: newExecutor(g, oracle)}
+}
+
+// NewSessionBudget is NewSession wired to a shared engine byte budget:
+// every join-planned run admits its predicted build side against the
+// budget (mem.ClassBuild) before materializing and degrades to the
+// pinned-equal DFS plan when it does not fit (Result.MemFallback). The
+// session's own pooled O(|V|) scratch is NOT charged here — the owner
+// accounts it once per pooled session via SessionScratchBytes, since the
+// scratch exists whether or not any query runs. A nil budget behaves
+// exactly like NewSession.
+func NewSessionBudget(g *graph.Graph, oracle DistanceOracle, b *mem.Budget) *Session {
+	s := NewSession(g, oracle)
+	s.ex.budget = b
+	return s
 }
 
 // Graph returns the session's graph.

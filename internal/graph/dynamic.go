@@ -25,17 +25,40 @@ type Dynamic struct {
 	base     *Graph
 	extraOut map[VertexID][]VertexID
 	extraIn  map[VertexID][]VertexID
-	added    int64
-	ver      Version
+	// mergedOut/mergedIn memoize the base+overflow adjacency a vertex
+	// with overflow edges returns from Out/InNeighbors, so the
+	// enumeration hot loop does not allocate a fresh merged slice per
+	// expansion. An entry is dropped by the next Insert touching that
+	// vertex and rebuilt on the next lookup. Safe under the single-writer
+	// contract: readers run against immutable Snapshots, and the one
+	// writer never races its own Insert with its own neighbor lookups.
+	mergedOut map[VertexID][]VertexID
+	mergedIn  map[VertexID][]VertexID
+	// outSet is a per-vertex overflow membership set, built once a
+	// vertex's overflow out-degree passes overflowSetThreshold, so
+	// hub-targeted insert streams pay O(1) duplicate detection instead of
+	// rescanning an ever-growing overflow slice per Insert (quadratic in
+	// the stream length).
+	outSet map[VertexID]map[VertexID]struct{}
+	added  int64
+	ver    Version
 }
+
+// overflowSetThreshold is the overflow out-degree past which HasEdge
+// switches from a linear overflow scan to a membership set. Small
+// overflows stay set-free: the scan beats map overhead there.
+const overflowSetThreshold = 8
 
 // NewDynamic wraps a base graph for incremental insertion.
 func NewDynamic(base *Graph) *Dynamic {
 	return &Dynamic{
-		base:     base,
-		extraOut: make(map[VertexID][]VertexID),
-		extraIn:  make(map[VertexID][]VertexID),
-		ver:      newLineage(),
+		base:      base,
+		extraOut:  make(map[VertexID][]VertexID),
+		extraIn:   make(map[VertexID][]VertexID),
+		mergedOut: make(map[VertexID][]VertexID),
+		mergedIn:  make(map[VertexID][]VertexID),
+		outSet:    make(map[VertexID]map[VertexID]struct{}),
+		ver:       newLineage(),
 	}
 }
 
@@ -59,6 +82,17 @@ func (d *Dynamic) Insert(from, to VertexID) (bool, error) {
 	}
 	d.extraOut[from] = append(d.extraOut[from], to)
 	d.extraIn[to] = append(d.extraIn[to], from)
+	if set, ok := d.outSet[from]; ok {
+		set[to] = struct{}{}
+	} else if len(d.extraOut[from]) > overflowSetThreshold {
+		set = make(map[VertexID]struct{}, 2*overflowSetThreshold)
+		for _, w := range d.extraOut[from] {
+			set[w] = struct{}{}
+		}
+		d.outSet[from] = set
+	}
+	delete(d.mergedOut, from)
+	delete(d.mergedIn, to)
 	d.added++
 	d.ver.epoch++
 	return true, nil
@@ -68,6 +102,10 @@ func (d *Dynamic) Insert(from, to VertexID) (bool, error) {
 func (d *Dynamic) HasEdge(from, to VertexID) bool {
 	if d.base.HasEdge(from, to) {
 		return true
+	}
+	if set, ok := d.outSet[from]; ok {
+		_, hit := set[to]
+		return hit
 	}
 	for _, w := range d.extraOut[from] {
 		if w == to {
@@ -83,29 +121,42 @@ func (d *Dynamic) NumVertices() int { return d.base.NumVertices() }
 // NumEdges returns the total number of edges including insertions.
 func (d *Dynamic) NumEdges() int64 { return d.base.NumEdges() + d.added }
 
-// OutNeighbors returns the out-neighbors of v. When v has overflow edges the
-// result is a freshly allocated slice; otherwise it aliases base storage.
+// OutNeighbors returns the out-neighbors of v. When v has overflow edges
+// the merged base+overflow slice is memoized until the next Insert
+// touching v, so repeated expansions of a hot vertex do not allocate;
+// otherwise the result aliases base storage. Callers must not mutate the
+// returned slice.
 func (d *Dynamic) OutNeighbors(v VertexID) []VertexID {
-	baseN := d.base.OutNeighbors(v)
 	extra := d.extraOut[v]
 	if len(extra) == 0 {
-		return baseN
+		return d.base.OutNeighbors(v)
 	}
+	if m, ok := d.mergedOut[v]; ok {
+		return m
+	}
+	baseN := d.base.OutNeighbors(v)
 	out := make([]VertexID, 0, len(baseN)+len(extra))
 	out = append(out, baseN...)
-	return append(out, extra...)
+	out = append(out, extra...)
+	d.mergedOut[v] = out
+	return out
 }
 
 // InNeighbors returns the in-neighbors of v, analogous to OutNeighbors.
 func (d *Dynamic) InNeighbors(v VertexID) []VertexID {
-	baseN := d.base.InNeighbors(v)
 	extra := d.extraIn[v]
 	if len(extra) == 0 {
-		return baseN
+		return d.base.InNeighbors(v)
 	}
+	if m, ok := d.mergedIn[v]; ok {
+		return m
+	}
+	baseN := d.base.InNeighbors(v)
 	out := make([]VertexID, 0, len(baseN)+len(extra))
 	out = append(out, baseN...)
-	return append(out, extra...)
+	out = append(out, extra...)
+	d.mergedIn[v] = out
+	return out
 }
 
 // Snapshot materializes the current state as an immutable Graph stamped

@@ -1,0 +1,94 @@
+package mem
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if !b.TryReserve(ClassCache, 1<<40) {
+		t.Fatal("nil budget refused a reservation")
+	}
+	b.Must(ClassScratch, 123)
+	b.Release(ClassBuild, 456)
+	if b.Used() != 0 || b.Limit() != 0 || b.ClassBytes(ClassCache) != 0 {
+		t.Fatal("nil budget counted something")
+	}
+	if b.Remaining() != math.MaxInt64 {
+		t.Fatalf("nil Remaining = %d", b.Remaining())
+	}
+}
+
+func TestNewNonPositiveIsNil(t *testing.T) {
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("non-positive limit should return the nil (unlimited) budget")
+	}
+}
+
+func TestReserveReleaseAccounting(t *testing.T) {
+	b := New(100)
+	if !b.TryReserve(ClassCache, 60) {
+		t.Fatal("60/100 refused")
+	}
+	if b.TryReserve(ClassBuild, 50) {
+		t.Fatal("110/100 admitted")
+	}
+	if !b.TryReserve(ClassBuild, 40) {
+		t.Fatal("100/100 refused")
+	}
+	if got := b.Used(); got != 100 {
+		t.Fatalf("Used = %d, want 100", got)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", b.Remaining())
+	}
+	b.Release(ClassCache, 60)
+	if b.ClassBytes(ClassCache) != 0 || b.ClassBytes(ClassBuild) != 40 {
+		t.Fatalf("class bytes cache=%d build=%d", b.ClassBytes(ClassCache), b.ClassBytes(ClassBuild))
+	}
+	if b.Remaining() != 60 {
+		t.Fatalf("Remaining = %d, want 60", b.Remaining())
+	}
+}
+
+func TestMustExceedsLimit(t *testing.T) {
+	b := New(10)
+	b.Must(ClassScratch, 25)
+	if b.Used() != 25 {
+		t.Fatalf("Used = %d, want 25", b.Used())
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0 (clamped)", b.Remaining())
+	}
+	if b.TryReserve(ClassCache, 1) {
+		t.Fatal("reservation admitted while over limit")
+	}
+}
+
+// TestBudgetConcurrent hammers reserve/release from many goroutines and
+// checks the ledger balances and never over-admits.
+func TestBudgetConcurrent(t *testing.T) {
+	const limit = 1000
+	b := New(limit)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if b.TryReserve(ClassBuild, 7) {
+					if u := b.Used(); u > limit {
+						t.Errorf("used %d exceeds limit", u)
+					}
+					b.Release(ClassBuild, 7)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used() != 0 || b.ClassBytes(ClassBuild) != 0 {
+		t.Fatalf("ledger unbalanced: used=%d build=%d", b.Used(), b.ClassBytes(ClassBuild))
+	}
+}

@@ -245,6 +245,18 @@ type cacheStats struct {
 	Bytes         int64  `json:"bytes"`
 }
 
+// memStats is the wire form of the engine's memory-budget ledger
+// (pathenum_mem_* series). All-zero when the engine runs unbudgeted.
+type memStats struct {
+	BudgetBytes      int64  `json:"budgetBytes"`
+	UsedBytes        int64  `json:"usedBytes"`
+	CacheBytes       int64  `json:"cacheBytes"`
+	ScratchBytes     int64  `json:"scratchBytes"`
+	BuildBytes       int64  `json:"buildBytes"`
+	JoinFallbacks    uint64 `json:"joinFallbacks"`
+	DepositsRejected uint64 `json:"depositsRejected"`
+}
+
 // poolStats is the wire form of the engine's worker-pool occupancy: the
 // utilization of the pool and the intra-query parallel shards in flight,
 // so a parallel speedup is observable from the daemon, not just in
@@ -281,6 +293,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Entries:       int(snap["pathenum_frontier_cache_entries"]),
 			Capacity:      int(snap["pathenum_frontier_cache_capacity"]),
 			Bytes:         int64(snap["pathenum_frontier_cache_bytes"]),
+		},
+		"mem": memStats{
+			BudgetBytes:      int64(snap["pathenum_mem_budget_bytes"]),
+			UsedBytes:        int64(snap["pathenum_mem_bytes"]),
+			CacheBytes:       int64(snap["pathenum_mem_cache_bytes"]),
+			ScratchBytes:     int64(snap["pathenum_mem_scratch_bytes"]),
+			BuildBytes:       int64(snap["pathenum_mem_build_bytes"]),
+			JoinFallbacks:    uint64(snap["pathenum_mem_join_fallbacks_total"]),
+			DepositsRejected: uint64(snap["pathenum_mem_deposits_rejected_total"]),
 		},
 		"pool": poolStats{
 			Workers:         int(snap["pathenum_pool_workers"]),

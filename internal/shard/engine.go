@@ -26,7 +26,10 @@ type Config struct {
 	// consistency of a routed query depends on it. Oracle, when set, must
 	// match the full graph and serves the full-image constituent only;
 	// with OracleLandmarks each shard builds its own oracle in the
-	// background.
+	// background. MemoryBudgetBytes names the budget for the whole
+	// sharded engine: at shards > 1 it is split evenly across the P
+	// sub-engines plus the full-image fallback, each constituent flooring
+	// its share at its own mandatory session scratch.
 	Engine pathenum.EngineConfig
 }
 
@@ -97,6 +100,16 @@ func New(g *pathenum.Graph, shards int, cfg Config) (*Engine, error) {
 	// Lockstep publishing: a routed query's phases assume the sub-images
 	// and the full image describe the same edge set.
 	ecfg.SnapshotEvery = 1
+	// A memory budget configured for the sharded engine bounds the whole
+	// process, so it is split evenly across the constituents that
+	// actually hold memory: the P sub-engines plus the full-image
+	// fallback (at shards == 1 the single engine IS the fallback and
+	// keeps the whole budget). Each constituent floors its share at its
+	// own session-scratch requirement, so a pathologically small budget
+	// still constructs — with caches and join builds starved, not broken.
+	if shards > 1 && ecfg.MemoryBudgetBytes > 0 {
+		ecfg.MemoryBudgetBytes /= int64(shards + 1)
+	}
 	subWorkers := ecfg.Workers
 	if subWorkers <= 0 {
 		subWorkers = 4

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pathenum/internal/core"
+	"pathenum/internal/mem"
 	"pathenum/internal/obs"
 )
 
@@ -79,6 +80,10 @@ type engineMetrics struct {
 	invalid      *obs.Counter
 	incomplete   *obs.Counter
 	batchQueries *obs.Counter
+
+	// memFallbacks counts join-planned runs demoted to DFS by the memory
+	// budget's build-side admission test (Result.MemFallback).
+	memFallbacks *obs.Counter
 
 	inserts   *obs.Counter
 	publishes *obs.Counter
@@ -158,6 +163,8 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 		"Runs stopped early by limit, timeout or consumer cancellation.")
 	m.batchQueries = reg.Counter("pathenum_batch_queries_total", "Queries submitted through the batch surfaces.")
 
+	m.memFallbacks = reg.Counter("pathenum_mem_join_fallbacks_total",
+		"Join-planned runs demoted to DFS because the predicted build side exceeded the memory budget.")
 	m.inserts = reg.Counter("pathenum_inserts_total", "Edges applied through the engine write path.")
 	m.publishes = reg.Counter("pathenum_snapshots_published_total",
 		"Serving-snapshot publishes from the engine write path.")
@@ -189,6 +196,27 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 			cs(func(s FrontierCacheStats) float64 { return float64(s.Capacity) }))
 		reg.GaugeFunc("pathenum_frontier_cache_bytes", "Frontier-cache resident bytes.",
 			cs(func(s FrontierCacheStats) float64 { return float64(s.Bytes) }))
+		reg.CounterFunc("pathenum_mem_deposits_rejected_total",
+			"Frontier deposits refused by the cache byte bound or the memory budget.",
+			cs(func(s FrontierCacheStats) float64 { return float64(s.Rejected) }))
+	}
+	if e.budget != nil {
+		// The pathenum_mem_* family mirrors Engine.MemStats at scrape
+		// time: the effective budget, total accounted bytes and the
+		// per-class split. pathenum_mem_bytes staying under
+		// pathenum_mem_budget_bytes is the acceptance signal benchpath mem
+		// watches.
+		reg.GaugeFunc("pathenum_mem_budget_bytes",
+			"Effective memory budget (configured MemoryBudgetBytes floored at the session scratch requirement).",
+			func() float64 { return float64(e.budget.Limit()) })
+		reg.GaugeFunc("pathenum_mem_bytes", "Bytes currently accounted against the memory budget.",
+			func() float64 { return float64(e.budget.Used()) })
+		reg.GaugeFunc("pathenum_mem_cache_bytes", "Budgeted bytes held by frontier-cache entries.",
+			func() float64 { return float64(e.budget.ClassBytes(mem.ClassCache)) })
+		reg.GaugeFunc("pathenum_mem_scratch_bytes", "Budgeted bytes held by pooled per-session scratch.",
+			func() float64 { return float64(e.budget.ClassBytes(mem.ClassScratch)) })
+		reg.GaugeFunc("pathenum_mem_build_bytes", "Budgeted bytes held by in-flight join build sides.",
+			func() float64 { return float64(e.budget.ClassBytes(mem.ClassBuild)) })
 	}
 	reg.GaugeFunc("pathenum_pool_workers", "Configured query-executor workers.",
 		func() float64 { return float64(e.workers) })
@@ -267,6 +295,9 @@ func (m *engineMetrics) observeRun(res *core.Result) {
 	m.paths.Add(res.Counters.Results)
 	m.edges.Add(res.Counters.EdgesAccessed)
 	m.invalid.Add(res.Counters.InvalidPartials)
+	if res.MemFallback {
+		m.memFallbacks.Inc()
+	}
 	if !res.Completed {
 		m.incomplete.Inc()
 	}
